@@ -1,0 +1,46 @@
+//! Correctness-checker performance: happens-before construction plus the
+//! Definition 6 search on recorded firewall traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edn_apps::{firewall, sim_topology, H1, H4};
+use edn_core::HappensBefore;
+use nes_runtime::{nes_engine, verify_nes_run};
+use netsim::traffic::{schedule_pings, Ping, ScenarioHosts};
+use netsim::{SimParams, SimTime};
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    // Record one reasonably long trace.
+    let topo = sim_topology(&firewall::spec(), SimTime::from_micros(50), None);
+    let mut engine = nes_engine(
+        firewall::nes(),
+        topo,
+        SimParams::default(),
+        false,
+        Box::new(ScenarioHosts::new()),
+    );
+    let pings: Vec<Ping> = (0..100)
+        .map(|i| Ping {
+            time: SimTime::from_millis(10 * i),
+            src: if i % 3 == 0 { H1 } else { H4 },
+            dst: if i % 3 == 0 { H4 } else { H1 },
+            id: i,
+        })
+        .collect();
+    schedule_pings(&mut engine, &pings);
+    let result = engine.run_until(SimTime::from_secs(10));
+    assert!(verify_nes_run(&result).is_ok());
+
+    let mut g = c.benchmark_group("checker");
+    g.sample_size(30);
+    g.bench_function("happens_before", |b| {
+        b.iter(|| black_box(HappensBefore::of(black_box(&result.trace))))
+    });
+    g.bench_function("definition6_full_check", |b| {
+        b.iter(|| verify_nes_run(black_box(&result)).is_ok())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Compiler performance: full pipeline (parse -> project -> extract -> ETS
+//! -> NES -> tag assignment) per application, the timing column of the
+//! Section 5.1 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nes_runtime::CompiledNes;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_apps");
+    g.sample_size(20);
+    g.bench_function("firewall", |b| {
+        b.iter(|| CompiledNes::compile(black_box(edn_apps::firewall::nes())))
+    });
+    g.bench_function("learning_switch", |b| {
+        b.iter(|| CompiledNes::compile(black_box(edn_apps::learning::nes())))
+    });
+    g.bench_function("authentication", |b| {
+        b.iter(|| CompiledNes::compile(black_box(edn_apps::authentication::nes())))
+    });
+    g.bench_function("bandwidth_cap_10", |b| {
+        b.iter(|| CompiledNes::compile(black_box(edn_apps::bandwidth_cap::nes(10))))
+    });
+    g.bench_function("ids", |b| {
+        b.iter(|| CompiledNes::compile(black_box(edn_apps::ids::nes())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! FDD micro-benchmarks: predicate compilation, union/sequence/star, and
+//! flow-table extraction on policies shaped like the case studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netkat::{compile_fdd, compile_local, FddBuilder, Field, Policy, Pred};
+use std::hint::black_box;
+
+fn clauses(n: u64) -> Policy {
+    Policy::union_all((0..n).map(|i| {
+        Policy::filter(Pred::port(i % 4).and(Pred::test(Field::IpDst, 100 + i)))
+            .seq(Policy::modify(Field::Port, i % 8))
+    }))
+}
+
+fn bench_fdd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fdd_ops");
+    g.bench_function("compile_16_clauses", |b| {
+        let p = clauses(16);
+        b.iter(|| compile_local(black_box(&p)).unwrap())
+    });
+    g.bench_function("compile_64_clauses", |b| {
+        let p = clauses(64);
+        b.iter(|| compile_local(black_box(&p)).unwrap())
+    });
+    g.bench_function("union_of_compiled", |b| {
+        let p = clauses(16);
+        let q = clauses(24);
+        b.iter(|| {
+            let mut builder = FddBuilder::new();
+            let dp = compile_fdd(&mut builder, &p).unwrap();
+            let dq = compile_fdd(&mut builder, &q).unwrap();
+            black_box(builder.union(dp, dq))
+        })
+    });
+    g.bench_function("star_fixpoint", |b| {
+        let step = Policy::filter(Pred::port(1))
+            .seq(Policy::modify(Field::Port, 2))
+            .union(Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 3)))
+            .union(Policy::filter(Pred::port(3)).seq(Policy::modify(Field::Port, 4)))
+            .star();
+        b.iter(|| compile_local(black_box(&step)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fdd);
+criterion_main!(benches);

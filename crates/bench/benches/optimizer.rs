@@ -1,0 +1,28 @@
+//! Rule-sharing heuristic performance on the Fig. 17 instance sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rule_optimizer::{optimize, optimize_in_order, random_configs};
+use std::hint::black_box;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    for (count, rules, universe) in [(16usize, 10usize, 20usize), (64, 20, 40)] {
+        let configs = random_configs(count, rules, universe, 42);
+        g.bench_function(format!("{count}x{rules}_u{universe}"), |b| {
+            b.iter(|| black_box(optimize(black_box(&configs))).optimized_count())
+        });
+    }
+    let ablate = random_configs(64, 20, 40, 42);
+    g.bench_function("64x20_u40_in_order_baseline", |b| {
+        b.iter(|| black_box(optimize_in_order(black_box(&ablate))).optimized_count())
+    });
+    let compiled = nes_runtime::CompiledNes::compile(edn_apps::bandwidth_cap::nes(10));
+    let app_configs = compiled.config_rule_sets();
+    g.bench_function("bandwidth_cap_real_rules", |b| {
+        b.iter(|| black_box(optimize(black_box(&app_configs))).optimized_count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Simulator throughput: packets pushed end-to-end per second through the
+//! NES runtime on the firewall and a diameter-4 ring.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edn_apps::ring::Ring;
+use edn_apps::{firewall, sim_topology, H1, H4};
+use nes_runtime::nes_engine;
+use netsim::traffic::{schedule_pings, Ping, ScenarioHosts};
+use netsim::{SimParams, SimTime};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    const PINGS: u64 = 200;
+    g.throughput(Throughput::Elements(PINGS));
+    g.bench_function("firewall_200_pings_end_to_end", |b| {
+        b.iter(|| {
+            let topo = sim_topology(&firewall::spec(), SimTime::from_micros(50), None);
+            let mut engine = nes_engine(
+                firewall::nes(),
+                topo,
+                SimParams::default(),
+                false,
+                Box::new(ScenarioHosts::new()),
+            );
+            let pings: Vec<Ping> = (0..PINGS)
+                .map(|i| Ping { time: SimTime::from_millis(i), src: H1, dst: H4, id: i })
+                .collect();
+            schedule_pings(&mut engine, &pings);
+            black_box(engine.run_until(SimTime::from_secs(10)).stats.deliveries.len())
+        })
+    });
+    g.bench_function("ring4_200_pings_end_to_end", |b| {
+        let ring = Ring::new(4);
+        b.iter(|| {
+            let topo = ring.sim_topology(SimTime::from_micros(100), None);
+            let mut engine = nes_engine(
+                ring.nes(),
+                topo,
+                SimParams::default(),
+                false,
+                Box::new(ScenarioHosts::new()),
+            );
+            let pings: Vec<Ping> = (0..PINGS)
+                .map(|i| Ping {
+                    time: SimTime::from_millis(i),
+                    src: ring.h1(),
+                    dst: ring.h2(),
+                    id: i,
+                })
+                .collect();
+            schedule_pings(&mut engine, &pings);
+            black_box(engine.run_until(SimTime::from_secs(10)).stats.deliveries.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

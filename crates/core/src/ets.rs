@@ -1,0 +1,366 @@
+//! Event-driven transition systems (Definition 7) and their conversion to
+//! network event structures (Section 3.1).
+//!
+//! An ETS is a graph whose vertices carry configurations and whose edges
+//! carry events. The conversion collects the event-sets along all paths from
+//! the initial vertex (`W(T)`, `F(T)`), checks the two well-formedness
+//! conditions of Section 3.1 (unique configuration per event-set,
+//! finite-completeness), and builds the NES via Winskel's Theorem 1.1.12.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::config::Config;
+use crate::estructure::EventStructure;
+use crate::event::{Event, EventId, EventSet};
+use crate::nes::{NesError, NetworkEventStructure};
+
+/// An event-driven transition system `(V, D, v₀)`.
+#[derive(Clone, Debug)]
+pub struct Ets {
+    /// The events usable on edges, indexed by [`EventId`].
+    pub events: Vec<Event>,
+    /// Vertex labels: each vertex's configuration.
+    pub configs: Vec<Config>,
+    /// Edges `(from, event, to)`.
+    pub edges: Vec<(usize, EventId, usize)>,
+    /// The initial vertex.
+    pub initial: usize,
+}
+
+/// Errors in ETS well-formedness or conversion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EtsError {
+    /// The ETS has a cycle; this paper (and this implementation) handles
+    /// loop-free systems — loops require event renaming (Section 3.1).
+    HasCycle,
+    /// An edge references a vertex that does not exist.
+    DanglingEdge {
+        /// The edge index.
+        edge: usize,
+    },
+    /// Two paths collecting the same event-set end at vertices with
+    /// different configurations (violates condition 1 of Section 3.1).
+    AmbiguousConfig {
+        /// The offending event-set.
+        set: EventSet,
+    },
+    /// `F(T)` is not finite-complete (violates condition 2 of Section 3.1):
+    /// `a` and `b` have an upper bound in `F(T)` but `a ∪ b ∉ F(T)`.
+    NotFiniteComplete {
+        /// First set.
+        a: EventSet,
+        /// Second set.
+        b: EventSet,
+    },
+    /// NES construction failed.
+    Nes(NesError),
+}
+
+impl fmt::Display for EtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtsError::HasCycle => write!(f, "the transition system has a cycle (loop-free required)"),
+            EtsError::DanglingEdge { edge } => write!(f, "edge {edge} references a missing vertex"),
+            EtsError::AmbiguousConfig { set } => {
+                write!(f, "event-set {set} is reached by paths ending in different configurations")
+            }
+            EtsError::NotFiniteComplete { a, b } => write!(
+                f,
+                "family is not finite-complete: {a} and {b} have an upper bound but their union is missing (cf. Fig. 3(c))"
+            ),
+            EtsError::Nes(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EtsError {}
+
+impl From<NesError> for EtsError {
+    fn from(e: NesError) -> EtsError {
+        EtsError::Nes(e)
+    }
+}
+
+impl Ets {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Checks structural sanity: edges in range, no cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`EtsError::DanglingEdge`] or [`EtsError::HasCycle`].
+    pub fn validate(&self) -> Result<(), EtsError> {
+        for (i, &(a, _, b)) in self.edges.iter().enumerate() {
+            if a >= self.vertex_count() || b >= self.vertex_count() {
+                return Err(EtsError::DanglingEdge { edge: i });
+            }
+        }
+        // Cycle detection by DFS colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.vertex_count()];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.vertex_count()];
+        for &(a, _, b) in &self.edges {
+            adj[a].push(b);
+        }
+        fn dfs(v: usize, adj: &[Vec<usize>], colour: &mut [Colour]) -> bool {
+            colour[v] = Colour::Grey;
+            for &w in &adj[v] {
+                match colour[w] {
+                    Colour::Grey => return false,
+                    Colour::White => {
+                        if !dfs(w, adj, colour) {
+                            return false;
+                        }
+                    }
+                    Colour::Black => {}
+                }
+            }
+            colour[v] = Colour::Black;
+            true
+        }
+        for v in 0..self.vertex_count() {
+            if colour[v] == Colour::White && !dfs(v, &adj, &mut colour) {
+                return Err(EtsError::HasCycle);
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes `F(T)` with the endpoint vertex of each member's paths,
+    /// checking condition 1 (unique configuration per event-set).
+    ///
+    /// # Errors
+    ///
+    /// Structural errors, or [`EtsError::AmbiguousConfig`].
+    pub fn family(&self) -> Result<BTreeMap<EventSet, usize>, EtsError> {
+        self.validate()?;
+        let mut adj: Vec<Vec<(EventId, usize)>> = vec![Vec::new(); self.vertex_count()];
+        for &(a, e, b) in &self.edges {
+            adj[a].push((e, b));
+        }
+        // DFS over paths from the initial vertex; the graph is a DAG so this
+        // terminates. Worst case exponential in path count, fine for program
+        // sized systems.
+        let mut family: BTreeMap<EventSet, usize> = BTreeMap::new();
+        let mut stack = vec![(self.initial, EventSet::empty())];
+        let mut seen: BTreeSet<(usize, EventSet)> = BTreeSet::new();
+        while let Some((v, set)) = stack.pop() {
+            if !seen.insert((v, set)) {
+                continue;
+            }
+            match family.get(&set) {
+                Some(&u) if self.configs[u] != self.configs[v] => {
+                    return Err(EtsError::AmbiguousConfig { set });
+                }
+                Some(_) => {}
+                None => {
+                    family.insert(set, v);
+                }
+            }
+            for &(e, w) in &adj[v] {
+                stack.push((w, set.insert(e)));
+            }
+        }
+        Ok(family)
+    }
+
+    /// Checks condition 2 of Section 3.1: `F(T)` is finite-complete.
+    ///
+    /// Pairwise closure suffices: any finite bounded family closes under
+    /// union by induction on pairs.
+    pub fn check_finite_complete(family: &BTreeMap<EventSet, usize>) -> Result<(), EtsError> {
+        let sets: Vec<EventSet> = family.keys().copied().collect();
+        for (i, &a) in sets.iter().enumerate() {
+            for &b in &sets[i + 1..] {
+                let union = a.union(b);
+                let bounded = sets.iter().any(|&u| union.is_subset(u));
+                if bounded && !family.contains_key(&union) {
+                    return Err(EtsError::NotFiniteComplete { a, b });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts the ETS to a network event structure (Section 3.1).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EtsError`]: structural problems, condition 1 or 2 violations,
+    /// or a missing configuration.
+    pub fn to_nes(&self) -> Result<NetworkEventStructure, EtsError> {
+        let family = self.family()?;
+        Self::check_finite_complete(&family)?;
+        let es = EventStructure::new(self.events.clone(), family.keys().copied());
+        let g = family
+            .iter()
+            .map(|(&set, &v)| (set, self.configs[v].clone()));
+        Ok(NetworkEventStructure::new(es, g)?)
+    }
+}
+
+impl fmt::Display for Ets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ETS: {} vertices, initial {}", self.vertex_count(), self.initial)?;
+        for &(a, e, b) in &self.edges {
+            writeln!(f, "  v{a} --{}--> v{b}", self.events[e.index()])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkat::{Loc, Pred};
+
+    fn ev(i: usize, sw: u64) -> Event {
+        Event::new(EventId::new(i), Pred::True, Loc::new(sw, 1))
+    }
+
+    fn cfg(marker: u64) -> Config {
+        // Distinct configs distinguished by a marker host.
+        let mut c = Config::new();
+        c.add_host(marker, Loc::new(1, 1));
+        c
+    }
+
+    /// Figure 3(a): diamond with compatible events.
+    #[test]
+    fn diamond_converts() {
+        let ets = Ets {
+            events: vec![ev(0, 1), ev(1, 2)],
+            configs: vec![cfg(0), cfg(1), cfg(2), cfg(3)],
+            edges: vec![
+                (0, EventId::new(0), 1),
+                (0, EventId::new(1), 2),
+                (1, EventId::new(1), 3),
+                (2, EventId::new(0), 3),
+            ],
+            initial: 0,
+        };
+        let nes = ets.to_nes().unwrap();
+        assert_eq!(nes.event_sets().len(), 4);
+        assert!(nes.structure().verify_axioms());
+    }
+
+    /// Figure 3(b): conflict — two events, no joint event-set.
+    #[test]
+    fn conflict_converts_without_joint_set() {
+        let ets = Ets {
+            events: vec![ev(0, 1), ev(1, 1)],
+            configs: vec![cfg(0), cfg(1), cfg(2)],
+            edges: vec![(0, EventId::new(0), 1), (0, EventId::new(1), 2)],
+            initial: 0,
+        };
+        let nes = ets.to_nes().unwrap();
+        assert_eq!(nes.event_sets().len(), 3);
+        let both = EventSet::from_iter([EventId::new(0), EventId::new(1)]);
+        assert!(!nes.structure().consistent(both));
+    }
+
+    /// Figure 3(c): violates finite-completeness — {e1} and {e3} are below
+    /// {e1,e4,e3} but {e1,e3} is not an event-set.
+    #[test]
+    fn fig3c_fails_finite_completeness() {
+        // Vertices: 0 --e0--> 1 --e1--> 2 --e2--> 3; 0 --e2--> 4.
+        // Path sets: {}, {e0}, {e0,e1}, {e0,e1,e2}, {e2}.
+        // {e0} and {e2} are bounded by {e0,e1,e2} but {e0,e2} is missing.
+        let ets = Ets {
+            events: vec![ev(0, 1), ev(1, 2), ev(2, 3)],
+            configs: vec![cfg(0), cfg(1), cfg(2), cfg(3), cfg(4)],
+            edges: vec![
+                (0, EventId::new(0), 1),
+                (1, EventId::new(1), 2),
+                (2, EventId::new(2), 3),
+                (0, EventId::new(2), 4),
+            ],
+            initial: 0,
+        };
+        let err = ets.to_nes().unwrap_err();
+        assert!(matches!(err, EtsError::NotFiniteComplete { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn ambiguous_config_detected() {
+        // Two orders of the diamond land in different configurations.
+        let ets = Ets {
+            events: vec![ev(0, 1), ev(1, 2)],
+            configs: vec![cfg(0), cfg(1), cfg(2), cfg(3), cfg(4)],
+            edges: vec![
+                (0, EventId::new(0), 1),
+                (0, EventId::new(1), 2),
+                (1, EventId::new(1), 3),
+                (2, EventId::new(0), 4), // same set {e0,e1}, different config
+            ],
+            initial: 0,
+        };
+        let err = ets.to_nes().unwrap_err();
+        assert!(matches!(err, EtsError::AmbiguousConfig { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn same_set_same_config_is_fine() {
+        // Diamond where both orders reach configs that are *equal*.
+        let ets = Ets {
+            events: vec![ev(0, 1), ev(1, 2)],
+            configs: vec![cfg(0), cfg(1), cfg(2), cfg(3), cfg(3)],
+            edges: vec![
+                (0, EventId::new(0), 1),
+                (0, EventId::new(1), 2),
+                (1, EventId::new(1), 3),
+                (2, EventId::new(0), 4),
+            ],
+            initial: 0,
+        };
+        assert!(ets.to_nes().is_ok());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let ets = Ets {
+            events: vec![ev(0, 1), ev(1, 1)],
+            configs: vec![cfg(0), cfg(1)],
+            edges: vec![(0, EventId::new(0), 1), (1, EventId::new(1), 0)],
+            initial: 0,
+        };
+        assert_eq!(ets.validate(), Err(EtsError::HasCycle));
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let ets = Ets {
+            events: vec![ev(0, 1)],
+            configs: vec![cfg(0)],
+            edges: vec![(0, EventId::new(0), 5)],
+            initial: 0,
+        };
+        assert_eq!(ets.validate(), Err(EtsError::DanglingEdge { edge: 0 }));
+    }
+
+    /// A chain ETS (the firewall / bandwidth-cap shape).
+    #[test]
+    fn chain_converts_to_linear_family() {
+        let ets = Ets {
+            events: vec![ev(0, 4), ev(1, 4)],
+            configs: vec![cfg(0), cfg(1), cfg(2)],
+            edges: vec![(0, EventId::new(0), 1), (1, EventId::new(1), 2)],
+            initial: 0,
+        };
+        let nes = ets.to_nes().unwrap();
+        let sets = nes.event_sets();
+        assert_eq!(sets.len(), 3);
+        // e1 is enabled only after e0.
+        assert!(!nes.structure().enabled(EventSet::empty(), EventId::new(1)));
+        assert!(nes.structure().enabled(EventSet::singleton(EventId::new(0)), EventId::new(1)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Locality restrictions for incompatible events (Section 2).
+//!
+//! A set of events is *inconsistent* when `con` rejects it, and
+//! *minimally-inconsistent* when all proper subsets are consistent. An NES
+//! is *locally-determined* when every minimally-inconsistent set lives
+//! entirely on one switch — the clean condition that makes it efficiently
+//! implementable (Lemma 1 shows what goes wrong otherwise).
+
+use crate::estructure::EventStructure;
+use crate::event::EventSet;
+
+/// Enumerates the minimally-inconsistent sets of size ≤ `max_size`.
+///
+/// Real programs have small conflict sets (size 2 in all the paper's
+/// examples); `max_size` bounds the search.
+pub fn minimally_inconsistent(es: &EventStructure, max_size: usize) -> Vec<EventSet> {
+    let ids: Vec<_> = es.events().iter().map(|e| e.id).collect();
+    let mut found: Vec<EventSet> = Vec::new();
+    // Enumerate subsets by increasing size so minimality reduces to "no
+    // found set is a subset".
+    for size in 1..=max_size.min(ids.len()) {
+        for combo in combinations(ids.len(), size) {
+            let set: EventSet = combo.iter().map(|&i| ids[i]).collect();
+            if es.consistent(set) {
+                continue;
+            }
+            if found.iter().any(|f| f.is_subset(set)) {
+                continue; // not minimal
+            }
+            found.push(set);
+        }
+    }
+    found
+}
+
+/// Checks the locally-determined condition: every minimally-inconsistent set
+/// (searched up to `max_size`) has all its events at the same switch.
+pub fn locally_determined(es: &EventStructure, max_size: usize) -> bool {
+    minimally_inconsistent(es, max_size).iter().all(|set| {
+        let mut switches = set.iter().map(|e| es.event(e).loc.sw);
+        match switches.next() {
+            None => true,
+            Some(first) => switches.all(|sw| sw == first),
+        }
+    })
+}
+
+/// All `size`-element index combinations of `0..n`, lexicographic.
+fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(size);
+    fn rec(n: usize, size: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == size {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(n, size, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(n, size, 0, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventId};
+    use netkat::{Loc, Pred};
+
+    fn ev(i: usize, sw: u64) -> Event {
+        Event::new(EventId::new(i), Pred::True, Loc::new(sw, 1))
+    }
+
+    /// The paper's program P1: conflicting events at *different* switches
+    /// (s2 and s4) — not locally determined.
+    #[test]
+    fn p1_is_not_locally_determined() {
+        let es = EventStructure::new(
+            vec![ev(0, 2), ev(1, 4)],
+            [EventSet::singleton(EventId::new(0)), EventSet::singleton(EventId::new(1))],
+        );
+        let minimal = minimally_inconsistent(&es, 4);
+        assert_eq!(minimal, vec![EventSet::from_iter([EventId::new(0), EventId::new(1)])]);
+        assert!(!locally_determined(&es, 4));
+    }
+
+    /// The paper's program P2: conflicting events at the *same* switch (s2)
+    /// — locally determined.
+    #[test]
+    fn p2_is_locally_determined() {
+        let es = EventStructure::new(
+            vec![ev(0, 2), ev(1, 2)],
+            [EventSet::singleton(EventId::new(0)), EventSet::singleton(EventId::new(1))],
+        );
+        assert!(locally_determined(&es, 4));
+    }
+
+    /// Compatible events are never inconsistent, so locality holds trivially.
+    #[test]
+    fn compatible_events_are_local() {
+        let e0 = EventId::new(0);
+        let e1 = EventId::new(1);
+        let es = EventStructure::new(
+            vec![ev(0, 1), ev(1, 9)],
+            [
+                EventSet::singleton(e0),
+                EventSet::singleton(e1),
+                EventSet::from_iter([e0, e1]),
+            ],
+        );
+        assert!(minimally_inconsistent(&es, 4).is_empty());
+        assert!(locally_determined(&es, 4));
+    }
+
+    /// Minimality: with {e0,e1} inconsistent, the superset {e0,e1,e2} is
+    /// inconsistent but not minimal.
+    #[test]
+    fn supersets_are_not_minimal() {
+        let e0 = EventId::new(0);
+        let e1 = EventId::new(1);
+        let e2 = EventId::new(2);
+        let es = EventStructure::new(
+            vec![ev(0, 1), ev(1, 1), ev(2, 3)],
+            [
+                EventSet::singleton(e0),
+                EventSet::singleton(e1),
+                EventSet::from_iter([e0, e2]),
+                EventSet::from_iter([e1, e2]),
+            ],
+        );
+        let minimal = minimally_inconsistent(&es, 4);
+        assert_eq!(minimal, vec![EventSet::from_iter([e0, e1])]);
+        // e0/e1 conflict at the same switch 1, e2 elsewhere is irrelevant.
+        assert!(locally_determined(&es, 4));
+    }
+
+    /// A three-way conflict whose pairs are all fine: {a,b,c} minimal.
+    #[test]
+    fn three_way_minimal_conflict() {
+        let e0 = EventId::new(0);
+        let e1 = EventId::new(1);
+        let e2 = EventId::new(2);
+        let es = EventStructure::new(
+            vec![ev(0, 5), ev(1, 5), ev(2, 5)],
+            [
+                EventSet::from_iter([e0, e1]),
+                EventSet::from_iter([e0, e2]),
+                EventSet::from_iter([e1, e2]),
+            ],
+        );
+        let minimal = minimally_inconsistent(&es, 4);
+        assert_eq!(minimal, vec![EventSet::from_iter([e0, e1, e2])]);
+        assert!(locally_determined(&es, 4));
+    }
+
+    #[test]
+    fn combinations_counts() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(5, 3).len(), 10);
+        assert_eq!(combinations(3, 0).len(), 1);
+    }
+}

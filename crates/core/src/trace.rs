@@ -1,0 +1,438 @@
+//! Network traces: interleavings of packet traces (Section 2).
+//!
+//! A network trace is a pair `(lp₀ lp₁ ⋯, T)` of a global sequence of
+//! located packets and a set `T` of increasing index sequences — the *packet
+//! traces* — forming a family of trees (a packet trace forks when a
+//! configuration multicasts).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use netkat::{Loc, Packet};
+
+/// A located packet `(pkt, sw, pt)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LocatedPacket {
+    /// The packet's headers.
+    pub packet: Packet,
+    /// The packet's location.
+    pub loc: Loc,
+}
+
+impl LocatedPacket {
+    /// Creates a located packet.
+    pub fn new(packet: Packet, loc: Loc) -> LocatedPacket {
+        LocatedPacket { packet, loc }
+    }
+
+    /// Returns a copy with virtual runtime fields (tag, digest) erased, for
+    /// comparison against abstract configurations.
+    pub fn erase_virtual(&self) -> LocatedPacket {
+        LocatedPacket { packet: self.packet.erase_virtual(), loc: self.loc }
+    }
+}
+
+impl fmt::Display for LocatedPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.packet, self.loc)
+    }
+}
+
+/// Why a recorded structure fails to be a network trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceStructureError {
+    /// An index is covered by no packet trace (violates condition 1).
+    UncoveredIndex(usize),
+    /// A packet trace is not strictly increasing.
+    NotIncreasing {
+        /// Which trace.
+        trace: usize,
+    },
+    /// A packet trace references an out-of-range index.
+    IndexOutOfRange {
+        /// Which trace.
+        trace: usize,
+        /// The offending index.
+        index: usize,
+    },
+    /// Two packet traces share indices that are not a common prefix, so the
+    /// traces do not form a family of trees (violates condition 3).
+    NotATree {
+        /// First trace.
+        a: usize,
+        /// Second trace.
+        b: usize,
+    },
+}
+
+impl fmt::Display for TraceStructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceStructureError::UncoveredIndex(i) => {
+                write!(f, "located packet {i} belongs to no packet trace")
+            }
+            TraceStructureError::NotIncreasing { trace } => {
+                write!(f, "packet trace {trace} is not strictly increasing")
+            }
+            TraceStructureError::IndexOutOfRange { trace, index } => {
+                write!(f, "packet trace {trace} references out-of-range index {index}")
+            }
+            TraceStructureError::NotATree { a, b } => {
+                write!(f, "packet traces {a} and {b} overlap without a common prefix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceStructureError {}
+
+/// A network trace `(lp₀ lp₁ ⋯, T)`.
+///
+/// Beyond the paper's structure, the trace records which global indices are
+/// *terminated*: points where a packet's journey definitively ended inside
+/// the network (a drop), as opposed to a packet still in flight when the
+/// recording stopped. The distinction matters to the checker: a drop must
+/// be a *complete* trace of some configuration, while an in-flight packet
+/// only needs to be a prefix.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetworkTrace {
+    packets: Vec<LocatedPacket>,
+    traces: Vec<Vec<usize>>,
+    terminated: BTreeSet<usize>,
+    extra_edges: Vec<(usize, usize)>,
+}
+
+impl NetworkTrace {
+    /// Builds a network trace from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceStructureError`] if the parts violate the structural
+    /// conditions of Section 2 (coverage, monotonicity, tree-ness).
+    pub fn new(
+        packets: Vec<LocatedPacket>,
+        traces: Vec<Vec<usize>>,
+    ) -> Result<NetworkTrace, TraceStructureError> {
+        let mut covered = vec![false; packets.len()];
+        for (ti, t) in traces.iter().enumerate() {
+            for window in t.windows(2) {
+                if window[0] >= window[1] {
+                    return Err(TraceStructureError::NotIncreasing { trace: ti });
+                }
+            }
+            for &i in t {
+                if i >= packets.len() {
+                    return Err(TraceStructureError::IndexOutOfRange { trace: ti, index: i });
+                }
+                covered[i] = true;
+            }
+        }
+        if let Some(i) = covered.iter().position(|&c| !c) {
+            return Err(TraceStructureError::UncoveredIndex(i));
+        }
+        // Tree-ness: shared indices between two traces must be a common
+        // prefix of both.
+        for a in 0..traces.len() {
+            for b in (a + 1)..traces.len() {
+                let (ta, tb) = (&traces[a], &traces[b]);
+                let shared: BTreeSet<usize> = ta
+                    .iter()
+                    .copied()
+                    .collect::<BTreeSet<_>>()
+                    .intersection(&tb.iter().copied().collect())
+                    .copied()
+                    .collect();
+                let n = shared.len();
+                let prefix_ok = ta[..n.min(ta.len())] == tb[..n.min(tb.len())]
+                    && ta[..n.min(ta.len())].iter().all(|i| shared.contains(i));
+                if !prefix_ok {
+                    return Err(TraceStructureError::NotATree { a, b });
+                }
+            }
+        }
+        Ok(NetworkTrace {
+            packets,
+            traces,
+            terminated: BTreeSet::new(),
+            extra_edges: Vec::new(),
+        })
+    }
+
+    /// Adds an out-of-band causal edge `from ≺ to` (controller messages:
+    /// the paper's CTRLRECV/CTRLSEND rules propagate knowledge between
+    /// switches without a data packet, but the propagation is still a
+    /// communication and therefore part of the happens-before order).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to < len`.
+    pub fn add_causal_edge(&mut self, from: usize, to: usize) {
+        assert!(from < to && to < self.packets.len(), "causal edges point forward");
+        self.extra_edges.push((from, to));
+    }
+
+    /// The out-of-band causal edges.
+    pub fn extra_edges(&self) -> &[(usize, usize)] {
+        &self.extra_edges
+    }
+
+    /// Marks global index `i` as a definitive end-of-journey (a drop).
+    pub fn mark_terminated(&mut self, i: usize) {
+        if i < self.packets.len() {
+            self.terminated.insert(i);
+        }
+    }
+
+    /// Returns `true` if packet trace `t` ends in a recorded drop.
+    pub fn trace_is_terminated(&self, t: usize) -> bool {
+        self.traces[t].last().is_some_and(|&i| self.terminated.contains(&i))
+    }
+
+    /// The global sequence of located packets.
+    pub fn packets(&self) -> &[LocatedPacket] {
+        &self.packets
+    }
+
+    /// The located packet at global index `i`.
+    pub fn packet(&self, i: usize) -> &LocatedPacket {
+        &self.packets[i]
+    }
+
+    /// Number of located packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The packet traces `T` (index sequences).
+    pub fn traces(&self) -> &[Vec<usize>] {
+        &self.traces
+    }
+
+    /// `ntr↓k`: the packet traces containing global index `k`.
+    pub fn traces_through(&self, k: usize) -> Vec<usize> {
+        (0..self.traces.len()).filter(|&t| self.traces[t].contains(&k)).collect()
+    }
+
+    /// `ntr↓t`: the located packets of packet trace `t`.
+    pub fn packet_trace(&self, t: usize) -> Vec<LocatedPacket> {
+        self.traces[t].iter().map(|&i| self.packets[i].clone()).collect()
+    }
+}
+
+impl fmt::Display for NetworkTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, lp) in self.packets.iter().enumerate() {
+            writeln!(f, "[{i:4}] {lp}")?;
+        }
+        for (t, idxs) in self.traces.iter().enumerate() {
+            writeln!(f, "trace {t}: {idxs:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental construction of a [`NetworkTrace`] as a forest.
+///
+/// The simulator appends one located packet per processing step, linking it
+/// to the located packet it came from; root-to-leaf paths become the packet
+/// traces.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::TraceBuilder;
+/// use netkat::{Loc, Packet};
+/// let mut b = TraceBuilder::new();
+/// let root = b.push(Packet::new(), Loc::new(100, 0), None);
+/// let mid = b.push(Packet::new(), Loc::new(1, 1), Some(root));
+/// b.push(Packet::new(), Loc::new(1, 2), Some(mid));
+/// b.push(Packet::new(), Loc::new(2, 1), Some(mid)); // multicast fork
+/// let ntr = b.build().unwrap();
+/// assert_eq!(ntr.traces().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    packets: Vec<LocatedPacket>,
+    parents: Vec<Option<usize>>,
+    has_child: Vec<bool>,
+    terminated: BTreeSet<usize>,
+    extra_edges: Vec<(usize, usize)>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Appends a located packet; `parent` is the global index of the located
+    /// packet it was produced from (`None` for a fresh injection at a host).
+    ///
+    /// Returns the new packet's global index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an earlier index.
+    pub fn push(&mut self, packet: Packet, loc: Loc, parent: Option<usize>) -> usize {
+        let idx = self.packets.len();
+        if let Some(p) = parent {
+            assert!(p < idx, "parent {p} must precede child {idx}");
+            self.has_child[p] = true;
+        }
+        self.packets.push(LocatedPacket::new(packet, loc));
+        self.parents.push(parent);
+        self.has_child.push(false);
+        idx
+    }
+
+    /// Number of packets recorded so far.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Marks a recorded packet as dropped (its journey ends at `i`).
+    pub fn mark_terminated(&mut self, i: usize) {
+        self.terminated.insert(i);
+    }
+
+    /// Records an out-of-band causal edge (see
+    /// [`NetworkTrace::add_causal_edge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to` and both are recorded indices.
+    pub fn add_causal_edge(&mut self, from: usize, to: usize) {
+        assert!(from < to && to < self.packets.len(), "causal edges point forward");
+        self.extra_edges.push((from, to));
+    }
+
+    /// Finalizes into a [`NetworkTrace`]: each leaf yields the packet trace
+    /// running from its root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceStructureError`] (impossible for forests built via
+    /// [`push`](TraceBuilder::push), kept for API honesty).
+    pub fn build(self) -> Result<NetworkTrace, TraceStructureError> {
+        let mut traces = Vec::new();
+        for leaf in 0..self.packets.len() {
+            if self.has_child[leaf] {
+                continue;
+            }
+            let mut path = vec![leaf];
+            let mut cur = leaf;
+            while let Some(p) = self.parents[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            traces.push(path);
+        }
+        let mut ntr = NetworkTrace::new(self.packets, traces)?;
+        for i in self.terminated {
+            ntr.mark_terminated(i);
+        }
+        for (from, to) in self.extra_edges {
+            ntr.add_causal_edge(from, to);
+        }
+        Ok(ntr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(sw: u64) -> (Packet, Loc) {
+        (Packet::new(), Loc::new(sw, 1))
+    }
+
+    #[test]
+    fn builder_linear_trace() {
+        let mut b = TraceBuilder::new();
+        let (p0, l0) = lp(100);
+        let r = b.push(p0, l0, None);
+        let (p1, l1) = lp(1);
+        let m = b.push(p1, l1, Some(r));
+        let (p2, l2) = lp(2);
+        b.push(p2, l2, Some(m));
+        let ntr = b.build().unwrap();
+        assert_eq!(ntr.len(), 3);
+        assert_eq!(ntr.traces(), &[vec![0, 1, 2]]);
+        assert_eq!(ntr.traces_through(1), vec![0]);
+    }
+
+    #[test]
+    fn builder_fork_makes_tree() {
+        let mut b = TraceBuilder::new();
+        let r = b.push(Packet::new(), Loc::new(100, 0), None);
+        let m = b.push(Packet::new(), Loc::new(4, 1), Some(r));
+        b.push(Packet::new(), Loc::new(1, 1), Some(m));
+        b.push(Packet::new(), Loc::new(2, 1), Some(m));
+        let ntr = b.build().unwrap();
+        assert_eq!(ntr.traces().len(), 2);
+        // Both traces share the prefix [0, 1].
+        assert_eq!(ntr.traces()[0][..2], [0, 1]);
+        assert_eq!(ntr.traces()[1][..2], [0, 1]);
+        assert_eq!(ntr.traces_through(1).len(), 2);
+    }
+
+    #[test]
+    fn two_independent_injections() {
+        let mut b = TraceBuilder::new();
+        let a = b.push(Packet::new(), Loc::new(100, 0), None);
+        let c = b.push(Packet::new(), Loc::new(101, 0), None);
+        b.push(Packet::new(), Loc::new(1, 1), Some(a));
+        b.push(Packet::new(), Loc::new(2, 1), Some(c));
+        let ntr = b.build().unwrap();
+        assert_eq!(ntr.traces().len(), 2);
+        assert_eq!(ntr.traces()[0], vec![0, 2]);
+        assert_eq!(ntr.traces()[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn structural_validation_rejects_uncovered() {
+        let pkts = vec![
+            LocatedPacket::new(Packet::new(), Loc::new(1, 1)),
+            LocatedPacket::new(Packet::new(), Loc::new(2, 1)),
+        ];
+        let err = NetworkTrace::new(pkts, vec![vec![0]]).unwrap_err();
+        assert_eq!(err, TraceStructureError::UncoveredIndex(1));
+    }
+
+    #[test]
+    fn structural_validation_rejects_decreasing() {
+        let pkts = vec![
+            LocatedPacket::new(Packet::new(), Loc::new(1, 1)),
+            LocatedPacket::new(Packet::new(), Loc::new(2, 1)),
+        ];
+        let err = NetworkTrace::new(pkts, vec![vec![1, 0]]).unwrap_err();
+        assert_eq!(err, TraceStructureError::NotIncreasing { trace: 0 });
+    }
+
+    #[test]
+    fn structural_validation_rejects_non_tree_overlap() {
+        let pkts: Vec<LocatedPacket> =
+            (0..4).map(|i| LocatedPacket::new(Packet::new(), Loc::new(i, 1))).collect();
+        // Traces [0,2,3] and [1,2,3] share a *suffix*, not a prefix.
+        let err = NetworkTrace::new(pkts, vec![vec![0, 2, 3], vec![1, 2, 3]]).unwrap_err();
+        assert_eq!(err, TraceStructureError::NotATree { a: 0, b: 1 });
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let ntr = NetworkTrace::new(Vec::new(), Vec::new()).unwrap();
+        assert!(ntr.is_empty());
+        assert_eq!(TraceBuilder::new().build().unwrap(), ntr);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the NetKAT crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::field::Field;
+use crate::packet::Loc;
+
+/// Errors produced by NetKAT evaluation and compilation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetkatError {
+    /// A Kleene star failed to reach a fixpoint within the iteration bound.
+    StarDiverged,
+    /// The global compiler encountered a `*` whose body contains links.
+    ///
+    /// Path-clause compilation (used by all the paper's programs) supports
+    /// iteration only over link-free policies; loopy forwarding must be
+    /// unrolled by the caller.
+    StarOverLinks,
+    /// A link's source is inconsistent with the symbolic location of the
+    /// packet at that point in the program (e.g. two consecutive links that
+    /// do not connect).
+    InconsistentLink {
+        /// The link whose source did not match.
+        link: (Loc, Loc),
+        /// The switch the packet was known to be at, if any.
+        at_switch: Option<u64>,
+    },
+    /// A test on `Field::Switch` inside the global compiler contradicted the
+    /// packet's known switch.
+    ContradictorySwitch {
+        /// The switch demanded by the test.
+        wanted: u64,
+        /// The switch the packet was known to be at.
+        known: u64,
+    },
+    /// The compiler needed the set of possible values for `field` but none
+    /// was provided (required to compile `≠`-style negations exactly).
+    UnknownFieldDomain(Field),
+}
+
+impl fmt::Display for NetkatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetkatError::StarDiverged => write!(f, "kleene star failed to reach a fixpoint"),
+            NetkatError::StarOverLinks => {
+                write!(f, "global compilation of a star whose body contains links is unsupported")
+            }
+            NetkatError::InconsistentLink { link, at_switch } => match at_switch {
+                Some(sw) => write!(
+                    f,
+                    "link ({} -> {}) cannot be traversed: packet is at switch {sw}",
+                    link.0, link.1
+                ),
+                None => write!(f, "link ({} -> {}) source port contradicts packet state", link.0, link.1),
+            },
+            NetkatError::ContradictorySwitch { wanted, known } => {
+                write!(f, "test sw={wanted} contradicts known switch {known}")
+            }
+            NetkatError::UnknownFieldDomain(field) => {
+                write!(f, "no value domain known for field {field}")
+            }
+        }
+    }
+}
+
+impl Error for NetkatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetkatError::StarDiverged;
+        assert!(e.to_string().starts_with("kleene"));
+        let e = NetkatError::InconsistentLink {
+            link: (Loc::new(1, 1), Loc::new(4, 1)),
+            at_switch: Some(2),
+        };
+        assert!(e.to_string().contains("switch 2"));
+        let e = NetkatError::ContradictorySwitch { wanted: 3, known: 1 };
+        assert!(e.to_string().contains("sw=3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(NetkatError::StarDiverged);
+    }
+}

@@ -1,0 +1,309 @@
+//! Prioritized match/action flow tables.
+//!
+//! A flow table is the compilation target: an ordered list of rules, each
+//! with an exact-match pattern over a subset of fields and a set of actions.
+//! The first matching rule wins, exactly like an OpenFlow table with
+//! priorities.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::action::ActionSet;
+use crate::fdd::{FddBuilder, NodeId};
+use crate::field::{Field, Value};
+use crate::packet::Packet;
+
+/// An exact-match pattern: a conjunction of `field = value` constraints.
+///
+/// Fields not mentioned are wildcards.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{Field, Match, Packet};
+/// let m = Match::new().with(Field::Port, 2);
+/// assert!(m.matches(&Packet::new().with(Field::Port, 2)));
+/// assert!(!m.matches(&Packet::new().with(Field::Port, 1)));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Match {
+    tests: BTreeMap<Field, Value>,
+}
+
+impl Match {
+    /// The all-wildcard match.
+    pub fn new() -> Match {
+        Match::default()
+    }
+
+    /// Builder-style constraint addition.
+    pub fn with(mut self, field: Field, value: Value) -> Match {
+        self.tests.insert(field, value);
+        self
+    }
+
+    /// Adds a constraint in place. Returns `false` (leaving the match
+    /// unchanged) if it contradicts an existing constraint.
+    pub fn add(&mut self, field: Field, value: Value) -> bool {
+        match self.tests.get(&field) {
+            Some(&v) if v != value => false,
+            _ => {
+                self.tests.insert(field, value);
+                true
+            }
+        }
+    }
+
+    /// Returns the constraint on `field`, if any.
+    pub fn get(&self, field: Field) -> Option<Value> {
+        self.tests.get(&field).copied()
+    }
+
+    /// Returns `true` if the packet satisfies every constraint.
+    pub fn matches(&self, pk: &Packet) -> bool {
+        self.tests.iter().all(|(&f, &v)| pk.get(f) == Some(v))
+    }
+
+    /// Number of constrained fields.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Returns `true` if this is the all-wildcard match.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Iterates over the constraints in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (Field, Value)> + '_ {
+        self.tests.iter().map(|(&f, &v)| (f, v))
+    }
+}
+
+impl FromIterator<(Field, Value)> for Match {
+    fn from_iter<I: IntoIterator<Item = (Field, Value)>>(iter: I) -> Match {
+        Match { tests: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Match {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "*");
+        }
+        for (i, (field, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{field}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One prioritized rule: a match pattern and the actions applied on a hit.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rule {
+    /// The match pattern.
+    pub pattern: Match,
+    /// The actions (empty set = drop).
+    pub actions: ActionSet,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(pattern: Match, actions: ActionSet) -> Rule {
+        Rule { pattern, actions }
+    }
+
+    /// A catch-all drop rule.
+    pub fn drop_all() -> Rule {
+        Rule::new(Match::new(), ActionSet::drop())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.pattern, self.actions)
+    }
+}
+
+/// An ordered flow table; the first matching rule wins.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{ActionSet, Field, FlowTable, Match, Packet, Rule};
+/// let table = FlowTable::from_rules([
+///     Rule::new(Match::new().with(Field::Port, 2), ActionSet::pass()),
+///     Rule::drop_all(),
+/// ]);
+/// assert_eq!(table.apply(&Packet::new().with(Field::Port, 2)).len(), 1);
+/// assert!(table.apply(&Packet::new().with(Field::Port, 9)).is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FlowTable {
+    rules: Vec<Rule>,
+}
+
+impl FlowTable {
+    /// The empty table (drops everything: no rule matches).
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Builds a table from rules in priority order (highest first).
+    pub fn from_rules<I: IntoIterator<Item = Rule>>(rules: I) -> FlowTable {
+        FlowTable { rules: rules.into_iter().collect() }
+    }
+
+    /// Extracts a table from an FDD.
+    ///
+    /// Each root-to-leaf path yields one rule carrying the path's *positive*
+    /// tests; priority order makes the negative tests implicit (a packet
+    /// reaching rule `i` has already failed the higher-priority matches).
+    /// This is correct because every FDD subdiagram is total, so the block of
+    /// rules emitted for a true branch fully covers the matched subspace.
+    pub fn from_fdd(builder: &FddBuilder, d: NodeId) -> FlowTable {
+        let rules = builder
+            .paths(d)
+            .into_iter()
+            .map(|p| Rule::new(p.positive.into_iter().collect(), p.actions))
+            .collect();
+        FlowTable { rules }
+    }
+
+    /// Returns the first matching rule for `pk`.
+    pub fn lookup(&self, pk: &Packet) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.pattern.matches(pk))
+    }
+
+    /// Applies the table: the output packets of the first matching rule, or
+    /// the empty set if no rule matches.
+    pub fn apply(&self, pk: &Packet) -> BTreeSet<Packet> {
+        match self.lookup(pk) {
+            Some(rule) => rule.actions.apply(pk),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over the rules in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.iter()
+    }
+
+    /// Appends a rule at the lowest priority.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Removes trailing drop rules and rules identical to their predecessor;
+    /// returns the number removed. (An absent rule already drops, so
+    /// trailing drops are pure overhead.)
+    pub fn compact(&mut self) -> usize {
+        let before = self.rules.len();
+        while self.rules.last().is_some_and(|r| r.actions.is_drop() && r.pattern.is_empty()) {
+            self.rules.pop();
+        }
+        self.rules.dedup();
+        before - self.rules.len()
+    }
+}
+
+impl fmt::Display for FlowTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "[{i:3}] {r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for FlowTable {
+    type Item = Rule;
+    type IntoIter = std::vec::IntoIter<Rule>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::pred::Pred;
+
+    #[test]
+    fn match_add_detects_conflicts() {
+        let mut m = Match::new();
+        assert!(m.add(Field::Port, 1));
+        assert!(m.add(Field::Port, 1));
+        assert!(!m.add(Field::Port, 2));
+        assert_eq!(m.get(Field::Port), Some(1));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let t = FlowTable::from_rules([
+            Rule::new(
+                Match::new().with(Field::Port, 1),
+                ActionSet::single(Action::assign(Field::Vlan, 10)),
+            ),
+            Rule::new(Match::new(), ActionSet::single(Action::assign(Field::Vlan, 20))),
+        ]);
+        let a = t.apply(&Packet::new().with(Field::Port, 1));
+        assert_eq!(a.iter().next().unwrap().get(Field::Vlan), Some(10));
+        let b = t.apply(&Packet::new().with(Field::Port, 9));
+        assert_eq!(b.iter().next().unwrap().get(Field::Vlan), Some(20));
+    }
+
+    #[test]
+    fn from_fdd_agrees_with_fdd_eval() {
+        let mut b = FddBuilder::new();
+        let p = Pred::port(1).or(Pred::test(Field::Vlan, 2).not());
+        let d = b.from_pred(&p);
+        let t = FlowTable::from_fdd(&b, d);
+        for pk in [
+            Packet::new().with(Field::Port, 1).with(Field::Vlan, 2),
+            Packet::new().with(Field::Port, 0).with(Field::Vlan, 2),
+            Packet::new().with(Field::Port, 0).with(Field::Vlan, 0),
+            Packet::new(),
+        ] {
+            assert_eq!(t.apply(&pk), b.eval(d, &pk), "packet {pk}");
+        }
+    }
+
+    #[test]
+    fn compact_removes_trailing_wildcard_drops() {
+        let mut t = FlowTable::from_rules([
+            Rule::new(Match::new().with(Field::Port, 1), ActionSet::pass()),
+            Rule::drop_all(),
+        ]);
+        assert_eq!(t.compact(), 1);
+        assert_eq!(t.len(), 1);
+        // Semantics unchanged: unmatched packets still drop.
+        assert!(t.apply(&Packet::new().with(Field::Port, 2)).is_empty());
+    }
+
+    #[test]
+    fn empty_table_drops() {
+        assert!(FlowTable::new().apply(&Packet::new()).is_empty());
+    }
+
+    #[test]
+    fn display_contains_rules() {
+        let t = FlowTable::from_rules([Rule::drop_all()]);
+        assert!(t.to_string().contains("* -> drop"));
+    }
+}

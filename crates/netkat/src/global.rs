@@ -1,0 +1,619 @@
+//! The global compiler: splitting link-programs into per-switch tables.
+//!
+//! The paper's programs (Fig. 9) describe end-to-end *paths*: an ingress
+//! test, followed by port assignments and physical link traversals. This
+//! module symbolically executes such a policy into *path clauses* and emits
+//! one prioritized flow table per switch, pushing the ingress predicate
+//! through assignments exactly as the paper's `(∃f:ϕ) ∧ f=n` rule does
+//! (Fig. 6).
+//!
+//! Iteration (`*`) is supported only over link-free bodies; the paper's
+//! examples are loop-free (Section 3.1 restricts to loop-free ETSs).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::error::NetkatError;
+use crate::field::{Field, Value};
+use crate::flowtable::FlowTable;
+use crate::local::compile_local;
+use crate::policy::Policy;
+use crate::pred::Pred;
+
+/// Fuel for symbolic star iteration.
+const STAR_FUEL: usize = 256;
+
+/// A satisfiable conjunction of equality and disequality tests.
+///
+/// This is the `ϕ` of the paper's Figs. 5–6: a conjunction of `f = n` and
+/// `f ≠ n` literals, closed under the `(∃f : ϕ)` stripping operation.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{Field, TestConj};
+/// let mut c = TestConj::new();
+/// assert!(c.add_eq(Field::Port, 2));
+/// assert!(!c.add_eq(Field::Port, 3)); // contradiction
+/// assert!(c.add_neq(Field::IpDst, 4));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TestConj {
+    eqs: BTreeMap<Field, Value>,
+    neqs: BTreeMap<Field, BTreeSet<Value>>,
+}
+
+impl TestConj {
+    /// The empty (always-true) conjunction.
+    pub fn new() -> TestConj {
+        TestConj::default()
+    }
+
+    /// Adds `field = value`; returns `false` if it contradicts the
+    /// conjunction (which is then left in an unspecified but satisfiable
+    /// state — callers must discard it).
+    pub fn add_eq(&mut self, field: Field, value: Value) -> bool {
+        if let Some(&v) = self.eqs.get(&field) {
+            return v == value;
+        }
+        if self.neqs.get(&field).is_some_and(|s| s.contains(&value)) {
+            return false;
+        }
+        self.neqs.remove(&field);
+        self.eqs.insert(field, value);
+        true
+    }
+
+    /// Adds `field ≠ value`; returns `false` on contradiction.
+    pub fn add_neq(&mut self, field: Field, value: Value) -> bool {
+        if let Some(&v) = self.eqs.get(&field) {
+            return v != value;
+        }
+        self.neqs.entry(field).or_default().insert(value);
+        true
+    }
+
+    /// The equality constraint on `field`, if any.
+    pub fn eq(&self, field: Field) -> Option<Value> {
+        self.eqs.get(&field).copied()
+    }
+
+    /// Returns `true` if `field ≠ value` is entailed.
+    pub fn excludes(&self, field: Field, value: Value) -> bool {
+        self.eqs.get(&field).is_some_and(|&v| v != value)
+            || self.neqs.get(&field).is_some_and(|s| s.contains(&value))
+    }
+
+    /// Removes every literal mentioning `field` (the paper's `∃f : ϕ`).
+    pub fn strip(&mut self, field: Field) {
+        self.eqs.remove(&field);
+        self.neqs.remove(&field);
+    }
+
+    /// Converts to a [`Pred`].
+    pub fn to_pred(&self) -> Pred {
+        let eqs = self.eqs.iter().map(|(&f, &v)| Pred::test(f, v));
+        let neqs = self
+            .neqs
+            .iter()
+            .flat_map(|(&f, vs)| vs.iter().map(move |&v| Pred::test(f, v).not()));
+        Pred::all(eqs.chain(neqs))
+    }
+
+    /// Iterates over the equality literals.
+    pub fn eqs(&self) -> impl Iterator<Item = (Field, Value)> + '_ {
+        self.eqs.iter().map(|(&f, &v)| (f, v))
+    }
+
+    /// Iterates over the disequality literals.
+    pub fn neqs(&self) -> impl Iterator<Item = (Field, Value)> + '_ {
+        self.neqs.iter().flat_map(|(&f, vs)| vs.iter().map(move |&v| (f, v)))
+    }
+}
+
+impl fmt::Display for TestConj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (field, v) in self.eqs() {
+            if !first {
+                write!(f, " & ")?;
+            }
+            write!(f, "{field}={v}")?;
+            first = false;
+        }
+        for (field, v) in self.neqs() {
+            if !first {
+                write!(f, " & ")?;
+            }
+            write!(f, "{field}!={v}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+/// One hop of a path clause: what a switch must match and do.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Hop {
+    /// The switch this hop executes on; `None` means "any switch" (a clause
+    /// that never traverses a link and never tests `sw`).
+    pub switch: Option<u64>,
+    /// Arrival constraints on the packet (port and header fields).
+    pub arrival: TestConj,
+    /// Field writes performed at this hop (including the output port).
+    pub mods: BTreeMap<Field, Value>,
+}
+
+impl Hop {
+    /// The policy fragment `filter arrival; mods…` this hop denotes on its
+    /// switch.
+    pub fn to_policy(&self) -> Policy {
+        let mut arrival = self.arrival.clone();
+        arrival.strip(Field::Switch);
+        let mods = self
+            .mods
+            .iter()
+            .map(|(&f, &v)| Policy::modify(f, v));
+        Policy::filter(arrival.to_pred()).seq(Policy::seq_all(mods))
+    }
+}
+
+/// A complete path clause: the hops a matching packet takes, in order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathClause {
+    /// The hops, ingress first.
+    pub hops: Vec<Hop>,
+}
+
+/// Symbolic execution state: the pending (unfinished) hop plus history.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+struct SymState {
+    switch: Option<u64>,
+    arrival: TestConj,
+    mods: BTreeMap<Field, Value>,
+    hops: Vec<Hop>,
+}
+
+impl SymState {
+    fn finish_hop(&self) -> PathClause {
+        let mut hops = self.hops.clone();
+        hops.push(Hop {
+            switch: self.switch,
+            arrival: self.arrival.clone(),
+            mods: self.mods.clone(),
+        });
+        PathClause { hops }
+    }
+
+    /// The value of `field` as currently seen by a test: the latest write if
+    /// any, otherwise the arrival constraint.
+    fn test_eq(&mut self, field: Field, value: Value) -> bool {
+        if field == Field::Switch {
+            return match self.switch {
+                Some(s) => s == value,
+                None => {
+                    if self.arrival.excludes(Field::Switch, value) {
+                        return false;
+                    }
+                    self.switch = Some(value);
+                    true
+                }
+            };
+        }
+        match self.mods.get(&field) {
+            Some(&v) => v == value,
+            None => self.arrival.add_eq(field, value),
+        }
+    }
+
+    fn test_neq(&mut self, field: Field, value: Value) -> bool {
+        if field == Field::Switch {
+            return match self.switch {
+                Some(s) => s != value,
+                None => self.arrival.add_neq(Field::Switch, value),
+            };
+        }
+        match self.mods.get(&field) {
+            Some(&v) => v != value,
+            None => self.arrival.add_neq(field, value),
+        }
+    }
+}
+
+/// Symbolically executes a policy into its path clauses.
+///
+/// # Errors
+///
+/// * [`NetkatError::StarOverLinks`] if a `*` body contains links.
+/// * [`NetkatError::StarDiverged`] if symbolic iteration fails to converge.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{path_clauses, Field, Loc, Policy, Pred};
+/// let p = Policy::filter(Pred::port(2))
+///     .seq(Policy::modify(Field::Port, 1))
+///     .seq(Policy::link(Loc::new(1, 1), Loc::new(4, 1)))
+///     .seq(Policy::modify(Field::Port, 2));
+/// let clauses = path_clauses(&p)?;
+/// assert_eq!(clauses.len(), 1);
+/// assert_eq!(clauses[0].hops.len(), 2);
+/// assert_eq!(clauses[0].hops[0].switch, Some(1));
+/// assert_eq!(clauses[0].hops[1].switch, Some(4));
+/// # Ok::<(), netkat::NetkatError>(())
+/// ```
+pub fn path_clauses(pol: &Policy) -> Result<Vec<PathClause>, NetkatError> {
+    let states = exec(pol, vec![SymState::default()])?;
+    let mut clauses: Vec<PathClause> = states.iter().map(SymState::finish_hop).collect();
+    clauses.sort();
+    clauses.dedup();
+    Ok(clauses)
+}
+
+fn exec(pol: &Policy, states: Vec<SymState>) -> Result<Vec<SymState>, NetkatError> {
+    match pol {
+        Policy::Filter(pred) => exec_pred(pred, true, states),
+        Policy::Modify(f, v) => Ok(states
+            .into_iter()
+            .map(|mut s| {
+                s.mods.insert(*f, *v);
+                s
+            })
+            .collect()),
+        Policy::Union(a, b) => {
+            let mut out = exec(a, states.clone())?;
+            out.extend(exec(b, states)?);
+            dedup(&mut out);
+            Ok(out)
+        }
+        Policy::Seq(a, b) => {
+            let mid = exec(a, states)?;
+            exec(b, mid)
+        }
+        Policy::Star(a) => {
+            if a.has_links() {
+                return Err(NetkatError::StarOverLinks);
+            }
+            let mut acc = states.clone();
+            dedup(&mut acc);
+            let mut frontier = acc.clone();
+            for _ in 0..STAR_FUEL {
+                let stepped = exec(a, frontier)?;
+                let fresh: Vec<SymState> =
+                    stepped.into_iter().filter(|s| !acc.contains(s)).collect();
+                if fresh.is_empty() {
+                    return Ok(acc);
+                }
+                acc.extend(fresh.iter().cloned());
+                dedup(&mut acc);
+                frontier = fresh;
+            }
+            Err(NetkatError::StarDiverged)
+        }
+        Policy::Link(src, dst) => {
+            let mut out = Vec::new();
+            for mut s in states {
+                // The packet must be at src.sw.
+                match s.switch {
+                    Some(sw) if sw != src.sw => continue,
+                    Some(_) => {}
+                    None => {
+                        if s.arrival.excludes(Field::Switch, src.sw) {
+                            continue;
+                        }
+                        s.switch = Some(src.sw);
+                    }
+                }
+                // …and at port src.pt (post-modification).
+                match s.mods.get(&Field::Port) {
+                    Some(&p) if p != src.pt => continue,
+                    Some(_) => {}
+                    None => {
+                        if !s.arrival.add_eq(Field::Port, src.pt) {
+                            continue;
+                        }
+                    }
+                }
+                // Close the current hop and open the next at dst.
+                let mut hops = s.hops;
+                let mut closed_arrival = s.arrival.clone();
+                closed_arrival.strip(Field::Switch);
+                hops.push(Hop { switch: Some(src.sw), arrival: closed_arrival, mods: s.mods.clone() });
+                // The packet arriving at dst carries the fields produced at
+                // src: modified fields have known values; unmodified header
+                // fields keep their arrival constraints.
+                let mut arrival = TestConj::new();
+                arrival.add_eq(Field::Port, dst.pt);
+                for (f, v) in s.arrival.eqs() {
+                    if !f.is_location() && !s.mods.contains_key(&f) {
+                        arrival.add_eq(f, v);
+                    }
+                }
+                for (f, v) in s.arrival.neqs() {
+                    if !f.is_location() && !s.mods.contains_key(&f) {
+                        arrival.add_neq(f, v);
+                    }
+                }
+                for (&f, &v) in &s.mods {
+                    if !f.is_location() {
+                        let ok = arrival.add_eq(f, v);
+                        debug_assert!(ok, "fresh arrival cannot contradict");
+                    }
+                }
+                out.push(SymState { switch: Some(dst.sw), arrival, mods: BTreeMap::new(), hops });
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn exec_pred(
+    pred: &Pred,
+    positive: bool,
+    states: Vec<SymState>,
+) -> Result<Vec<SymState>, NetkatError> {
+    match (pred, positive) {
+        (Pred::True, true) | (Pred::False, false) => Ok(states),
+        (Pred::True, false) | (Pred::False, true) => Ok(Vec::new()),
+        (Pred::Test(f, v), true) => {
+            Ok(states.into_iter().filter_map(|mut s| s.test_eq(*f, *v).then_some(s)).collect())
+        }
+        (Pred::Test(f, v), false) => {
+            Ok(states.into_iter().filter_map(|mut s| s.test_neq(*f, *v).then_some(s)).collect())
+        }
+        (Pred::And(a, b), true) | (Pred::Or(a, b), false) => {
+            let mid = exec_pred(a, positive, states)?;
+            exec_pred(b, positive, mid)
+        }
+        (Pred::Or(a, b), true) | (Pred::And(a, b), false) => {
+            let mut out = exec_pred(a, positive, states.clone())?;
+            out.extend(exec_pred(b, positive, states)?);
+            dedup(&mut out);
+            Ok(out)
+        }
+        (Pred::Not(a), _) => exec_pred(a, !positive, states),
+    }
+}
+
+fn dedup(states: &mut Vec<SymState>) {
+    states.sort();
+    states.dedup();
+}
+
+/// The result of global compilation: one table per switch.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SwitchTables {
+    /// Per-switch prioritized flow tables.
+    pub tables: BTreeMap<u64, FlowTable>,
+}
+
+impl SwitchTables {
+    /// Total number of rules across all switches.
+    pub fn rule_count(&self) -> usize {
+        self.tables.values().map(FlowTable::len).sum()
+    }
+
+    /// The table for `switch`, or an empty (drop-everything) table.
+    pub fn table(&self, switch: u64) -> FlowTable {
+        self.tables.get(&switch).cloned().unwrap_or_default()
+    }
+}
+
+impl fmt::Display for SwitchTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (sw, table) in &self.tables {
+            writeln!(f, "switch {sw}:")?;
+            write!(f, "{table}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compiles a link-program into per-switch flow tables.
+///
+/// `switches` lists every switch that should receive a table; clauses whose
+/// hop has no determined switch are installed on all of them.
+///
+/// # Errors
+///
+/// Propagates the errors of [`path_clauses`] and of local compilation.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{compile_global, Field, Loc, Policy, Pred};
+/// let p = Policy::filter(Pred::port(2))
+///     .seq(Policy::modify(Field::Port, 1))
+///     .seq(Policy::link(Loc::new(1, 1), Loc::new(4, 1)))
+///     .seq(Policy::modify(Field::Port, 2));
+/// let tables = compile_global(&p, &[1, 4])?;
+/// assert!(tables.tables[&1].len() >= 1);
+/// assert!(tables.tables[&4].len() >= 1);
+/// # Ok::<(), netkat::NetkatError>(())
+/// ```
+pub fn compile_global(pol: &Policy, switches: &[u64]) -> Result<SwitchTables, NetkatError> {
+    let clauses = path_clauses(pol)?;
+    let mut per_switch: BTreeMap<u64, Vec<Policy>> = BTreeMap::new();
+    for clause in &clauses {
+        for hop in &clause.hops {
+            let frag = hop.to_policy();
+            match hop.switch {
+                Some(sw) => per_switch.entry(sw).or_default().push(frag),
+                None => {
+                    for &sw in switches {
+                        if !hop.arrival.excludes(Field::Switch, sw) {
+                            per_switch.entry(sw).or_default().push(frag.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut tables = BTreeMap::new();
+    for &sw in switches {
+        let frags = per_switch.remove(&sw).unwrap_or_default();
+        let pol = Policy::union_all(frags);
+        tables.insert(sw, compile_local(&pol)?);
+    }
+    Ok(SwitchTables { tables })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Loc, Packet};
+
+    /// The paper's firewall outgoing clause:
+    /// `pt=2 & ip_dst=4; pt<-1; (1:1)->(4:1); pt<-2`
+    fn outgoing() -> Policy {
+        Policy::filter(Pred::port(2).and(Pred::test(Field::IpDst, 4)))
+            .seq(Policy::modify(Field::Port, 1))
+            .seq(Policy::link(Loc::new(1, 1), Loc::new(4, 1)))
+            .seq(Policy::modify(Field::Port, 2))
+    }
+
+    #[test]
+    fn single_clause_two_hops() {
+        let clauses = path_clauses(&outgoing()).unwrap();
+        assert_eq!(clauses.len(), 1);
+        let hops = &clauses[0].hops;
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].switch, Some(1));
+        assert_eq!(hops[0].arrival.eq(Field::Port), Some(2));
+        assert_eq!(hops[0].arrival.eq(Field::IpDst), Some(4));
+        assert_eq!(hops[0].mods.get(&Field::Port), Some(&1));
+        assert_eq!(hops[1].switch, Some(4));
+        assert_eq!(hops[1].arrival.eq(Field::Port), Some(1));
+        // The predicate was pushed through: ip_dst=4 still constrains hop 2.
+        assert_eq!(hops[1].arrival.eq(Field::IpDst), Some(4));
+        assert_eq!(hops[1].mods.get(&Field::Port), Some(&2));
+    }
+
+    #[test]
+    fn compiled_tables_forward_hop_by_hop() {
+        let tables = compile_global(&outgoing(), &[1, 4]).unwrap();
+        // Ingress at s1 pt2.
+        let pk = Packet::new().with(Field::Port, 2).with(Field::IpDst, 4);
+        let out1 = tables.tables[&1].apply(&pk);
+        assert_eq!(out1.len(), 1);
+        let sent = out1.into_iter().next().unwrap();
+        assert_eq!(sent.get(Field::Port), Some(1));
+        // Arrives at s4 pt1 (the link rewrites location in the real network).
+        let arrived = sent.with(Field::Port, 1);
+        let out4 = tables.tables[&4].apply(&arrived);
+        assert_eq!(out4.len(), 1);
+        assert_eq!(out4.into_iter().next().unwrap().get(Field::Port), Some(2));
+        // A packet to a different destination is dropped at ingress.
+        let other = Packet::new().with(Field::Port, 2).with(Field::IpDst, 9);
+        assert!(tables.tables[&1].apply(&other).is_empty());
+    }
+
+    #[test]
+    fn union_of_clauses_keeps_paths_separate() {
+        let back = Policy::filter(Pred::port(2).and(Pred::test(Field::IpDst, 1)))
+            .seq(Policy::modify(Field::Port, 1))
+            .seq(Policy::link(Loc::new(4, 1), Loc::new(1, 1)))
+            .seq(Policy::modify(Field::Port, 2));
+        let p = outgoing().union(back);
+        let clauses = path_clauses(&p).unwrap();
+        assert_eq!(clauses.len(), 2);
+        let tables = compile_global(&p, &[1, 4]).unwrap();
+        // s4 ingress: H4 replying to H1.
+        let pk = Packet::new().with(Field::Port, 2).with(Field::IpDst, 1);
+        let out = tables.tables[&4].apply(&pk);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn disequality_tests_compile() {
+        // pt=2 & ip_dst!=4; pt<-3 installed everywhere.
+        let p = Policy::filter(Pred::port(2).and(Pred::test(Field::IpDst, 4).not()))
+            .seq(Policy::modify(Field::Port, 3));
+        let tables = compile_global(&p, &[1, 2]).unwrap();
+        let yes = Packet::new().with(Field::Port, 2).with(Field::IpDst, 5);
+        let no = Packet::new().with(Field::Port, 2).with(Field::IpDst, 4);
+        for sw in [1, 2] {
+            assert_eq!(tables.tables[&sw].apply(&yes).len(), 1);
+            assert!(tables.tables[&sw].apply(&no).is_empty());
+        }
+    }
+
+    #[test]
+    fn contradictory_test_kills_clause() {
+        let p = Policy::filter(Pred::port(2))
+            .seq(Policy::filter(Pred::port(3)))
+            .seq(Policy::modify(Field::Vlan, 1));
+        assert_eq!(path_clauses(&p).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn test_after_modify_is_constant_folded() {
+        // pt<-1; pt=1 survives; pt<-1; pt=2 dies.
+        let live = Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(1)));
+        assert_eq!(path_clauses(&live).unwrap().len(), 1);
+        let dead = Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(2)));
+        assert_eq!(path_clauses(&dead).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn link_requires_consistent_switch() {
+        // After traversing to switch 4, a link from switch 3 cannot fire.
+        let p = Policy::link(Loc::new(1, 1), Loc::new(4, 1))
+            .seq(Policy::link(Loc::new(3, 1), Loc::new(2, 1)));
+        assert_eq!(path_clauses(&p).unwrap().len(), 0);
+        // …but a chained link from switch 4 can, once the packet is moved to
+        // the outgoing port.
+        let q = Policy::link(Loc::new(1, 1), Loc::new(4, 1))
+            .seq(Policy::modify(Field::Port, 2))
+            .seq(Policy::link(Loc::new(4, 2), Loc::new(2, 1)));
+        let clauses = path_clauses(&q).unwrap();
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].hops.len(), 3);
+        // Middle hop: arrive at 4:1, leave via port 2.
+        assert_eq!(clauses[0].hops[1].switch, Some(4));
+        assert_eq!(clauses[0].hops[1].arrival.eq(Field::Port), Some(1));
+        assert_eq!(clauses[0].hops[1].mods.get(&Field::Port), Some(&2));
+        // A link whose source port contradicts the arrival port (without an
+        // intervening assignment) kills the clause too.
+        let r = Policy::link(Loc::new(1, 1), Loc::new(4, 1))
+            .seq(Policy::link(Loc::new(4, 2), Loc::new(2, 1)));
+        assert_eq!(path_clauses(&r).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn star_over_links_is_rejected() {
+        let p = Policy::link(Loc::new(1, 1), Loc::new(2, 1)).star();
+        assert_eq!(path_clauses(&p), Err(NetkatError::StarOverLinks));
+    }
+
+    #[test]
+    fn link_free_star_converges() {
+        let p = Policy::filter(Pred::port(1)).seq(Policy::modify(Field::Port, 2)).star();
+        let clauses = path_clauses(&p).unwrap();
+        // id, and pt=1;pt<-2.
+        assert_eq!(clauses.len(), 2);
+    }
+
+    #[test]
+    fn switch_test_pins_clause() {
+        let p = Policy::filter(Pred::switch(7).and(Pred::port(1)))
+            .seq(Policy::modify(Field::Port, 2));
+        let tables = compile_global(&p, &[6, 7]).unwrap();
+        let pk = Packet::new().with(Field::Port, 1);
+        assert!(tables.tables[&6].apply(&pk).is_empty());
+        assert_eq!(tables.tables[&7].apply(&pk).len(), 1);
+    }
+
+    #[test]
+    fn negated_switch_test_excludes() {
+        let p = Policy::filter(Pred::switch(7).not().and(Pred::port(1)))
+            .seq(Policy::modify(Field::Port, 2));
+        let tables = compile_global(&p, &[6, 7]).unwrap();
+        let pk = Packet::new().with(Field::Port, 1);
+        assert_eq!(tables.tables[&6].apply(&pk).len(), 1);
+        assert!(tables.tables[&7].apply(&pk).is_empty());
+    }
+}

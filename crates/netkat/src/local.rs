@@ -1,0 +1,265 @@
+//! The local compiler: policies to FDDs to flow tables.
+//!
+//! "Local" compilation treats the whole policy as a single switch function.
+//! Links are compiled as their semantic equivalent (a location test followed
+//! by a location rewrite); programs that span switches should instead go
+//! through [`crate::global`], which splits them at links.
+
+use crate::action::{Action, ActionSet};
+use crate::error::NetkatError;
+use crate::fdd::{FddBuilder, NodeId};
+use crate::field::Field;
+use crate::flowtable::FlowTable;
+use crate::policy::Policy;
+
+/// Compiles `pol` into an FDD inside `builder`.
+///
+/// # Errors
+///
+/// Returns [`NetkatError::StarDiverged`] if a `*` fixpoint does not converge.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{compile_fdd, Field, FddBuilder, Packet, Policy, Pred};
+/// let mut b = FddBuilder::new();
+/// let p = Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 1));
+/// let d = compile_fdd(&mut b, &p)?;
+/// let out = b.eval(d, &Packet::new().with(Field::Port, 2));
+/// assert_eq!(out.iter().next().unwrap().get(Field::Port), Some(1));
+/// # Ok::<(), netkat::NetkatError>(())
+/// ```
+pub fn compile_fdd(builder: &mut FddBuilder, pol: &Policy) -> Result<NodeId, NetkatError> {
+    match pol {
+        Policy::Filter(pred) => Ok(builder.from_pred(pred)),
+        Policy::Modify(f, v) => Ok(builder.leaf(ActionSet::single(Action::assign(*f, *v)))),
+        Policy::Union(a, b) => {
+            let da = compile_fdd(builder, a)?;
+            let db = compile_fdd(builder, b)?;
+            Ok(builder.union(da, db))
+        }
+        Policy::Seq(a, b) => {
+            let da = compile_fdd(builder, a)?;
+            let db = compile_fdd(builder, b)?;
+            Ok(builder.seq(da, db))
+        }
+        Policy::Star(a) => {
+            let da = compile_fdd(builder, a)?;
+            builder.star(da).ok_or(NetkatError::StarDiverged)
+        }
+        Policy::Link(src, dst) => {
+            // filter sw=src.sw & pt=src.pt ; sw<-dst.sw ; pt<-dst.pt
+            let t_sw = builder.from_test(Field::Switch, src.sw);
+            let t_pt = builder.from_test(Field::Port, src.pt);
+            let act = Action::assign(Field::Switch, dst.sw).set(Field::Port, dst.pt);
+            let move_leaf = builder.leaf(ActionSet::single(act));
+            let guard = builder.seq(t_sw, t_pt);
+            Ok(builder.seq(guard, move_leaf))
+        }
+    }
+}
+
+/// Compiles `pol` into a single prioritized flow table.
+///
+/// # Errors
+///
+/// Returns [`NetkatError::StarDiverged`] if a `*` fixpoint does not converge.
+pub fn compile_local(pol: &Policy) -> Result<FlowTable, NetkatError> {
+    let mut builder = FddBuilder::new();
+    let d = compile_fdd(&mut builder, pol)?;
+    let mut table = FlowTable::from_fdd(&builder, d);
+    table.compact();
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Loc, Packet};
+    use crate::pred::Pred;
+    use crate::semantics::eval;
+
+    fn check_agrees(pol: &Policy, pks: &[Packet]) {
+        let table = compile_local(pol).expect("compiles");
+        for pk in pks {
+            let want = eval(pol, pk).expect("evaluates");
+            let got = table.apply(pk);
+            assert_eq!(got, want, "policy {pol} on packet {pk}");
+        }
+    }
+
+    fn packets() -> Vec<Packet> {
+        let mut out = Vec::new();
+        for sw in [1, 2] {
+            for pt in [1, 2, 3] {
+                for dst in [0, 4] {
+                    out.push(
+                        Packet::new()
+                            .with(Field::Switch, sw)
+                            .with(Field::Port, pt)
+                            .with(Field::IpDst, dst),
+                    );
+                }
+            }
+        }
+        out.push(Packet::new());
+        out
+    }
+
+    #[test]
+    fn filter_modify_seq_union_agree_with_semantics() {
+        let pks = packets();
+        check_agrees(&Policy::filter(Pred::port(2)), &pks);
+        check_agrees(&Policy::modify(Field::Port, 9), &pks);
+        check_agrees(
+            &Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 1)),
+            &pks,
+        );
+        check_agrees(
+            &Policy::modify(Field::Port, 1).union(Policy::modify(Field::Port, 3)),
+            &pks,
+        );
+        check_agrees(
+            &Policy::filter(Pred::port(2).not()).seq(Policy::modify(Field::Vlan, 5)),
+            &pks,
+        );
+    }
+
+    #[test]
+    fn modify_then_test_agrees() {
+        let pks = packets();
+        // pt<-1; pt=1 == pt<-1 and pt<-1; pt=2 == drop
+        check_agrees(
+            &Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(1))),
+            &pks,
+        );
+        check_agrees(
+            &Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(2))),
+            &pks,
+        );
+    }
+
+    #[test]
+    fn star_agrees_with_semantics() {
+        let pks = packets();
+        let step = Policy::filter(Pred::port(1))
+            .seq(Policy::modify(Field::Port, 2))
+            .union(Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 3)));
+        check_agrees(&step.star(), &pks);
+    }
+
+    #[test]
+    fn link_agrees_with_semantics() {
+        let pks = packets();
+        let p = Policy::link(Loc::new(1, 1), Loc::new(2, 2));
+        check_agrees(&p, &pks);
+        let q = Policy::filter(Pred::test(Field::IpDst, 4))
+            .seq(Policy::modify(Field::Port, 1))
+            .seq(Policy::link(Loc::new(1, 1), Loc::new(2, 2)))
+            .seq(Policy::modify(Field::Port, 3));
+        check_agrees(&q, &pks);
+    }
+
+    #[test]
+    fn firewall_style_clause_compiles_small() {
+        // The paper's firewall clause shape: pt=2 & ip_dst=4; pt<-1
+        let p = Policy::filter(Pred::port(2).and(Pred::test(Field::IpDst, 4)))
+            .seq(Policy::modify(Field::Port, 1));
+        let t = compile_local(&p).unwrap();
+        assert!(t.len() <= 4, "expected a compact table, got:\n{t}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::pred::Pred;
+    use crate::semantics::eval;
+    use proptest::prelude::*;
+
+    fn arb_field() -> impl Strategy<Value = Field> {
+        prop_oneof![
+            Just(Field::Port),
+            Just(Field::Vlan),
+            Just(Field::IpDst),
+            Just(Field::IpSrc),
+        ]
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Pred> {
+        let leaf = prop_oneof![
+            Just(Pred::True),
+            Just(Pred::False),
+            (arb_field(), 0u64..3).prop_map(|(f, v)| Pred::Test(f, v)),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| Pred::Not(Box::new(a))),
+            ]
+        })
+    }
+
+    fn arb_policy() -> impl Strategy<Value = Policy> {
+        let leaf = prop_oneof![
+            arb_pred().prop_map(Policy::Filter),
+            (arb_field(), 0u64..3).prop_map(|(f, v)| Policy::Modify(f, v)),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Policy::Union(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Policy::Seq(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| Policy::Star(Box::new(a))),
+            ]
+        })
+    }
+
+    fn arb_packet() -> impl Strategy<Value = Packet> {
+        proptest::collection::vec((arb_field(), 0u64..3), 0..4)
+            .prop_map(|fs| fs.into_iter().collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn compiled_table_agrees_with_denotational_semantics(
+            pol in arb_policy(),
+            pks in proptest::collection::vec(arb_packet(), 1..6),
+        ) {
+            let table = compile_local(&pol).expect("random policies converge");
+            for pk in &pks {
+                let want = eval(&pol, pk).expect("evaluates");
+                prop_assert_eq!(table.apply(pk), want);
+            }
+        }
+
+        #[test]
+        fn fdd_eval_agrees_with_denotational_semantics(
+            pol in arb_policy(),
+            pk in arb_packet(),
+        ) {
+            let mut b = FddBuilder::new();
+            let d = compile_fdd(&mut b, &pol).expect("compiles");
+            let want = eval(&pol, &pk).expect("evaluates");
+            prop_assert_eq!(b.eval(d, &pk), want);
+        }
+
+        #[test]
+        fn pred_compilation_is_boolean(
+            pred in arb_pred(),
+            pk in arb_packet(),
+        ) {
+            let mut b = FddBuilder::new();
+            let d = b.from_pred(&pred);
+            let got = !b.eval(d, &pk).is_empty();
+            prop_assert_eq!(got, pred.eval(&pk));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Packets and network locations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::field::{Field, Value};
+
+/// A switch-port pair `n:m` (a *location* in the paper's Section 2).
+///
+/// # Examples
+///
+/// ```
+/// use netkat::Loc;
+/// let l = Loc::new(4, 1);
+/// assert_eq!(l.to_string(), "4:1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Loc {
+    /// Switch (or host) identifier.
+    pub sw: u64,
+    /// Port identifier.
+    pub pt: u64,
+}
+
+impl Loc {
+    /// Creates the location `sw:pt`.
+    pub fn new(sw: u64, pt: u64) -> Loc {
+        Loc { sw, pt }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.sw, self.pt)
+    }
+}
+
+/// A packet: a record of numeric header fields.
+///
+/// Fields that are absent behave as *wildcards have no value*: a test on an
+/// absent field fails. The location fields [`Field::Switch`] and
+/// [`Field::Port`] are stored like any other field, which is what makes the
+/// standard NetKAT semantics (where `sw` and `pt` are ordinary fields)
+/// straightforward.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{Field, Packet};
+/// let pk = Packet::new().with(Field::IpDst, 4).with(Field::Port, 2);
+/// assert_eq!(pk.get(Field::IpDst), Some(4));
+/// assert_eq!(pk.get(Field::IpSrc), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Packet {
+    fields: BTreeMap<Field, Value>,
+}
+
+impl Packet {
+    /// Creates a packet with no fields set.
+    pub fn new() -> Packet {
+        Packet::default()
+    }
+
+    /// Creates a packet located at `loc` with no header fields set.
+    pub fn at(loc: Loc) -> Packet {
+        Packet::new().with(Field::Switch, loc.sw).with(Field::Port, loc.pt)
+    }
+
+    /// Returns the value of `field`, or `None` if unset.
+    pub fn get(&self, field: Field) -> Option<Value> {
+        self.fields.get(&field).copied()
+    }
+
+    /// Sets `field` to `value` in place (the paper's `pkt[f ← n]`).
+    pub fn set(&mut self, field: Field, value: Value) {
+        self.fields.insert(field, value);
+    }
+
+    /// Removes `field` from the packet, returning its previous value.
+    pub fn unset(&mut self, field: Field) -> Option<Value> {
+        self.fields.remove(&field)
+    }
+
+    /// Builder-style [`set`](Packet::set).
+    pub fn with(mut self, field: Field, value: Value) -> Packet {
+        self.set(field, value);
+        self
+    }
+
+    /// Returns the packet's location, if both `Switch` and `Port` are set.
+    pub fn loc(&self) -> Option<Loc> {
+        Some(Loc::new(self.get(Field::Switch)?, self.get(Field::Port)?))
+    }
+
+    /// Moves the packet to `loc`.
+    pub fn set_loc(&mut self, loc: Loc) {
+        self.set(Field::Switch, loc.sw);
+        self.set(Field::Port, loc.pt);
+    }
+
+    /// Iterates over the `(field, value)` pairs in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (Field, Value)> + '_ {
+        self.fields.iter().map(|(&f, &v)| (f, v))
+    }
+
+    /// Returns a copy with the virtual runtime fields (`Tag`, `Digest`)
+    /// removed.
+    ///
+    /// The paper's abstract configurations never mention the runtime fields,
+    /// so traces are erased with this before correctness checking.
+    pub fn erase_virtual(&self) -> Packet {
+        let mut p = self.clone();
+        p.unset(Field::Tag);
+        p.unset(Field::Digest);
+        p
+    }
+
+    /// Returns a copy with the location fields removed.
+    pub fn erase_location(&self) -> Packet {
+        let mut p = self.clone();
+        p.unset(Field::Switch);
+        p.unset(Field::Port);
+        p
+    }
+
+    /// Number of fields set.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if no fields are set.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (field, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{field}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Field, Value)> for Packet {
+    fn from_iter<I: IntoIterator<Item = (Field, Value)>>(iter: I) -> Packet {
+        Packet { fields: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(Field, Value)> for Packet {
+    fn extend<I: IntoIterator<Item = (Field, Value)>>(&mut self, iter: I) {
+        self.fields.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut pk = Packet::new();
+        assert!(pk.is_empty());
+        pk.set(Field::IpDst, 7);
+        assert_eq!(pk.get(Field::IpDst), Some(7));
+        pk.set(Field::IpDst, 9);
+        assert_eq!(pk.get(Field::IpDst), Some(9));
+        assert_eq!(pk.unset(Field::IpDst), Some(9));
+        assert_eq!(pk.get(Field::IpDst), None);
+    }
+
+    #[test]
+    fn location_round_trip() {
+        let mut pk = Packet::new();
+        assert_eq!(pk.loc(), None);
+        pk.set_loc(Loc::new(3, 2));
+        assert_eq!(pk.loc(), Some(Loc::new(3, 2)));
+        assert_eq!(Packet::at(Loc::new(1, 9)).loc(), Some(Loc::new(1, 9)));
+    }
+
+    #[test]
+    fn erase_virtual_removes_only_runtime_fields() {
+        let pk = Packet::new()
+            .with(Field::IpDst, 1)
+            .with(Field::Tag, 5)
+            .with(Field::Digest, 0b101);
+        let erased = pk.erase_virtual();
+        assert_eq!(erased.get(Field::IpDst), Some(1));
+        assert_eq!(erased.get(Field::Tag), None);
+        assert_eq!(erased.get(Field::Digest), None);
+        // original untouched
+        assert_eq!(pk.get(Field::Tag), Some(5));
+    }
+
+    #[test]
+    fn display_is_sorted_and_nonempty() {
+        let pk = Packet::new().with(Field::IpDst, 4).with(Field::Port, 2);
+        assert_eq!(pk.to_string(), "{pt=2; ip_dst=4}");
+        assert_eq!(Packet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let pk: Packet = [(Field::Port, 1), (Field::IpSrc, 10)].into_iter().collect();
+        assert_eq!(pk.len(), 2);
+        assert_eq!(pk.get(Field::IpSrc), Some(10));
+    }
+}

@@ -1,0 +1,238 @@
+//! NetKAT policies (the *commands* of the language).
+
+use std::fmt;
+
+use crate::field::{Field, Value};
+use crate::packet::Loc;
+use crate::pred::Pred;
+
+/// A NetKAT policy.
+///
+/// Policies denote functions from a packet to a *set* of packets: `Filter`
+/// passes or drops, `Modify` rewrites one field, `Union` copies the packet
+/// through both branches, `Seq` pipes one policy into another, `Star` is
+/// reflexive-transitive closure, and `Link` forwards the packet across a
+/// physical link in the topology, rewriting its location.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{Field, Loc, Policy, Pred};
+/// // if pt=2 then set pt:=1 and cross the link 1:1 -> 4:1
+/// let p = Policy::filter(Pred::port(2))
+///     .seq(Policy::modify(Field::Port, 1))
+///     .seq(Policy::link(Loc::new(1, 1), Loc::new(4, 1)));
+/// assert_eq!(p.links(), vec![(Loc::new(1, 1), Loc::new(4, 1))]);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Policy {
+    /// Filter by a predicate: pass packets satisfying it, drop the rest.
+    Filter(Pred),
+    /// Assignment `field ← value`.
+    Modify(Field, Value),
+    /// Union `p + q`: nondeterministic (multicast) choice of both.
+    Union(Box<Policy>, Box<Policy>),
+    /// Sequence `p ; q`.
+    Seq(Box<Policy>, Box<Policy>),
+    /// Iteration `p*`, equivalent to `true + p + p;p + ...`.
+    Star(Box<Policy>),
+    /// Link traversal `(src.sw : src.pt) → (dst.sw : dst.pt)`: the packet
+    /// must be located at `src`; its location becomes `dst`.
+    Link(Loc, Loc),
+}
+
+impl Policy {
+    /// The identity policy (`filter true`).
+    pub fn id() -> Policy {
+        Policy::Filter(Pred::True)
+    }
+
+    /// The drop policy (`filter false`).
+    pub fn drop() -> Policy {
+        Policy::Filter(Pred::False)
+    }
+
+    /// Filter by `pred`.
+    pub fn filter(pred: Pred) -> Policy {
+        Policy::Filter(pred)
+    }
+
+    /// The assignment `field ← value`.
+    pub fn modify(field: Field, value: Value) -> Policy {
+        Policy::Modify(field, value)
+    }
+
+    /// The link `src → dst`.
+    pub fn link(src: Loc, dst: Loc) -> Policy {
+        Policy::Link(src, dst)
+    }
+
+    /// Union, with drop-elimination.
+    pub fn union(self, other: Policy) -> Policy {
+        match (self, other) {
+            (Policy::Filter(Pred::False), p) | (p, Policy::Filter(Pred::False)) => p,
+            (a, b) => Policy::Union(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Sequence, with identity- and drop-elimination.
+    pub fn seq(self, other: Policy) -> Policy {
+        match (self, other) {
+            (Policy::Filter(Pred::True), p) | (p, Policy::Filter(Pred::True)) => p,
+            (Policy::Filter(Pred::False), _) | (_, Policy::Filter(Pred::False)) => Policy::drop(),
+            (a, b) => Policy::Seq(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Iteration `self*`.
+    pub fn star(self) -> Policy {
+        match self {
+            Policy::Filter(Pred::True) | Policy::Filter(Pred::False) => Policy::id(),
+            p => Policy::Star(Box::new(p)),
+        }
+    }
+
+    /// Union of all policies in `pols` (`drop` if empty).
+    pub fn union_all<I: IntoIterator<Item = Policy>>(pols: I) -> Policy {
+        pols.into_iter().fold(Policy::drop(), Policy::union)
+    }
+
+    /// Sequence of all policies in `pols` (`id` if empty).
+    pub fn seq_all<I: IntoIterator<Item = Policy>>(pols: I) -> Policy {
+        pols.into_iter().fold(Policy::id(), Policy::seq)
+    }
+
+    /// Returns `true` if the policy contains a [`Policy::Link`].
+    pub fn has_links(&self) -> bool {
+        match self {
+            Policy::Filter(_) | Policy::Modify(..) => false,
+            Policy::Link(..) => true,
+            Policy::Union(a, b) | Policy::Seq(a, b) => a.has_links() || b.has_links(),
+            Policy::Star(a) => a.has_links(),
+        }
+    }
+
+    /// All links appearing in the policy, in order, deduplicated.
+    pub fn links(&self) -> Vec<(Loc, Loc)> {
+        let mut out = Vec::new();
+        self.collect_links(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_links(&self, out: &mut Vec<(Loc, Loc)>) {
+        match self {
+            Policy::Filter(_) | Policy::Modify(..) => {}
+            Policy::Link(a, b) => out.push((*a, *b)),
+            Policy::Union(a, b) | Policy::Seq(a, b) => {
+                a.collect_links(out);
+                b.collect_links(out);
+            }
+            Policy::Star(a) => a.collect_links(out),
+        }
+    }
+
+    /// All `(field, value)` pairs written or tested by the policy.
+    pub fn field_values(&self) -> Vec<(Field, Value)> {
+        let mut out = Vec::new();
+        self.collect_field_values(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_field_values(&self, out: &mut Vec<(Field, Value)>) {
+        match self {
+            Policy::Filter(p) => out.extend(p.tests()),
+            Policy::Modify(f, v) => out.push((*f, *v)),
+            Policy::Link(a, b) => {
+                out.push((Field::Switch, a.sw));
+                out.push((Field::Port, a.pt));
+                out.push((Field::Switch, b.sw));
+                out.push((Field::Port, b.pt));
+            }
+            Policy::Union(a, b) | Policy::Seq(a, b) => {
+                a.collect_field_values(out);
+                b.collect_field_values(out);
+            }
+            Policy::Star(a) => a.collect_field_values(out),
+        }
+    }
+
+    /// Size of the AST (number of nodes), useful for compiler statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Policy::Filter(_) | Policy::Modify(..) | Policy::Link(..) => 1,
+            Policy::Union(a, b) | Policy::Seq(a, b) => 1 + a.size() + b.size(),
+            Policy::Star(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl From<Pred> for Policy {
+    fn from(p: Pred) -> Policy {
+        Policy::Filter(p)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Filter(p) => write!(f, "{p}"),
+            Policy::Modify(field, v) => write!(f, "{field}<-{v}"),
+            Policy::Union(a, b) => write!(f, "({a} + {b})"),
+            Policy::Seq(a, b) => write!(f, "({a}; {b})"),
+            Policy::Star(a) => write!(f, "({a})*"),
+            Policy::Link(a, b) => write!(f, "({a})->({b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_fold() {
+        assert_eq!(Policy::id().seq(Policy::modify(Field::Port, 1)), Policy::modify(Field::Port, 1));
+        assert_eq!(Policy::drop().seq(Policy::modify(Field::Port, 1)), Policy::drop());
+        assert_eq!(Policy::drop().union(Policy::id()), Policy::id());
+        assert_eq!(Policy::id().star(), Policy::id());
+        assert_eq!(Policy::drop().star(), Policy::id());
+    }
+
+    #[test]
+    fn union_all_and_seq_all() {
+        assert_eq!(Policy::union_all([]), Policy::drop());
+        assert_eq!(Policy::seq_all([]), Policy::id());
+        let p = Policy::seq_all([Policy::modify(Field::Port, 1), Policy::modify(Field::Vlan, 2)]);
+        assert_eq!(p.size(), 3);
+    }
+
+    #[test]
+    fn link_discovery() {
+        let l1 = (Loc::new(1, 1), Loc::new(4, 1));
+        let l2 = (Loc::new(4, 1), Loc::new(1, 1));
+        let p = Policy::link(l1.0, l1.1)
+            .union(Policy::link(l2.0, l2.1).seq(Policy::link(l1.0, l1.1)));
+        assert!(p.has_links());
+        assert_eq!(p.links(), vec![l1, l2]);
+        assert!(!Policy::modify(Field::Port, 1).has_links());
+    }
+
+    #[test]
+    fn display() {
+        let p = Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 1));
+        assert_eq!(p.to_string(), "(pt=2; pt<-1)");
+    }
+
+    #[test]
+    fn field_values_include_link_locations() {
+        let p = Policy::link(Loc::new(1, 1), Loc::new(4, 1));
+        let fv = p.field_values();
+        assert!(fv.contains(&(Field::Switch, 1)));
+        assert!(fv.contains(&(Field::Switch, 4)));
+        assert!(fv.contains(&(Field::Port, 1)));
+    }
+}

@@ -1,0 +1,208 @@
+//! Denotational semantics of NetKAT policies.
+//!
+//! A policy denotes a function from a packet to a finite set of packets.
+//! This module is the *reference semantics*: the FDD compiler and the flow
+//! tables it emits are tested against it (see the property tests in
+//! [`crate::local`]).
+
+use std::collections::BTreeSet;
+
+use crate::error::NetkatError;
+use crate::field::Field;
+use crate::packet::Packet;
+use crate::policy::Policy;
+
+/// Maximum number of Kleene-star iterations before giving up.
+///
+/// Every iteration either adds a packet to the result set or reaches a
+/// fixpoint; the bound only triggers for adversarial policies that keep
+/// generating fresh packets (which finite field/value spaces prevent in
+/// practice).
+const STAR_FUEL: usize = 10_000;
+
+/// Evaluates `pol` on `pk`, returning the set of output packets.
+///
+/// # Errors
+///
+/// Returns [`NetkatError::StarDiverged`] if a `*` fails to reach a fixpoint
+/// within an internal iteration bound.
+///
+/// # Examples
+///
+/// ```
+/// use netkat::{eval, Field, Packet, Policy, Pred};
+/// let p = Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 1));
+/// let pk = Packet::new().with(Field::Port, 2);
+/// let out = eval(&p, &pk)?;
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out.iter().next().unwrap().get(Field::Port), Some(1));
+/// # Ok::<(), netkat::NetkatError>(())
+/// ```
+pub fn eval(pol: &Policy, pk: &Packet) -> Result<BTreeSet<Packet>, NetkatError> {
+    match pol {
+        Policy::Filter(pred) => {
+            let mut out = BTreeSet::new();
+            if pred.eval(pk) {
+                out.insert(pk.clone());
+            }
+            Ok(out)
+        }
+        Policy::Modify(f, v) => {
+            let mut p = pk.clone();
+            p.set(*f, *v);
+            Ok(BTreeSet::from([p]))
+        }
+        Policy::Union(a, b) => {
+            let mut out = eval(a, pk)?;
+            out.extend(eval(b, pk)?);
+            Ok(out)
+        }
+        Policy::Seq(a, b) => {
+            let mid = eval(a, pk)?;
+            let mut out = BTreeSet::new();
+            for m in &mid {
+                out.extend(eval(b, m)?);
+            }
+            Ok(out)
+        }
+        Policy::Star(a) => {
+            // Least fixpoint of X = {pk} ∪ a(X).
+            let mut acc = BTreeSet::from([pk.clone()]);
+            let mut frontier = acc.clone();
+            for _ in 0..STAR_FUEL {
+                let mut next = BTreeSet::new();
+                for m in &frontier {
+                    for o in eval(a, m)? {
+                        if !acc.contains(&o) {
+                            next.insert(o);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    return Ok(acc);
+                }
+                acc.extend(next.iter().cloned());
+                frontier = next;
+            }
+            Err(NetkatError::StarDiverged)
+        }
+        Policy::Link(src, dst) => {
+            let mut out = BTreeSet::new();
+            if pk.get(Field::Switch) == Some(src.sw) && pk.get(Field::Port) == Some(src.pt) {
+                let mut p = pk.clone();
+                p.set_loc(*dst);
+                out.insert(p);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Evaluates `pol` on every packet in `pks`, unioning the results.
+pub fn eval_set(pol: &Policy, pks: &BTreeSet<Packet>) -> Result<BTreeSet<Packet>, NetkatError> {
+    let mut out = BTreeSet::new();
+    for pk in pks {
+        out.extend(eval(pol, pk)?);
+    }
+    Ok(out)
+}
+
+/// Returns `true` if `a` and `b` agree on every packet in `pks`.
+///
+/// This is *testing* equivalence on a chosen packet universe, not a decision
+/// procedure; it is used to validate compiler passes on representative
+/// inputs.
+pub fn equivalent_on(a: &Policy, b: &Policy, pks: &[Packet]) -> Result<bool, NetkatError> {
+    for pk in pks {
+        if eval(a, pk)? != eval(b, pk)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Loc;
+    use crate::pred::Pred;
+
+    fn pk(port: u64) -> Packet {
+        Packet::new().with(Field::Port, port)
+    }
+
+    #[test]
+    fn filter_passes_or_drops() {
+        let p = Policy::filter(Pred::port(2));
+        assert_eq!(eval(&p, &pk(2)).unwrap().len(), 1);
+        assert!(eval(&p, &pk(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn modify_rewrites() {
+        let p = Policy::modify(Field::Port, 9);
+        let out = eval(&p, &pk(2)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().get(Field::Port), Some(9));
+    }
+
+    #[test]
+    fn union_multicasts() {
+        let p = Policy::modify(Field::Port, 1).union(Policy::modify(Field::Port, 2));
+        let out = eval(&p, &pk(0)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn seq_composes() {
+        let p = Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(1)));
+        assert_eq!(eval(&p, &pk(5)).unwrap().len(), 1);
+        let q = Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(2)));
+        assert!(eval(&q, &pk(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn star_unrolls_to_fixpoint() {
+        // (pt=1; pt<-2 + pt=2; pt<-3)* from pt=1 reaches {1,2,3}
+        let step = Policy::filter(Pred::port(1))
+            .seq(Policy::modify(Field::Port, 2))
+            .union(Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 3)));
+        let out = eval(&step.star(), &pk(1)).unwrap();
+        let ports: BTreeSet<_> = out.iter().map(|p| p.get(Field::Port).unwrap()).collect();
+        assert_eq!(ports, BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn star_of_identity_terminates() {
+        let p = Policy::Star(Box::new(Policy::id()));
+        assert_eq!(eval(&p, &pk(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn link_moves_located_packets() {
+        let l = Policy::link(Loc::new(1, 1), Loc::new(4, 1));
+        let at_src = Packet::at(Loc::new(1, 1));
+        let out = eval(&l, &at_src).unwrap();
+        assert_eq!(out.iter().next().unwrap().loc(), Some(Loc::new(4, 1)));
+        let elsewhere = Packet::at(Loc::new(2, 1));
+        assert!(eval(&l, &elsewhere).unwrap().is_empty());
+    }
+
+    #[test]
+    fn kat_equations_hold_semantically() {
+        let a = Policy::filter(Pred::port(1));
+        let b = Policy::modify(Field::Vlan, 7);
+        let c = Policy::modify(Field::Port, 3);
+        let pks = [pk(1), pk(2), Packet::new()];
+        // p + q = q + p
+        assert!(equivalent_on(&a.clone().union(b.clone()), &b.clone().union(a.clone()), &pks).unwrap());
+        // (p + q); r = p;r + q;r
+        let lhs = a.clone().union(b.clone()).seq(c.clone());
+        let rhs = a.clone().seq(c.clone()).union(b.clone().seq(c.clone()));
+        assert!(equivalent_on(&lhs, &rhs, &pks).unwrap());
+        // p* = id + p;p*
+        let star = b.clone().star();
+        let unrolled = Policy::id().union(b.clone().seq(b.clone().star()));
+        assert!(equivalent_on(&star, &unrolled, &pks).unwrap());
+    }
+}

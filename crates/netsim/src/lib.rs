@@ -1,0 +1,53 @@
+//! # netsim — a deterministic discrete-event network simulator
+//!
+//! The execution substrate for the event-driven network programming stack:
+//! switches with per-packet processing delay, links with latency, capacity,
+//! and tail-drop queues, hosts with reactive behaviour (ping replies,
+//! ack-clocked flows), and a controller message channel.
+//!
+//! This replaces the paper's Mininet + modified OpenFlow testbed. All
+//! behaviour is injected through the [`DataPlane`] trait (implemented by the
+//! `nes-runtime` crate both for the paper's tag-and-digest runtime and for
+//! the uncoordinated baseline). Every packet processing step is recorded
+//! into an `edn-core` network trace so finished runs can be checked against
+//! the paper's consistency definitions.
+//!
+//! ```
+//! use netsim::{CtrlMsg, DataPlane, Engine, SimParams, SimTime, SimTopology,
+//!              SinkHosts, StepResult};
+//! use netkat::{Loc, Packet};
+//!
+//! // A one-switch data plane that forwards port 2 <-> port 3.
+//! struct Wire;
+//! impl DataPlane for Wire {
+//!     fn process(&mut self, _sw: u64, pt: u64, pk: Packet, _h: bool, _t: SimTime) -> StepResult {
+//!         StepResult::forward(if pt == 2 { 3 } else { 2 }, pk)
+//!     }
+//!     fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> { vec![] }
+//!     fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+//! }
+//!
+//! let topo = SimTopology::new([1])
+//!     .host(100, Loc::new(1, 2))
+//!     .host(200, Loc::new(1, 3));
+//! let mut engine = Engine::new(topo, SimParams::default(), Wire, Box::new(SinkHosts));
+//! engine.inject_at(SimTime::ZERO, 100, Packet::new());
+//! let result = engine.run_until(SimTime::from_secs(1));
+//! assert_eq!(result.stats.deliveries.len(), 1);
+//! assert_eq!(result.stats.deliveries[0].host, 200);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod logic;
+mod stats;
+mod time;
+mod topology;
+pub mod traffic;
+
+pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
+pub use logic::{CtrlMsg, DataPlane, HostLogic, SinkHosts, StepResult};
+pub use stats::{Delivery, Drop, DropReason, Stats};
+pub use time::SimTime;
+pub use topology::{LinkSpec, SimParams, SimTopology};

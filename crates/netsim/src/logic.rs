@@ -1,0 +1,95 @@
+//! Pluggable behaviour: data planes (switches + controller) and host logic.
+
+use netkat::Packet;
+
+use crate::time::SimTime;
+
+/// A message between a switch and the controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtrlMsg {
+    /// "These events occurred" — a bitset of event ids (switch → controller,
+    /// or controller → switch for the CTRLSEND broadcast of Fig. 7).
+    Events(u64),
+    /// "Switch to configuration `n`" — used by the uncoordinated baseline.
+    SetConfig(u64),
+}
+
+/// What one switch processing step produced.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StepResult {
+    /// Output packets: `(out port, packet)`. Empty means the packet was
+    /// dropped.
+    pub outputs: Vec<(u64, Packet)>,
+    /// Messages to the controller.
+    pub notifications: Vec<CtrlMsg>,
+}
+
+impl StepResult {
+    /// A step that drops the packet.
+    pub fn drop() -> StepResult {
+        StepResult::default()
+    }
+
+    /// A step that forwards to one port.
+    pub fn forward(port: u64, packet: Packet) -> StepResult {
+        StepResult { outputs: vec![(port, packet)], notifications: Vec::new() }
+    }
+}
+
+/// The deployed system under test: all switches plus the controller.
+///
+/// The engine calls [`process`](DataPlane::process) for every packet at
+/// every switch, and routes controller messages through
+/// [`on_notify`](DataPlane::on_notify) / [`deliver`](DataPlane::deliver).
+pub trait DataPlane {
+    /// Processes a packet arriving at switch `sw`, port `pt`.
+    ///
+    /// `from_host` is `true` when the packet just entered the network from a
+    /// host (the IN rule of Fig. 7, where ingress stamping happens).
+    fn process(&mut self, sw: u64, pt: u64, packet: Packet, from_host: bool, now: SimTime)
+        -> StepResult;
+
+    /// The controller received `msg`; returns commands to deliver to
+    /// switches as `(extra delay, switch, message)`.
+    fn on_notify(&mut self, msg: CtrlMsg, now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)>;
+
+    /// A controller command arrives at a switch.
+    fn deliver(&mut self, sw: u64, msg: CtrlMsg, now: SimTime);
+}
+
+/// What a host does when a packet reaches it.
+pub trait HostLogic {
+    /// Called on delivery; returns packets to inject back into the network
+    /// from this host as `(delay, packet, size in bytes)`.
+    fn on_receive(&mut self, host: u64, packet: &Packet, now: SimTime)
+        -> Vec<(SimTime, Packet, u32)>;
+}
+
+/// A host logic that only consumes packets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SinkHosts;
+
+impl HostLogic for SinkHosts {
+    fn on_receive(&mut self, _: u64, _: &Packet, _: SimTime) -> Vec<(SimTime, Packet, u32)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_result_constructors() {
+        assert!(StepResult::drop().outputs.is_empty());
+        let s = StepResult::forward(3, Packet::new());
+        assert_eq!(s.outputs.len(), 1);
+        assert_eq!(s.outputs[0].0, 3);
+    }
+
+    #[test]
+    fn sink_hosts_swallow() {
+        let mut s = SinkHosts;
+        assert!(s.on_receive(1, &Packet::new(), SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Run statistics: deliveries, drops, byte counts.
+
+use netkat::Packet;
+
+use crate::time::SimTime;
+
+/// Why a packet disappeared.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// No flow-table rule matched (or the matching rule dropped).
+    NoRule,
+    /// The output port has no link attached.
+    DeadEnd,
+    /// Tail drop on a saturated link queue.
+    QueueFull,
+    /// The link was down (injected failure).
+    LinkDown,
+}
+
+/// A delivered packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Delivery {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Receiving host.
+    pub host: u64,
+    /// The packet as delivered.
+    pub packet: Packet,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// A dropped packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Drop {
+    /// Drop time.
+    pub time: SimTime,
+    /// Switch where the packet died.
+    pub switch: u64,
+    /// The packet.
+    pub packet: Packet,
+    /// Why.
+    pub reason: DropReason,
+}
+
+/// Aggregate statistics of a run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Stats {
+    /// Every delivery, in time order.
+    pub deliveries: Vec<Delivery>,
+    /// Every drop, in time order.
+    pub drops: Vec<Drop>,
+    /// Packets injected by hosts.
+    pub injected: u64,
+}
+
+impl Stats {
+    /// Deliveries at a particular host.
+    pub fn delivered_to(&self, host: u64) -> impl Iterator<Item = &Delivery> + '_ {
+        self.deliveries.iter().filter(move |d| d.host == host)
+    }
+
+    /// Total bytes delivered to `host` within `[from, to)`.
+    pub fn bytes_delivered(&self, host: u64, from: SimTime, to: SimTime) -> u64 {
+        self.delivered_to(host)
+            .filter(|d| d.time >= from && d.time < to)
+            .map(|d| d.size as u64)
+            .sum()
+    }
+
+    /// Number of drops, optionally filtered by reason.
+    pub fn drop_count(&self, reason: Option<DropReason>) -> usize {
+        match reason {
+            None => self.drops.len(),
+            Some(r) => self.drops.iter().filter(|d| d.reason == r).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting_windows() {
+        let mut s = Stats::default();
+        for (t, host, size) in [(1u64, 7u64, 100u32), (2, 7, 200), (3, 8, 400)] {
+            s.deliveries.push(Delivery {
+                time: SimTime::from_millis(t),
+                host,
+                packet: Packet::new(),
+                size,
+            });
+        }
+        assert_eq!(s.bytes_delivered(7, SimTime::ZERO, SimTime::from_millis(10)), 300);
+        assert_eq!(s.bytes_delivered(7, SimTime::from_millis(2), SimTime::from_millis(10)), 200);
+        assert_eq!(s.bytes_delivered(8, SimTime::ZERO, SimTime::from_millis(10)), 400);
+        assert_eq!(s.delivered_to(7).count(), 2);
+    }
+
+    #[test]
+    fn drop_filtering() {
+        let mut s = Stats::default();
+        for reason in [DropReason::NoRule, DropReason::NoRule, DropReason::QueueFull] {
+            s.drops.push(Drop {
+                time: SimTime::ZERO,
+                switch: 1,
+                packet: Packet::new(),
+                reason,
+            });
+        }
+        assert_eq!(s.drop_count(None), 3);
+        assert_eq!(s.drop_count(Some(DropReason::NoRule)), 2);
+        assert_eq!(s.drop_count(Some(DropReason::DeadEnd)), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::SimTime;
+/// let t = SimTime::from_millis(2) + SimTime::from_micros(500);
+/// assert_eq!(t.as_micros(), 2_500);
+/// assert_eq!(t.to_string(), "2.500ms");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// As microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// As (truncated) milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}ms", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimTime::from_millis(3).as_millis(), 3);
+        assert_eq!(SimTime::from_micros(1_500).as_millis(), 1);
+        assert!((SimTime::from_millis(500).as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(2);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a + b, SimTime::from_millis(5));
+        assert_eq!(b - a, SimTime::from_millis(1));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(999) < SimTime::from_millis(1));
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulated topologies and timing/capacity parameters.
+
+use std::collections::BTreeMap;
+
+use netkat::Loc;
+
+use crate::time::SimTime;
+
+/// A directed simulated link with its timing characteristics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkSpec {
+    /// Source location.
+    pub src: Loc,
+    /// Destination location.
+    pub dst: Loc,
+    /// Propagation latency.
+    pub latency: SimTime,
+    /// Capacity in bytes per second; `None` means infinite (no
+    /// serialization delay, no queueing).
+    pub capacity: Option<u64>,
+}
+
+impl LinkSpec {
+    /// A link with the given latency and infinite capacity.
+    pub fn new(src: Loc, dst: Loc, latency: SimTime) -> LinkSpec {
+        LinkSpec { src, dst, latency, capacity: None }
+    }
+
+    /// Sets the capacity (builder style).
+    pub fn with_capacity(mut self, bytes_per_sec: u64) -> LinkSpec {
+        self.capacity = Some(bytes_per_sec);
+        self
+    }
+}
+
+/// The simulated network: switches, host attachments, and links.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{SimTopology, SimTime};
+/// use netkat::Loc;
+/// let topo = SimTopology::new([1, 4])
+///     .host(101, Loc::new(1, 2))
+///     .host(104, Loc::new(4, 2))
+///     .bilink(Loc::new(1, 1), Loc::new(4, 1), SimTime::from_micros(50), None);
+/// assert_eq!(topo.attachment(101), Some(Loc::new(1, 2)));
+/// assert!(topo.is_host(104));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SimTopology {
+    switches: Vec<u64>,
+    hosts: BTreeMap<u64, Loc>,
+    links: Vec<LinkSpec>,
+    /// Latency of host attachment links.
+    pub host_latency: SimTime,
+}
+
+impl SimTopology {
+    /// Creates a topology over the given switches with a default host-link
+    /// latency of 10 µs.
+    pub fn new<I: IntoIterator<Item = u64>>(switches: I) -> SimTopology {
+        SimTopology {
+            switches: switches.into_iter().collect(),
+            host_latency: SimTime::from_micros(10),
+            ..SimTopology::default()
+        }
+    }
+
+    /// Attaches a host at a switch location (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host id collides with a switch id.
+    pub fn host(mut self, id: u64, attached: Loc) -> SimTopology {
+        assert!(!self.switches.contains(&id), "host id {id} collides with a switch");
+        self.hosts.insert(id, attached);
+        self
+    }
+
+    /// Adds a unidirectional link (builder style).
+    pub fn link(mut self, spec: LinkSpec) -> SimTopology {
+        self.links.push(spec);
+        self
+    }
+
+    /// Adds both directions of a link with shared latency/capacity
+    /// (builder style).
+    pub fn bilink(mut self, a: Loc, b: Loc, latency: SimTime, capacity: Option<u64>) -> SimTopology {
+        self.links.push(LinkSpec { src: a, dst: b, latency, capacity });
+        self.links.push(LinkSpec { src: b, dst: a, latency, capacity });
+        self
+    }
+
+    /// The switch identifiers.
+    pub fn switches(&self) -> &[u64] {
+        &self.switches
+    }
+
+    /// The hosts and their attachment points.
+    pub fn hosts(&self) -> impl Iterator<Item = (u64, Loc)> + '_ {
+        self.hosts.iter().map(|(&h, &l)| (h, l))
+    }
+
+    /// The inter-switch links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Returns `true` if `node` is a host.
+    pub fn is_host(&self, node: u64) -> bool {
+        self.hosts.contains_key(&node)
+    }
+
+    /// A host's attachment location.
+    pub fn attachment(&self, host: u64) -> Option<Loc> {
+        self.hosts.get(&host).copied()
+    }
+
+    /// The host (if any) attached at a switch-side location.
+    pub fn host_at(&self, loc: Loc) -> Option<u64> {
+        self.hosts.iter().find(|&(_, &l)| l == loc).map(|(&h, _)| h)
+    }
+
+    /// The link leaving `loc`, if any.
+    pub fn link_from(&self, loc: Loc) -> Option<&LinkSpec> {
+        self.links.iter().find(|l| l.src == loc)
+    }
+}
+
+/// Global timing parameters of a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimParams {
+    /// Per-packet switch processing delay.
+    pub switch_delay: SimTime,
+    /// One-way latency between any switch and the controller.
+    pub controller_latency: SimTime,
+    /// Maximum queueing delay on a capacity-limited link before tail drop.
+    pub max_queue_delay: SimTime,
+    /// Extra on-the-wire bytes per packet (e.g. the NES runtime's tag and
+    /// digest headers); added to the payload size when computing
+    /// serialization delay on capacity-limited links.
+    pub header_overhead: u32,
+}
+
+impl Default for SimParams {
+    fn default() -> SimParams {
+        SimParams {
+            switch_delay: SimTime::from_micros(5),
+            controller_latency: SimTime::from_millis(2),
+            max_queue_delay: SimTime::from_millis(50),
+            header_overhead: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_helpers() {
+        let topo = SimTopology::new([1, 2])
+            .host(100, Loc::new(1, 2))
+            .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), Some(1_000_000));
+        assert_eq!(topo.host_at(Loc::new(1, 2)), Some(100));
+        assert_eq!(topo.host_at(Loc::new(9, 9)), None);
+        let l = topo.link_from(Loc::new(1, 1)).unwrap();
+        assert_eq!(l.dst, Loc::new(2, 1));
+        assert_eq!(l.capacity, Some(1_000_000));
+        assert!(topo.link_from(Loc::new(1, 3)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn host_switch_collision_panics() {
+        let _ = SimTopology::new([1]).host(1, Loc::new(1, 2));
+    }
+
+    #[test]
+    fn default_params_sane() {
+        let p = SimParams::default();
+        assert!(p.switch_delay < p.controller_latency);
+    }
+}

@@ -1,0 +1,380 @@
+//! Traffic generation: ping probes, UDP streams, and a windowed
+//! (TCP-like) flow — the simulator equivalents of the paper's `ping` and
+//! `iperf` workloads.
+//!
+//! Conventions: [`netkat::Field::IpSrc`]/[`IpDst`](netkat::Field::IpDst)
+//! carry host ids, [`IpProto`](netkat::Field::IpProto) carries one of the
+//! `PROTO_*` constants, `Custom(0)` a probe/flow id and `Custom(1)` a
+//! sequence number.
+
+use netkat::{Field, Packet};
+
+use crate::engine::Engine;
+use crate::logic::{DataPlane, HostLogic};
+use crate::stats::Stats;
+use crate::time::SimTime;
+
+/// Protocol number of a ping request.
+pub const PROTO_PING_REQUEST: u64 = 1;
+/// Protocol number of a ping reply.
+pub const PROTO_PING_REPLY: u64 = 2;
+/// Protocol number of a UDP datagram.
+pub const PROTO_UDP: u64 = 3;
+/// Protocol number of a TCP-like data segment.
+pub const PROTO_TCP_DATA: u64 = 4;
+/// Protocol number of a TCP-like acknowledgement.
+pub const PROTO_TCP_ACK: u64 = 5;
+
+/// The field carrying probe/flow identifiers.
+pub const ID_FIELD: Field = Field::Custom(0);
+/// The field carrying sequence numbers.
+pub const SEQ_FIELD: Field = Field::Custom(1);
+
+/// Builds a ping request packet.
+pub fn ping_request(src: u64, dst: u64, id: u64) -> Packet {
+    Packet::new()
+        .with(Field::IpSrc, src)
+        .with(Field::IpDst, dst)
+        .with(Field::IpProto, PROTO_PING_REQUEST)
+        .with(ID_FIELD, id)
+}
+
+/// Builds a UDP datagram.
+pub fn udp_packet(src: u64, dst: u64, flow: u64, seq: u64) -> Packet {
+    Packet::new()
+        .with(Field::IpSrc, src)
+        .with(Field::IpDst, dst)
+        .with(Field::IpProto, PROTO_UDP)
+        .with(ID_FIELD, flow)
+        .with(SEQ_FIELD, seq)
+}
+
+fn tcp_data(src: u64, dst: u64, flow: u64, seq: u64) -> Packet {
+    Packet::new()
+        .with(Field::IpSrc, src)
+        .with(Field::IpDst, dst)
+        .with(Field::IpProto, PROTO_TCP_DATA)
+        .with(ID_FIELD, flow)
+        .with(SEQ_FIELD, seq)
+}
+
+/// One scheduled ping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ping {
+    /// Injection time.
+    pub time: SimTime,
+    /// Source host.
+    pub src: u64,
+    /// Destination host.
+    pub dst: u64,
+    /// Unique probe identifier.
+    pub id: u64,
+}
+
+/// The fate of one ping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PingOutcome {
+    /// The probe.
+    pub ping: Ping,
+    /// When the reply reached the source, if ever.
+    pub replied: Option<SimTime>,
+    /// Whether the request reached the destination (even if the reply was
+    /// then lost).
+    pub request_delivered: bool,
+}
+
+/// A TCP-like flow: `total` segments from `src` to `dst`, window `window`,
+/// ack-clocked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TcpFlowSpec {
+    /// Flow identifier (must be unique across flows).
+    pub flow: u64,
+    /// Sender host.
+    pub src: u64,
+    /// Receiver host.
+    pub dst: u64,
+    /// Start time.
+    pub start: SimTime,
+    /// Number of segments to send.
+    pub total: u64,
+    /// Window size (segments in flight).
+    pub window: u64,
+    /// Segment size in bytes.
+    pub segment_size: u32,
+}
+
+#[derive(Clone, Debug)]
+struct TcpFlowState {
+    spec: TcpFlowSpec,
+    next_seq: u64,
+    acked: u64,
+}
+
+/// Host behaviour for the standard scenarios: answers pings, acknowledges
+/// TCP-like segments, and clocks TCP-like senders.
+///
+/// UDP needs no reactive behaviour (datagrams are scheduled up front with
+/// [`schedule_udp_flow`]).
+#[derive(Clone, Debug)]
+pub struct ScenarioHosts {
+    /// Host processing delay before a ping reply is injected.
+    pub reply_delay: SimTime,
+    tcp: Vec<TcpFlowState>,
+}
+
+impl ScenarioHosts {
+    /// Creates the standard host behaviour (100 µs reply delay).
+    pub fn new() -> ScenarioHosts {
+        ScenarioHosts { reply_delay: SimTime::from_micros(100), tcp: Vec::new() }
+    }
+
+    /// Registers a TCP-like flow. The initial window must separately be
+    /// scheduled with [`schedule_tcp_flow`].
+    pub fn with_tcp_flow(mut self, spec: TcpFlowSpec) -> ScenarioHosts {
+        self.tcp.push(TcpFlowState { spec, next_seq: spec.window.min(spec.total), acked: 0 });
+        self
+    }
+}
+
+impl Default for ScenarioHosts {
+    fn default() -> ScenarioHosts {
+        ScenarioHosts::new()
+    }
+}
+
+impl HostLogic for ScenarioHosts {
+    fn on_receive(&mut self, host: u64, packet: &Packet, _: SimTime) -> Vec<(SimTime, Packet, u32)> {
+        let proto = packet.get(Field::IpProto);
+        let to_me = packet.get(Field::IpDst) == Some(host);
+        match proto {
+            Some(PROTO_PING_REQUEST) if to_me => {
+                let src = packet.get(Field::IpSrc).unwrap_or(0);
+                let id = packet.get(ID_FIELD).unwrap_or(0);
+                let reply = Packet::new()
+                    .with(Field::IpSrc, host)
+                    .with(Field::IpDst, src)
+                    .with(Field::IpProto, PROTO_PING_REPLY)
+                    .with(ID_FIELD, id);
+                vec![(self.reply_delay, reply, 64)]
+            }
+            Some(PROTO_TCP_DATA) if to_me => {
+                let src = packet.get(Field::IpSrc).unwrap_or(0);
+                let flow = packet.get(ID_FIELD).unwrap_or(0);
+                let seq = packet.get(SEQ_FIELD).unwrap_or(0);
+                let ack = Packet::new()
+                    .with(Field::IpSrc, host)
+                    .with(Field::IpDst, src)
+                    .with(Field::IpProto, PROTO_TCP_ACK)
+                    .with(ID_FIELD, flow)
+                    .with(SEQ_FIELD, seq);
+                vec![(SimTime::from_micros(20), ack, 64)]
+            }
+            Some(PROTO_TCP_ACK) if to_me => {
+                let flow_id = packet.get(ID_FIELD).unwrap_or(0);
+                let Some(state) =
+                    self.tcp.iter_mut().find(|f| f.spec.flow == flow_id && f.spec.src == host)
+                else {
+                    return Vec::new();
+                };
+                state.acked += 1;
+                if state.next_seq < state.spec.total {
+                    let seq = state.next_seq;
+                    state.next_seq += 1;
+                    let pkt = tcp_data(state.spec.src, state.spec.dst, flow_id, seq);
+                    return vec![(SimTime::from_micros(10), pkt, state.spec.segment_size)];
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Schedules a batch of pings.
+pub fn schedule_pings<D: DataPlane>(engine: &mut Engine<D>, pings: &[Ping]) {
+    for p in pings {
+        engine.inject_sized(p.time, p.src, ping_request(p.src, p.dst, p.id), 100);
+    }
+}
+
+/// Evaluates ping outcomes against a finished run's statistics.
+pub fn ping_outcomes(pings: &[Ping], stats: &Stats) -> Vec<PingOutcome> {
+    pings
+        .iter()
+        .map(|&ping| {
+            let request_delivered = stats.delivered_to(ping.dst).any(|d| {
+                d.packet.get(Field::IpProto) == Some(PROTO_PING_REQUEST)
+                    && d.packet.get(ID_FIELD) == Some(ping.id)
+            });
+            let replied = stats
+                .delivered_to(ping.src)
+                .find(|d| {
+                    d.packet.get(Field::IpProto) == Some(PROTO_PING_REPLY)
+                        && d.packet.get(ID_FIELD) == Some(ping.id)
+                })
+                .map(|d| d.time);
+            PingOutcome { ping, replied, request_delivered }
+        })
+        .collect()
+}
+
+/// Schedules a constant-rate UDP stream; returns the number of datagrams.
+pub fn schedule_udp_flow<D: DataPlane>(
+    engine: &mut Engine<D>,
+    src: u64,
+    dst: u64,
+    flow: u64,
+    start: SimTime,
+    end: SimTime,
+    interval: SimTime,
+    size: u32,
+) -> u64 {
+    let mut t = start;
+    let mut seq = 0;
+    while t < end {
+        engine.inject_sized(t, src, udp_packet(src, dst, flow, seq), size);
+        seq += 1;
+        t += interval;
+    }
+    seq
+}
+
+/// Schedules the initial window of a TCP-like flow (the rest is ack-clocked
+/// by [`ScenarioHosts`]).
+pub fn schedule_tcp_flow<D: DataPlane>(engine: &mut Engine<D>, spec: &TcpFlowSpec) {
+    for seq in 0..spec.window.min(spec.total) {
+        engine.inject_sized(
+            spec.start + SimTime::from_micros(seq),
+            spec.src,
+            tcp_data(spec.src, spec.dst, spec.flow, seq),
+            spec.segment_size,
+        );
+    }
+}
+
+/// Bytes of `proto` traffic delivered to `host` in `[from, to)`.
+pub fn proto_bytes_delivered(stats: &Stats, host: u64, proto: u64, from: SimTime, to: SimTime) -> u64 {
+    stats
+        .delivered_to(host)
+        .filter(|d| d.time >= from && d.time < to && d.packet.get(Field::IpProto) == Some(proto))
+        .map(|d| d.size as u64)
+        .sum()
+}
+
+/// Count of `proto` packets delivered to `host`.
+pub fn proto_packets_delivered(stats: &Stats, host: u64, proto: u64) -> usize {
+    stats
+        .delivered_to(host)
+        .filter(|d| d.packet.get(Field::IpProto) == Some(proto))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{CtrlMsg, StepResult};
+    use crate::topology::{SimParams, SimTopology};
+    use netkat::Loc;
+
+    /// A two-host wire: everything from host A's port goes to host B's port
+    /// and vice versa (one switch, ports 2 and 3).
+    struct Wire;
+
+    impl DataPlane for Wire {
+        fn process(&mut self, _: u64, pt: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            StepResult::forward(if pt == 2 { 3 } else { 2 }, packet)
+        }
+        fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+            Vec::new()
+        }
+        fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+    }
+
+    fn wire_topology() -> SimTopology {
+        SimTopology::new([1]).host(100, Loc::new(1, 2)).host(200, Loc::new(1, 3))
+    }
+
+    #[test]
+    fn ping_round_trip() {
+        let mut e =
+            Engine::new(wire_topology(), SimParams::default(), Wire, Box::new(ScenarioHosts::new()));
+        let pings = vec![Ping { time: SimTime::from_millis(1), src: 100, dst: 200, id: 7 }];
+        schedule_pings(&mut e, &pings);
+        let r = e.run_until(SimTime::from_secs(1));
+        let outcomes = ping_outcomes(&pings, &r.stats);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].request_delivered);
+        let rtt = outcomes[0].replied.expect("reply") - pings[0].time;
+        assert!(rtt > SimTime::ZERO && rtt < SimTime::from_millis(5), "rtt {rtt}");
+    }
+
+    #[test]
+    fn unanswered_ping_reports_none() {
+        // Data plane that drops everything.
+        struct Blackhole;
+        impl DataPlane for Blackhole {
+            fn process(&mut self, _: u64, _: u64, _: Packet, _: bool, _: SimTime) -> StepResult {
+                StepResult::drop()
+            }
+            fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+                Vec::new()
+            }
+            fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+        }
+        let mut e = Engine::new(
+            wire_topology(),
+            SimParams::default(),
+            Blackhole,
+            Box::new(ScenarioHosts::new()),
+        );
+        let pings = vec![Ping { time: SimTime::ZERO, src: 100, dst: 200, id: 1 }];
+        schedule_pings(&mut e, &pings);
+        let r = e.run_until(SimTime::from_secs(1));
+        let outcomes = ping_outcomes(&pings, &r.stats);
+        assert!(!outcomes[0].request_delivered);
+        assert!(outcomes[0].replied.is_none());
+    }
+
+    #[test]
+    fn udp_flow_delivers_expected_bytes() {
+        let mut e =
+            Engine::new(wire_topology(), SimParams::default(), Wire, Box::new(ScenarioHosts::new()));
+        let n = schedule_udp_flow(
+            &mut e,
+            100,
+            200,
+            1,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            SimTime::from_millis(10),
+            1_000,
+        );
+        assert_eq!(n, 10);
+        let r = e.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            proto_bytes_delivered(&r.stats, 200, PROTO_UDP, SimTime::ZERO, SimTime::from_secs(1)),
+            10_000
+        );
+        assert_eq!(proto_packets_delivered(&r.stats, 200, PROTO_UDP), 10);
+    }
+
+    #[test]
+    fn tcp_flow_is_ack_clocked_to_completion() {
+        let spec = TcpFlowSpec {
+            flow: 9,
+            src: 100,
+            dst: 200,
+            start: SimTime::ZERO,
+            total: 50,
+            window: 4,
+            segment_size: 1_000,
+        };
+        let hosts = ScenarioHosts::new().with_tcp_flow(spec);
+        let mut e = Engine::new(wire_topology(), SimParams::default(), Wire, Box::new(hosts));
+        schedule_tcp_flow(&mut e, &spec);
+        let r = e.run_until(SimTime::from_secs(10));
+        assert_eq!(proto_packets_delivered(&r.stats, 200, PROTO_TCP_DATA), 50);
+        // Sender got 50 acks.
+        assert_eq!(proto_packets_delivered(&r.stats, 100, PROTO_TCP_ACK), 50);
+    }
+}

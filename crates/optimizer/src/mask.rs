@@ -1,0 +1,97 @@
+//! Wildcarded configuration-ID guards.
+
+use std::fmt;
+
+/// A wildcard pattern over configuration IDs: a rule guarded by
+/// `WildcardMask { bits, care }` applies to configuration `t` iff
+/// `t & care == bits`.
+///
+/// # Examples
+///
+/// ```
+/// use rule_optimizer::WildcardMask;
+/// // `1*`: the high bit of a 2-bit ID is 1.
+/// let m = WildcardMask::new(0b10, 0b10);
+/// assert!(m.matches(0b10));
+/// assert!(m.matches(0b11));
+/// assert!(!m.matches(0b01));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WildcardMask {
+    /// The required bit values (within `care`).
+    pub bits: u64,
+    /// Which bits are significant (`0` bits are wildcards).
+    pub care: u64,
+}
+
+impl WildcardMask {
+    /// Creates a mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` sets a bit outside `care`.
+    pub fn new(bits: u64, care: u64) -> WildcardMask {
+        assert_eq!(bits & !care, 0, "bits must lie within the care mask");
+        WildcardMask { bits, care }
+    }
+
+    /// The fully-wildcarded mask (matches every ID).
+    pub fn any() -> WildcardMask {
+        WildcardMask { bits: 0, care: 0 }
+    }
+
+    /// Returns `true` if the mask matches configuration `id`.
+    pub fn matches(self, id: u64) -> bool {
+        id & self.care == self.bits
+    }
+
+    /// Renders as a binary string of `width` digits with `*` wildcards,
+    /// most significant bit first.
+    pub fn render(self, width: u32) -> String {
+        (0..width)
+            .rev()
+            .map(|i| {
+                if self.care & (1 << i) == 0 {
+                    '*'
+                } else if self.bits & (1 << i) != 0 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for WildcardMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = 64 - self.care.leading_zeros().min(63);
+        write!(f, "{}", self.render(width.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching() {
+        let m = WildcardMask::new(0b10, 0b11);
+        assert!(m.matches(0b10));
+        assert!(!m.matches(0b11));
+        assert!(WildcardMask::any().matches(12345));
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(WildcardMask::new(0b10, 0b10).render(2), "1*");
+        assert_eq!(WildcardMask::new(0b01, 0b11).render(2), "01");
+        assert_eq!(WildcardMask::any().render(3), "***");
+    }
+
+    #[test]
+    #[should_panic(expected = "within the care mask")]
+    fn bits_outside_care_panic() {
+        WildcardMask::new(0b100, 0b011);
+    }
+}

@@ -1,0 +1,345 @@
+//! The rule-sharing trie heuristic (Section 5.3).
+//!
+//! Configurations are placed at the leaves of a complete binary trie; each
+//! interior node holds the intersection of its children's rule sets and a
+//! wildcarded ID mask covering its subtree. A rule is installed once at the
+//! highest node that contains it (i.e. each node pays for
+//! `|rules(node) ∖ rules(parent)|`), so the assignment of configurations to
+//! leaves determines the total rule count. The paper's polynomial heuristic
+//! builds the trie bottom-up, at each level pairing nodes to maximize the
+//! sum of the cardinalities of the resulting intersections; we implement the
+//! greedy variant: repeatedly take the available pair with the largest
+//! intersection.
+
+use std::collections::BTreeSet;
+
+use crate::mask::WildcardMask;
+
+/// The result of optimizing a set of configurations.
+#[derive(Clone, Debug)]
+pub struct Optimized<R> {
+    /// `leaf_order[i]` is the index (into the input slice) of the
+    /// configuration assigned to leaf `i`; padded dummy configurations are
+    /// `None`.
+    pub leaf_order: Vec<Option<usize>>,
+    /// Every installed rule with its wildcard guard.
+    pub guarded_rules: Vec<(WildcardMask, R)>,
+    /// Number of ID bits (`2^k` leaves).
+    pub id_bits: u32,
+    /// Rule count before optimization (one full copy per configuration,
+    /// exact-match guards).
+    pub original_count: usize,
+}
+
+impl<R> Optimized<R> {
+    /// Number of installed rules after optimization.
+    pub fn optimized_count(&self) -> usize {
+        self.guarded_rules.len()
+    }
+
+    /// The fraction of rules saved, in `[0, 1]`.
+    pub fn savings(&self) -> f64 {
+        if self.original_count == 0 {
+            return 0.0;
+        }
+        1.0 - self.optimized_count() as f64 / self.original_count as f64
+    }
+
+    /// The new configuration ID of input configuration `original`.
+    pub fn id_of(&self, original: usize) -> Option<u64> {
+        self.leaf_order.iter().position(|&o| o == Some(original)).map(|i| i as u64)
+    }
+}
+
+impl<R: Ord + Clone> Optimized<R> {
+    /// Reconstructs the effective rule set of input configuration
+    /// `original` from the guarded rules (for validation): all rules whose
+    /// mask matches its new ID.
+    pub fn effective_rules(&self, original: usize) -> BTreeSet<R> {
+        let Some(id) = self.id_of(original) else { return BTreeSet::new() };
+        self.guarded_rules
+            .iter()
+            .filter(|(m, _)| m.matches(id))
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node<R> {
+    rules: BTreeSet<R>,
+    /// Leaves covered, in order, as unique tokens (indices into the padded
+    /// input array — dummies included, so tokens never collide).
+    leaves: Vec<usize>,
+}
+
+/// How leaves are paired when building the trie.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Pairing {
+    /// The paper's heuristic: greedily pair nodes with the largest rule
+    /// intersection.
+    Greedy,
+    /// Ablation baseline: pair nodes in their given order (configuration
+    /// IDs keep their original numbering) — the naive assignment that
+    /// produces tries like the paper's Fig. 18(a).
+    InOrder,
+}
+
+/// Runs the trie heuristic on `configs` (each a set of rules).
+///
+/// The leaf count is padded to the next power of two with dummy
+/// configurations holding *all* rules (as the paper prescribes), which never
+/// receive traffic and maximize sharing among the pads.
+pub fn optimize<R: Ord + Clone>(configs: &[BTreeSet<R>]) -> Optimized<R> {
+    optimize_with(configs, Pairing::Greedy)
+}
+
+/// The ablation baseline: the same trie construction and rule sharing, but
+/// configurations keep their original IDs (adjacent pairing). The delta to
+/// [`optimize`] isolates the value of the paper's pairing heuristic.
+pub fn optimize_in_order<R: Ord + Clone>(configs: &[BTreeSet<R>]) -> Optimized<R> {
+    optimize_with(configs, Pairing::InOrder)
+}
+
+fn optimize_with<R: Ord + Clone>(configs: &[BTreeSet<R>], pairing: Pairing) -> Optimized<R> {
+    let original_count: usize = configs.iter().map(BTreeSet::len).sum();
+    if configs.is_empty() {
+        return Optimized {
+            leaf_order: Vec::new(),
+            guarded_rules: Vec::new(),
+            id_bits: 0,
+            original_count,
+        };
+    }
+    let leaf_count = configs.len().next_power_of_two();
+    let id_bits = leaf_count.trailing_zeros();
+    let universe: BTreeSet<R> = configs.iter().flatten().cloned().collect();
+
+    let mut level: Vec<Node<R>> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, rules)| Node { rules: rules.clone(), leaves: vec![i] })
+        .chain(
+            (configs.len()..leaf_count)
+                .map(|i| Node { rules: universe.clone(), leaves: vec![i] }),
+        )
+        .collect();
+
+    // Bottom-up pairing.
+    let mut levels: Vec<Vec<Node<R>>> = vec![level.clone()];
+    while level.len() > 1 {
+        let n = level.len();
+        let selected: Vec<(usize, usize)> = match pairing {
+            Pairing::InOrder => (0..n / 2).map(|i| (2 * i, 2 * i + 1)).collect(),
+            Pairing::Greedy => {
+                let mut pairs: Vec<(usize, usize, usize)> = Vec::new(); // (shared, i, j)
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let shared = level[i].rules.intersection(&level[j].rules).count();
+                        pairs.push((shared, i, j));
+                    }
+                }
+                // Largest intersection first; ties broken by indices for
+                // determinism.
+                pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+                let mut used = vec![false; n];
+                let mut out = Vec::with_capacity(n / 2);
+                for (_, i, j) in pairs {
+                    if used[i] || used[j] {
+                        continue;
+                    }
+                    used[i] = true;
+                    used[j] = true;
+                    out.push((i, j));
+                }
+                out
+            }
+        };
+        let mut next: Vec<Node<R>> = Vec::with_capacity(n / 2);
+        for (i, j) in selected {
+            let rules: BTreeSet<R> =
+                level[i].rules.intersection(&level[j].rules).cloned().collect();
+            let mut leaves = level[i].leaves.clone();
+            leaves.extend(level[j].leaves.iter().copied());
+            next.push(Node { rules, leaves });
+        }
+        level = next;
+        levels.push(level.clone());
+    }
+
+    // The root's leaf order fixes the configuration IDs. Tokens at or past
+    // `configs.len()` are padding dummies.
+    let token_order = level[0].leaves.clone();
+    let leaf_order: Vec<Option<usize>> = token_order
+        .iter()
+        .map(|&t| if t < configs.len() { Some(t) } else { None })
+        .collect();
+    let mut position_of_token = vec![0u64; leaf_count];
+    for (pos, &t) in token_order.iter().enumerate() {
+        position_of_token[t] = pos as u64;
+    }
+
+    // Emit rules: each node pays for rules not already owned by an ancestor.
+    // Walk levels top-down; a node at level d (from leaves) covers 2^d
+    // leaves, all contiguous in the root's order by construction.
+    let mut guarded_rules: Vec<(WildcardMask, R)> = Vec::new();
+    let top = levels.len() - 1;
+    for (depth_from_leaves, nodes) in levels.iter().enumerate().rev() {
+        let subtree = 1u64 << depth_from_leaves;
+        for node in nodes {
+            // Padding dummies hold the whole rule universe to maximize
+            // sharing opportunities during pairing, but they never receive
+            // traffic: subtrees containing no real configuration install
+            // nothing.
+            if !node.leaves.iter().any(|&t| t < configs.len()) {
+                continue;
+            }
+            let first = position_of_token[node.leaves[0]];
+            debug_assert_eq!(first % subtree, 0, "subtrees are aligned");
+            let care = if id_bits == 0 { 0 } else { (!(subtree - 1)) & ((1 << id_bits) - 1) };
+            let mask = WildcardMask::new(first & care, care);
+            // Parent rules: intersection owned higher up. Recompute by
+            // checking membership in the ancestor chain, i.e. any rule
+            // present in the enclosing node at the next level.
+            let parent_rules: Option<&BTreeSet<R>> = if depth_from_leaves == top {
+                None
+            } else {
+                levels[depth_from_leaves + 1]
+                    .iter()
+                    .find(|p| p.leaves.contains(&node.leaves[0]))
+                    .map(|p| &p.rules)
+            };
+            for rule in &node.rules {
+                if parent_rules.is_none_or(|p| !p.contains(rule)) {
+                    guarded_rules.push((mask, rule.clone()));
+                }
+            }
+        }
+    }
+
+    Optimized { leaf_order, guarded_rules, id_bits, original_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The paper's Fig. 18 example: C0={r1,r2}, C1={r1,r3}, C2={r2,r3},
+    /// C3={r1,r2}. The good trie (b) needs 5 rules; the naive count is 8 and
+    /// the bad trie (a) needs 6.
+    #[test]
+    fn fig18_reaches_the_good_trie() {
+        let configs = vec![
+            set(&["r1", "r2"]),
+            set(&["r1", "r3"]),
+            set(&["r2", "r3"]),
+            set(&["r1", "r2"]),
+        ];
+        let opt = optimize(&configs);
+        assert_eq!(opt.original_count, 8);
+        assert_eq!(opt.optimized_count(), 5, "greedy pairing finds trie (b)");
+        // Semantics preserved for every configuration.
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(&opt.effective_rules(i), c, "config {i}");
+        }
+    }
+
+    /// The same example with naive in-order IDs builds exactly the paper's
+    /// trie (a): 6 rules. The gap to 5 is the heuristic's contribution.
+    #[test]
+    fn fig18_in_order_builds_trie_a() {
+        let configs = vec![
+            set(&["r1", "r2"]),
+            set(&["r1", "r3"]),
+            set(&["r2", "r3"]),
+            set(&["r1", "r2"]),
+        ];
+        let naive = optimize_in_order(&configs);
+        assert_eq!(naive.optimized_count(), 6, "in-order IDs yield trie (a)");
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(&naive.effective_rules(i), c, "config {i}");
+            // In-order keeps the original numbering.
+            assert_eq!(naive.id_of(i), Some(i as u64));
+        }
+        assert!(optimize(&configs).optimized_count() < naive.optimized_count());
+    }
+
+    #[test]
+    fn identical_configs_collapse_fully() {
+        let configs = vec![set(&["a", "b"]); 8];
+        let opt = optimize(&configs);
+        assert_eq!(opt.original_count, 16);
+        // All shared at the root: two rules with all-wildcard guards.
+        assert_eq!(opt.optimized_count(), 2);
+        assert!(opt.guarded_rules.iter().all(|(m, _)| *m == WildcardMask::any()));
+    }
+
+    #[test]
+    fn disjoint_configs_save_nothing() {
+        let configs = vec![set(&["a"]), set(&["b"]), set(&["c"]), set(&["d"])];
+        let opt = optimize(&configs);
+        assert_eq!(opt.optimized_count(), opt.original_count);
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(&opt.effective_rules(i), c);
+        }
+    }
+
+    #[test]
+    fn padding_to_power_of_two() {
+        // Three configs pad to four leaves; the dummy holds the universe.
+        let configs = vec![set(&["a", "b"]), set(&["a"]), set(&["b"])];
+        let opt = optimize(&configs);
+        assert_eq!(opt.leaf_order.len(), 4);
+        assert!(opt.leaf_order.contains(&None));
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(&opt.effective_rules(i), c, "config {i}");
+        }
+    }
+
+    #[test]
+    fn single_config_is_trivial() {
+        let configs = vec![set(&["a", "b", "c"])];
+        let opt = optimize(&configs);
+        assert_eq!(opt.optimized_count(), 3);
+        assert_eq!(opt.id_bits, 0);
+        assert_eq!(opt.effective_rules(0), configs[0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let opt = optimize::<String>(&[]);
+        assert_eq!(opt.optimized_count(), 0);
+        assert_eq!(opt.original_count, 0);
+        assert_eq!(opt.savings(), 0.0);
+    }
+
+    #[test]
+    fn never_worse_than_naive() {
+        // A few structured cases; the property test in lib.rs covers random
+        // ones.
+        let cases = vec![
+            vec![set(&["a", "b"]), set(&["b", "c"]), set(&["c", "a"]), set(&["a", "b", "c"])],
+            vec![set(&[]), set(&["x"]), set(&["x", "y"]), set(&["y"])],
+        ];
+        for configs in cases {
+            let opt = optimize(&configs);
+            assert!(opt.optimized_count() <= opt.original_count);
+            for (i, c) in configs.iter().enumerate() {
+                assert_eq!(&opt.effective_rules(i), c);
+            }
+        }
+    }
+
+    #[test]
+    fn savings_fraction() {
+        let configs = vec![set(&["a", "b"]); 2];
+        let opt = optimize(&configs);
+        assert_eq!(opt.original_count, 4);
+        assert_eq!(opt.optimized_count(), 2);
+        assert!((opt.savings() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! The NES data plane: the operational semantics of Fig. 7 as a
+//! [`netsim::DataPlane`].
+//!
+//! * **IN** — packets entering from a host are stamped with the tag of the
+//!   ingress switch's current (effective) event-set.
+//! * **SWITCH** — the switch unions the packet's digest into its local
+//!   event-set, fires any enabled events the arrival matches, notifies the
+//!   controller, forwards the packet under *its stamped tag's*
+//!   configuration, and adds its own knowledge to the outgoing digest.
+//! * **CTRLRECV/CTRLSEND** — the controller accumulates fired events and
+//!   (optionally, as the paper's optimization) broadcasts its view to all
+//!   switches.
+
+use std::collections::BTreeMap;
+
+use edn_core::{EventId, EventSet};
+use netkat::{Field, Loc, Packet};
+use netsim::{CtrlMsg, DataPlane, SimTime, StepResult};
+
+use crate::compile::CompiledNes;
+
+/// The deployed NES runtime (switch state + controller).
+#[derive(Clone, Debug)]
+pub struct NesDataPlane {
+    compiled: CompiledNes,
+    /// Per-switch known events (`E` in Fig. 7).
+    local: BTreeMap<u64, EventSet>,
+    /// Controller's accumulated events (`R` in Fig. 7).
+    controller: EventSet,
+    /// Whether the controller broadcasts its view to all switches
+    /// (the CTRLSEND optimization of Section 4.1).
+    broadcast: bool,
+    /// Switch ids (for broadcasting).
+    switches: Vec<u64>,
+    /// First time each switch learned each event (for the Fig. 16(b)
+    /// convergence experiment).
+    discovery: BTreeMap<(u64, EventId), SimTime>,
+    /// Global fire log, in order (a hint for the correctness checker).
+    fired_log: Vec<(SimTime, EventId)>,
+}
+
+impl NesDataPlane {
+    /// Deploys a compiled NES on the given switches.
+    pub fn new(compiled: CompiledNes, switches: Vec<u64>, broadcast: bool) -> NesDataPlane {
+        let local = switches.iter().map(|&s| (s, EventSet::empty())).collect();
+        NesDataPlane {
+            compiled,
+            local,
+            controller: EventSet::empty(),
+            broadcast,
+            switches,
+            discovery: BTreeMap::new(),
+            fired_log: Vec::new(),
+        }
+    }
+
+    /// The compiled NES.
+    pub fn compiled(&self) -> &CompiledNes {
+        &self.compiled
+    }
+
+    /// A switch's current known event-set.
+    pub fn local_events(&self, sw: u64) -> EventSet {
+        self.local.get(&sw).copied().unwrap_or(EventSet::empty())
+    }
+
+    /// When `sw` first learned `event`, if it has.
+    pub fn discovery_time(&self, sw: u64, event: EventId) -> Option<SimTime> {
+        self.discovery.get(&(sw, event)).copied()
+    }
+
+    /// The events fired so far, in order — usable as the checker's sequence
+    /// hint.
+    pub fn fired_sequence(&self) -> Vec<EventId> {
+        self.fired_log.iter().map(|&(_, e)| e).collect()
+    }
+
+    /// The fire log with timestamps.
+    pub fn fired_log(&self) -> &[(SimTime, EventId)] {
+        &self.fired_log
+    }
+
+    fn learn(&mut self, sw: u64, events: EventSet, now: SimTime) {
+        let known = self.local.entry(sw).or_insert(EventSet::empty());
+        let fresh = events.difference(*known);
+        *known = known.union(events);
+        for e in fresh.iter() {
+            self.discovery.entry((sw, e)).or_insert(now);
+        }
+    }
+}
+
+impl DataPlane for NesDataPlane {
+    fn process(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        mut packet: Packet,
+        from_host: bool,
+        now: SimTime,
+    ) -> StepResult {
+        // SWITCH step 1: union the packet's digest into local state.
+        let digest = EventSet::from_bits(packet.get(Field::Digest).unwrap_or(0));
+        self.learn(sw, digest, now);
+        let known = self.local_events(sw);
+
+        // IN: stamp host-entering packets with the current tag.
+        if from_host {
+            packet.set(Field::Tag, self.compiled.tag_for_known(known));
+        }
+
+        // SWITCH step 2: fire enabled events this arrival matches.
+        let effective = self.compiled.effective_set(known);
+        let fired = self.compiled.triggered(effective, &packet, Loc::new(sw, pt));
+        let mut notifications = Vec::new();
+        if !fired.is_empty() {
+            self.learn(sw, fired, now);
+            for e in fired.iter() {
+                self.fired_log.push((now, e));
+            }
+            notifications.push(CtrlMsg::Events(fired.bits()));
+        }
+        let known = self.local_events(sw);
+
+        // SWITCH step 3: forward under the packet's stamped configuration.
+        let tag = packet.get(Field::Tag).unwrap_or_else(|| self.compiled.tag_for_known(known));
+        let config = self.compiled.nes().config(self.compiled.set_of(tag));
+        let mut lookup = packet.clone();
+        lookup.set_loc(Loc::new(sw, pt));
+        let Some(table) = config.table(sw) else {
+            return StepResult { outputs: Vec::new(), notifications };
+        };
+        let mut outputs = Vec::new();
+        for mut out in table.apply(&lookup) {
+            let out_pt = out.get(Field::Port).unwrap_or(pt);
+            out.unset(Field::Switch);
+            out.unset(Field::Port);
+            // SWITCH step 4: the outgoing digest carries everything this
+            // switch now knows.
+            out.set(Field::Digest, digest.union(known).bits());
+            out.set(Field::Tag, tag);
+            outputs.push((out_pt, out));
+        }
+        StepResult { outputs, notifications }
+    }
+
+    fn on_notify(&mut self, msg: CtrlMsg, _now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+        let CtrlMsg::Events(bits) = msg else { return Vec::new() };
+        // CTRLRECV: move events into the controller.
+        self.controller = self.controller.union(EventSet::from_bits(bits));
+        if !self.broadcast {
+            return Vec::new();
+        }
+        // CTRLSEND: push the controller's whole view to every switch.
+        let view = self.controller.bits();
+        self.switches
+            .iter()
+            .enumerate()
+            .map(|(i, &sw)| (SimTime::from_micros(10 * i as u64), sw, CtrlMsg::Events(view)))
+            .collect()
+    }
+
+    fn deliver(&mut self, sw: u64, msg: CtrlMsg, now: SimTime) {
+        if let CtrlMsg::Events(bits) = msg {
+            self.learn(sw, EventSet::from_bits(bits), now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edn_core::{Config, Event, EventStructure, NetworkEventStructure};
+    use netkat::{Action, ActionSet, FlowTable, Match, Pred, Rule};
+
+    /// One switch (1): hosts at ports 2 (src) and 3 (dst).
+    /// C∅ forwards 2→3; C{e0} also 3→2. Event e0: arrival of dst=300 at 1:2.
+    fn firewall_nes() -> NetworkEventStructure {
+        let mk = |rules: Vec<Rule>| {
+            let mut c = Config::new();
+            c.install(1, FlowTable::from_rules(rules));
+            c.add_host(200, Loc::new(1, 2));
+            c.add_host(300, Loc::new(1, 3));
+            c
+        };
+        let fwd = |a: u64, b: u64| {
+            Rule::new(
+                Match::new().with(Field::Port, a),
+                ActionSet::single(Action::assign(Field::Port, b)),
+            )
+        };
+        let e0 = EventId::new(0);
+        let es = EventStructure::new(
+            vec![Event::new(e0, Pred::test(Field::IpDst, 300), Loc::new(1, 2))],
+            [EventSet::singleton(e0)],
+        );
+        NetworkEventStructure::new(
+            es,
+            [
+                (EventSet::empty(), mk(vec![fwd(2, 3)])),
+                (EventSet::singleton(e0), mk(vec![fwd(2, 3), fwd(3, 2)])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn plane() -> NesDataPlane {
+        NesDataPlane::new(CompiledNes::compile(firewall_nes()), vec![1], false)
+    }
+
+    #[test]
+    fn ingress_stamps_tag_zero_initially() {
+        let mut dp = plane();
+        let pk = Packet::new().with(Field::IpDst, 999);
+        let r = dp.process(1, 2, pk, true, SimTime::ZERO);
+        assert_eq!(r.outputs.len(), 1);
+        let (pt, out) = &r.outputs[0];
+        assert_eq!(*pt, 3);
+        assert_eq!(out.get(Field::Tag), Some(0));
+        assert!(r.notifications.is_empty());
+    }
+
+    #[test]
+    fn trigger_fires_event_but_packet_keeps_old_config() {
+        let mut dp = plane();
+        let pk = Packet::new().with(Field::IpDst, 300);
+        let r = dp.process(1, 2, pk, true, SimTime::ZERO);
+        // Event fired and was reported.
+        assert_eq!(r.notifications, vec![CtrlMsg::Events(1)]);
+        assert_eq!(dp.local_events(1), EventSet::singleton(EventId::new(0)));
+        assert_eq!(dp.fired_sequence(), vec![EventId::new(0)]);
+        // The triggering packet is still stamped with the *pre-event* tag
+        // (IN stamps before the SWITCH trigger step).
+        assert_eq!(r.outputs[0].1.get(Field::Tag), Some(0));
+        // Its digest carries the fired event.
+        assert_eq!(r.outputs[0].1.get(Field::Digest), Some(1));
+    }
+
+    #[test]
+    fn packets_after_event_use_new_config() {
+        let mut dp = plane();
+        dp.process(1, 2, Packet::new().with(Field::IpDst, 300), true, SimTime::ZERO);
+        // Reply direction now allowed.
+        let r = dp.process(1, 3, Packet::new().with(Field::IpDst, 200), true, SimTime::ZERO);
+        assert_eq!(r.outputs.len(), 1);
+        assert_eq!(r.outputs[0].0, 2);
+        assert_eq!(r.outputs[0].1.get(Field::Tag), Some(1));
+        // Before the event, that same packet would have been dropped.
+        let mut fresh = plane();
+        let r = fresh.process(1, 3, Packet::new().with(Field::IpDst, 200), true, SimTime::ZERO);
+        assert!(r.outputs.is_empty());
+    }
+
+    #[test]
+    fn digest_teaches_other_switches() {
+        let mut dp = NesDataPlane::new(CompiledNes::compile(firewall_nes()), vec![1, 2], false);
+        // A packet carrying digest {e0} arrives at switch 2 (not from host).
+        let pk = Packet::new().with(Field::Digest, 1).with(Field::Tag, 1);
+        dp.process(2, 1, pk, false, SimTime::from_millis(3));
+        assert_eq!(dp.local_events(2), EventSet::singleton(EventId::new(0)));
+        assert_eq!(
+            dp.discovery_time(2, EventId::new(0)),
+            Some(SimTime::from_millis(3))
+        );
+    }
+
+    #[test]
+    fn controller_broadcast_spreads_events() {
+        let mut dp = NesDataPlane::new(CompiledNes::compile(firewall_nes()), vec![1, 2], true);
+        let pushes = dp.on_notify(CtrlMsg::Events(1), SimTime::ZERO);
+        assert_eq!(pushes.len(), 2);
+        for (_, sw, msg) in pushes {
+            assert_eq!(msg, CtrlMsg::Events(1));
+            dp.deliver(sw, msg, SimTime::from_millis(5));
+        }
+        assert_eq!(dp.local_events(2), EventSet::singleton(EventId::new(0)));
+        // Without broadcast, no pushes.
+        let mut quiet = NesDataPlane::new(CompiledNes::compile(firewall_nes()), vec![1, 2], false);
+        assert!(quiet.on_notify(CtrlMsg::Events(1), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn event_fires_only_once() {
+        let mut dp = plane();
+        dp.process(1, 2, Packet::new().with(Field::IpDst, 300), true, SimTime::ZERO);
+        let r = dp.process(1, 2, Packet::new().with(Field::IpDst, 300), true, SimTime::ZERO);
+        assert!(r.notifications.is_empty(), "already-fired events do not re-fire");
+        assert_eq!(dp.fired_sequence().len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! A static data plane: one fixed configuration, no tags, no events.
+//!
+//! This is the Fig. 16(a) reference point — "the initial (static)
+//! configuration of the program running on un-modified OpenFlow 1.0
+//! reference switches" — against which the NES runtime's overhead is
+//! measured.
+
+use edn_core::Config;
+use netkat::{Field, Loc, Packet};
+use netsim::{CtrlMsg, DataPlane, SimTime, StepResult};
+
+/// A data plane that forwards under a single fixed [`Config`].
+#[derive(Clone, Debug)]
+pub struct StaticDataPlane {
+    config: Config,
+}
+
+impl StaticDataPlane {
+    /// Deploys the configuration.
+    pub fn new(config: Config) -> StaticDataPlane {
+        StaticDataPlane { config }
+    }
+
+    /// The deployed configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+impl DataPlane for StaticDataPlane {
+    fn process(&mut self, sw: u64, pt: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+        let Some(table) = self.config.table(sw) else { return StepResult::drop() };
+        let mut lookup = packet;
+        lookup.set_loc(Loc::new(sw, pt));
+        let mut outputs = Vec::new();
+        for mut out in table.apply(&lookup) {
+            let out_pt = out.get(Field::Port).unwrap_or(pt);
+            out.unset(Field::Switch);
+            out.unset(Field::Port);
+            outputs.push((out_pt, out));
+        }
+        StepResult { outputs, notifications: Vec::new() }
+    }
+
+    fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+        Vec::new()
+    }
+
+    fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkat::{Action, ActionSet, FlowTable, Match, Rule};
+
+    #[test]
+    fn forwards_under_the_fixed_config() {
+        let mut config = Config::new();
+        config.install(
+            1,
+            FlowTable::from_rules([Rule::new(
+                Match::new().with(Field::Port, 2),
+                ActionSet::single(Action::assign(Field::Port, 3)),
+            )]),
+        );
+        let mut dp = StaticDataPlane::new(config);
+        let r = dp.process(1, 2, Packet::new(), true, SimTime::ZERO);
+        assert_eq!(r.outputs.len(), 1);
+        assert_eq!(r.outputs[0].0, 3);
+        assert!(r.notifications.is_empty());
+        // Non-matching port drops.
+        assert!(dp.process(1, 9, Packet::new(), true, SimTime::ZERO).outputs.is_empty());
+        // Controller messages are inert.
+        assert!(dp.on_notify(CtrlMsg::Events(1), SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Abstract syntax of Stateful NetKAT (Fig. 4 of the paper).
+//!
+//! Stateful NetKAT extends NetKAT with a global vector-valued variable
+//! `state`: tests `state(m) = n` and link-attached assignments
+//! `(n:m) → (n:m) ⟨state(m) ← n⟩`. A program compactly denotes a collection
+//! of plain NetKAT programs (one per state vector) plus the event-edges
+//! between them.
+
+use std::fmt;
+
+use netkat::{Field, Loc, Value};
+
+/// A state vector value `~k`.
+pub type StateVec = Vec<Value>;
+
+/// A Stateful NetKAT test (`a, b` in Fig. 4).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum STest {
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `x = n` over a packet field (including `pt` and `sw`).
+    Field(Field, Value),
+    /// `state(m) = n`.
+    State(usize, Value),
+    /// `a ∧ b`.
+    And(Box<STest>, Box<STest>),
+    /// `a ∨ b`.
+    Or(Box<STest>, Box<STest>),
+    /// `¬a`.
+    Not(Box<STest>),
+}
+
+impl STest {
+    /// Conjunction helper.
+    pub fn and(self, other: STest) -> STest {
+        STest::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: STest) -> STest {
+        STest::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> STest {
+        STest::Not(Box::new(self))
+    }
+
+    /// The test `state = ~k` (conjunction over all indices).
+    pub fn state_eq(vec: &[Value]) -> STest {
+        vec.iter()
+            .enumerate()
+            .map(|(m, &n)| STest::State(m, n))
+            .reduce(STest::and)
+            .unwrap_or(STest::True)
+    }
+}
+
+impl fmt::Display for STest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            STest::True => write!(f, "true"),
+            STest::False => write!(f, "false"),
+            STest::Field(field, n) => write!(f, "{field}={n}"),
+            STest::State(m, n) => write!(f, "state({m})={n}"),
+            STest::And(a, b) => write!(f, "({a} & {b})"),
+            STest::Or(a, b) => write!(f, "({a} | {b})"),
+            STest::Not(a) => write!(f, "!{a}"),
+        }
+    }
+}
+
+/// A Stateful NetKAT command (`p, q` in Fig. 4).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SPolicy {
+    /// A test used as a filter.
+    Test(STest),
+    /// Field assignment `x ← n` (modifiable fields: headers and `pt`).
+    Assign(Field, Value),
+    /// Union `p + q`.
+    Union(Box<SPolicy>, Box<SPolicy>),
+    /// Sequence `p ; q`.
+    Seq(Box<SPolicy>, Box<SPolicy>),
+    /// Iteration `p*`.
+    Star(Box<SPolicy>),
+    /// Link `(n:m) → (n:m)`.
+    Link(Loc, Loc),
+    /// Link with state assignment `(n:m) → (n:m) ⟨state(m₁)←n₁, …⟩`.
+    ///
+    /// The write list generalizes Fig. 4's single write; the concrete syntax
+    /// `⟨state ← [v…]⟩` writes the whole vector.
+    LinkState(Loc, Loc, Vec<(usize, Value)>),
+}
+
+impl SPolicy {
+    /// The identity command.
+    pub fn id() -> SPolicy {
+        SPolicy::Test(STest::True)
+    }
+
+    /// The drop command.
+    pub fn drop() -> SPolicy {
+        SPolicy::Test(STest::False)
+    }
+
+    /// Union helper.
+    pub fn union(self, other: SPolicy) -> SPolicy {
+        SPolicy::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Sequence helper.
+    pub fn seq(self, other: SPolicy) -> SPolicy {
+        SPolicy::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Union of all commands (`drop` if empty).
+    pub fn union_all<I: IntoIterator<Item = SPolicy>>(ps: I) -> SPolicy {
+        let mut it = ps.into_iter();
+        match it.next() {
+            None => SPolicy::drop(),
+            Some(first) => it.fold(first, SPolicy::union),
+        }
+    }
+
+    /// Sequence of all commands (`id` if empty).
+    pub fn seq_all<I: IntoIterator<Item = SPolicy>>(ps: I) -> SPolicy {
+        let mut it = ps.into_iter();
+        match it.next() {
+            None => SPolicy::id(),
+            Some(first) => it.fold(first, SPolicy::seq),
+        }
+    }
+
+    /// The highest `state` index mentioned anywhere, if any.
+    pub fn max_state_index(&self) -> Option<usize> {
+        fn test_max(t: &STest) -> Option<usize> {
+            match t {
+                STest::True | STest::False | STest::Field(..) => None,
+                STest::State(m, _) => Some(*m),
+                STest::And(a, b) | STest::Or(a, b) => test_max(a).max(test_max(b)),
+                STest::Not(a) => test_max(a),
+            }
+        }
+        match self {
+            SPolicy::Test(t) => test_max(t),
+            SPolicy::Assign(..) | SPolicy::Link(..) => None,
+            SPolicy::LinkState(_, _, writes) => writes.iter().map(|&(m, _)| m).max(),
+            SPolicy::Union(a, b) | SPolicy::Seq(a, b) => {
+                a.max_state_index().max(b.max_state_index())
+            }
+            SPolicy::Star(a) => a.max_state_index(),
+        }
+    }
+
+    /// The number of state vector slots the program needs.
+    pub fn state_width(&self) -> usize {
+        self.max_state_index().map_or(0, |m| m + 1)
+    }
+
+    /// All physical links mentioned by the program (for default topologies).
+    pub fn links(&self) -> Vec<(Loc, Loc)> {
+        let mut out = Vec::new();
+        fn walk(p: &SPolicy, out: &mut Vec<(Loc, Loc)>) {
+            match p {
+                SPolicy::Test(_) | SPolicy::Assign(..) => {}
+                SPolicy::Link(a, b) | SPolicy::LinkState(a, b, _) => out.push((*a, *b)),
+                SPolicy::Union(a, b) | SPolicy::Seq(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                SPolicy::Star(a) => walk(a, out),
+            }
+        }
+        walk(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl From<STest> for SPolicy {
+    fn from(t: STest) -> SPolicy {
+        SPolicy::Test(t)
+    }
+}
+
+impl fmt::Display for SPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SPolicy::Test(t) => write!(f, "{t}"),
+            SPolicy::Assign(field, n) => write!(f, "{field}<-{n}"),
+            SPolicy::Union(a, b) => write!(f, "({a} + {b})"),
+            SPolicy::Seq(a, b) => write!(f, "({a}; {b})"),
+            SPolicy::Star(a) => write!(f, "({a})*"),
+            SPolicy::Link(a, b) => write!(f, "({a})->({b})"),
+            SPolicy::LinkState(a, b, w) => {
+                write!(f, "({a})->({b})<")?;
+                for (i, (m, n)) in w.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "state({m})<-{n}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_width_tracks_max_index() {
+        let p = SPolicy::Test(STest::State(2, 1))
+            .seq(SPolicy::LinkState(Loc::new(1, 1), Loc::new(2, 1), vec![(4, 0)]));
+        assert_eq!(p.max_state_index(), Some(4));
+        assert_eq!(p.state_width(), 5);
+        assert_eq!(SPolicy::id().state_width(), 0);
+    }
+
+    #[test]
+    fn state_eq_builds_conjunction() {
+        let t = STest::state_eq(&[1, 2]);
+        assert_eq!(t, STest::State(0, 1).and(STest::State(1, 2)));
+        assert_eq!(STest::state_eq(&[]), STest::True);
+    }
+
+    #[test]
+    fn links_are_collected() {
+        let p = SPolicy::Link(Loc::new(1, 1), Loc::new(4, 1))
+            .union(SPolicy::LinkState(Loc::new(4, 1), Loc::new(1, 1), vec![(0, 1)]));
+        assert_eq!(
+            p.links(),
+            vec![
+                (Loc::new(1, 1), Loc::new(4, 1)),
+                (Loc::new(4, 1), Loc::new(1, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let p = SPolicy::Test(STest::Field(Field::Port, 2).and(STest::State(0, 0).not()))
+            .seq(SPolicy::LinkState(Loc::new(1, 1), Loc::new(4, 1), vec![(0, 1)]));
+        assert_eq!(p.to_string(), "((pt=2 & !state(0)=0); (1:1)->(4:1)<state(0)<-1>)");
+    }
+
+    #[test]
+    fn union_all_seq_all_defaults() {
+        assert_eq!(SPolicy::union_all([]), SPolicy::drop());
+        assert_eq!(SPolicy::seq_all([]), SPolicy::id());
+    }
+}

@@ -1,0 +1,342 @@
+//! The two extraction functions of the Stateful NetKAT compiler.
+//!
+//! * [`project`] is the paper's `⟦p⟧~k` (Fig. 5): the plain NetKAT program
+//!   for one value of the state vector.
+//! * [`event_edges`] is the paper's `⦇p⦈~k ϕ` (Fig. 6): the event-edges a
+//!   program can take out of state `~k`, collecting the conjunction of
+//!   header tests seen on the way to each state-assigning link.
+//!
+//! One presentational deviation: Fig. 6 leaves `sw`/`pt` tests out of `ϕ`
+//! (they are positional, resolved by the event's location) but lets a
+//! `pt ← n` assignment insert `pt = n`. We symmetrically keep *all* location
+//! fields out of event guards, matching the event predicates the paper
+//! actually reports for its examples (e.g. `(dst=H4, 4:1)`).
+
+use std::collections::BTreeSet;
+
+use netkat::{Loc, Policy, Pred, TestConj, Value};
+
+use crate::ast::{SPolicy, STest, StateVec};
+
+/// Fuel for the `⊔ⱼ Fⱼ` star iteration of Fig. 6.
+const STAR_FUEL: usize = 256;
+
+/// An event-edge `(~k, (ϕ, sw, pt), ~k′)` extracted from a program.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventEdge {
+    /// Source state vector.
+    pub from: StateVec,
+    /// The header-field guard `ϕ` of the event.
+    pub guard: TestConj,
+    /// The event's location: the *destination* of the annotated link.
+    pub loc: Loc,
+    /// The state writes, sorted by index.
+    pub writes: Vec<(usize, Value)>,
+    /// Target state vector.
+    pub to: StateVec,
+}
+
+/// `⟦p⟧~k` (Fig. 5): the plain NetKAT program at state `~k`.
+///
+/// State tests become `true`/`false`; annotated links lose their annotation.
+///
+/// # Examples
+///
+/// ```
+/// use stateful_netkat::{project, SPolicy, STest};
+/// use netkat::{Policy, Pred};
+/// let p = SPolicy::Test(STest::State(0, 1));
+/// assert_eq!(project(&p, &[1]), Policy::filter(Pred::True));
+/// assert_eq!(project(&p, &[0]), Policy::filter(Pred::False));
+/// ```
+pub fn project(p: &SPolicy, k: &[Value]) -> Policy {
+    match p {
+        SPolicy::Test(t) => Policy::filter(project_test(t, k)),
+        SPolicy::Assign(f, n) => Policy::modify(*f, *n),
+        SPolicy::Union(a, b) => project(a, k).union(project(b, k)),
+        SPolicy::Seq(a, b) => project(a, k).seq(project(b, k)),
+        SPolicy::Star(a) => project(a, k).star(),
+        SPolicy::Link(a, b) | SPolicy::LinkState(a, b, _) => Policy::link(*a, *b),
+    }
+}
+
+fn project_test(t: &STest, k: &[Value]) -> Pred {
+    match t {
+        STest::True => Pred::True,
+        STest::False => Pred::False,
+        STest::Field(f, n) => Pred::test(*f, *n),
+        STest::State(m, n) => {
+            if k.get(*m) == Some(n) {
+                Pred::True
+            } else {
+                Pred::False
+            }
+        }
+        STest::And(a, b) => project_test(a, k).and(project_test(b, k)),
+        STest::Or(a, b) => project_test(a, k).or(project_test(b, k)),
+        STest::Not(a) => project_test(a, k).not(),
+    }
+}
+
+/// `⦇p⦈~k ϕ` (Fig. 6): the event-edges and surviving test-conjunctions.
+///
+/// Call with `TestConj::new()` (i.e. `ϕ = true`) at the top level.
+///
+/// # Errors
+///
+/// Returns an error message if a `*` fails to converge within an internal
+/// bound (the sets grow monotonically in a finite space, so this indicates a
+/// pathological program).
+pub fn event_edges(
+    p: &SPolicy,
+    k: &StateVec,
+    phi: &TestConj,
+) -> Result<(BTreeSet<EventEdge>, BTreeSet<TestConj>), String> {
+    match p {
+        SPolicy::Test(t) => Ok((BTreeSet::new(), test_guards(t, true, k, phi))),
+        SPolicy::Assign(f, n) => {
+            let mut phi = phi.clone();
+            if !f.is_location() {
+                // (∃f : ϕ) ∧ f = n — always satisfiable after stripping.
+                phi.strip(*f);
+                let ok = phi.add_eq(*f, *n);
+                debug_assert!(ok);
+            }
+            Ok((BTreeSet::new(), BTreeSet::from([phi])))
+        }
+        SPolicy::Union(a, b) => {
+            let (da, pa) = event_edges(a, k, phi)?;
+            let (db, pb) = event_edges(b, k, phi)?;
+            Ok((da.union(&db).cloned().collect(), pa.union(&pb).cloned().collect()))
+        }
+        SPolicy::Seq(a, b) => {
+            let (da, pa) = event_edges(a, k, phi)?;
+            let mut d = da;
+            let mut ps = BTreeSet::new();
+            for phi2 in &pa {
+                let (db, pb) = event_edges(b, k, phi2)?;
+                d.extend(db);
+                ps.extend(pb);
+            }
+            Ok((d, ps))
+        }
+        SPolicy::Star(a) => {
+            // ⊔ⱼ Fⱼ: accumulate edges and conjunctions to a fixpoint.
+            let mut edges = BTreeSet::new();
+            let mut phis = BTreeSet::from([phi.clone()]);
+            let mut frontier = phis.clone();
+            for _ in 0..STAR_FUEL {
+                let mut new_phis = BTreeSet::new();
+                for f in &frontier {
+                    let (d, ps) = event_edges(a, k, f)?;
+                    edges.extend(d);
+                    for p2 in ps {
+                        if !phis.contains(&p2) {
+                            new_phis.insert(p2);
+                        }
+                    }
+                }
+                if new_phis.is_empty() {
+                    return Ok((edges, phis));
+                }
+                phis.extend(new_phis.iter().cloned());
+                frontier = new_phis;
+            }
+            Err("star iteration in event extraction did not converge".to_string())
+        }
+        SPolicy::Link(..) => Ok((BTreeSet::new(), BTreeSet::from([phi.clone()]))),
+        SPolicy::LinkState(_, dst, writes) => {
+            let mut sorted = writes.clone();
+            sorted.sort();
+            sorted.dedup();
+            let mut to = k.clone();
+            for &(m, n) in &sorted {
+                if to.len() <= m {
+                    to.resize(m + 1, 0);
+                }
+                to[m] = n;
+            }
+            let edge = EventEdge {
+                from: k.clone(),
+                guard: phi.clone(),
+                loc: *dst,
+                writes: sorted,
+                to,
+            };
+            Ok((BTreeSet::from([edge]), BTreeSet::from([phi.clone()])))
+        }
+    }
+}
+
+/// The `P` component for tests, with negation normalized on the fly
+/// (the `L¬…M` rules of Fig. 6).
+fn test_guards(t: &STest, positive: bool, k: &StateVec, phi: &TestConj) -> BTreeSet<TestConj> {
+    let keep = BTreeSet::from([phi.clone()]);
+    let kill = BTreeSet::new();
+    match (t, positive) {
+        (STest::True, true) | (STest::False, false) => keep,
+        (STest::True, false) | (STest::False, true) => kill,
+        (STest::Field(f, _), _) if f.is_location() => keep, // Fig. 6: sw/pt → ⦇true⦈
+        (STest::Field(f, n), pos) => {
+            let mut phi = phi.clone();
+            let ok = if pos { phi.add_eq(*f, *n) } else { phi.add_neq(*f, *n) };
+            if ok {
+                BTreeSet::from([phi])
+            } else {
+                kill
+            }
+        }
+        (STest::State(m, n), pos) => {
+            if (k.get(*m) == Some(n)) == pos {
+                keep
+            } else {
+                kill
+            }
+        }
+        (STest::And(a, b), true) | (STest::Or(a, b), false) => {
+            // Kleisli: thread each surviving ϕ through the second conjunct.
+            let mut out = BTreeSet::new();
+            for phi2 in test_guards(a, positive, k, phi) {
+                out.extend(test_guards(b, positive, k, &phi2));
+            }
+            out
+        }
+        (STest::Or(a, b), true) | (STest::And(a, b), false) => {
+            let mut out = test_guards(a, positive, k, phi);
+            out.extend(test_guards(b, positive, k, phi));
+            out
+        }
+        (STest::Not(a), _) => test_guards(a, !positive, k, phi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkat::Field;
+    use std::collections::BTreeMap;
+
+    use crate::parser::parse;
+
+    fn env() -> BTreeMap<String, Value> {
+        BTreeMap::from([
+            ("H1".to_string(), 1),
+            ("H2".to_string(), 2),
+            ("H4".to_string(), 4),
+        ])
+    }
+
+    fn firewall() -> SPolicy {
+        parse(
+            "pt=2 & ip_dst=H4; pt<-1; (state=[0]; (1:1)->(4:1)<state<-[1]> \
+             + state!=[0]; (1:1)->(4:1)); pt<-2 \
+             + pt=2 & ip_dst=H1; state=[1]; pt<-1; (4:1)->(1:1); pt<-2",
+            &env(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn firewall_projects_to_two_distinct_configs() {
+        let p = firewall();
+        let c0 = project(&p, &[0]);
+        let c1 = project(&p, &[1]);
+        assert_ne!(c0, c1);
+        // In state [0] the incoming clause is dead (state=[1] is false), so
+        // only one link survives meaningfully; both projections still parse
+        // as link programs.
+        assert!(c0.has_links());
+        assert!(c1.has_links());
+    }
+
+    #[test]
+    fn firewall_event_edge_from_initial_state() {
+        let p = firewall();
+        let (edges, _) = event_edges(&p, &vec![0], &TestConj::new()).unwrap();
+        assert_eq!(edges.len(), 1);
+        let e = edges.iter().next().unwrap();
+        assert_eq!(e.from, vec![0]);
+        assert_eq!(e.to, vec![1]);
+        assert_eq!(e.loc, Loc::new(4, 1));
+        // Guard is the header conjunction: ip_dst=4 (location fields kept
+        // out, matching the paper's (dst=H4, 4:1)).
+        assert_eq!(e.guard.eq(Field::IpDst), Some(4));
+        assert_eq!(e.guard.eq(Field::Port), None);
+    }
+
+    #[test]
+    fn firewall_no_edges_from_final_state() {
+        let p = firewall();
+        let (edges, _) = event_edges(&p, &vec![1], &TestConj::new()).unwrap();
+        // state=[0] guard is false in state [1]: no more transitions.
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn assignment_strips_and_pins_header_fields() {
+        let p = parse("ip_dst=H4; vlan<-7; (1:1)->(2:1)<state<-[1]>", &env()).unwrap();
+        let (edges, _) = event_edges(&p, &vec![0], &TestConj::new()).unwrap();
+        let e = edges.iter().next().unwrap();
+        assert_eq!(e.guard.eq(Field::Vlan), Some(7));
+        assert_eq!(e.guard.eq(Field::IpDst), Some(4));
+        // Overwriting: a second assignment replaces the first constraint.
+        let q = parse("vlan=3; vlan<-7; (1:1)->(2:1)<state<-[1]>", &env()).unwrap();
+        let (edges, _) = event_edges(&q, &vec![0], &TestConj::new()).unwrap();
+        assert_eq!(edges.iter().next().unwrap().guard.eq(Field::Vlan), Some(7));
+    }
+
+    #[test]
+    fn contradictory_tests_kill_the_branch() {
+        let p = parse("ip_dst=H4 & ip_dst=H1; (1:1)->(2:1)<state<-[1]>", &env()).unwrap();
+        let (edges, phis) = event_edges(&p, &vec![0], &TestConj::new()).unwrap();
+        assert!(edges.is_empty());
+        assert!(phis.is_empty());
+    }
+
+    #[test]
+    fn negated_or_splits_into_neqs() {
+        // !(ip_dst=H1 | ip_dst=H2) = ip_dst!=1 & ip_dst!=2
+        let p = parse("!(ip_dst=H1 | ip_dst=H2); (1:1)->(2:1)<state<-[1]>", &env()).unwrap();
+        let (edges, _) = event_edges(&p, &vec![0], &TestConj::new()).unwrap();
+        assert_eq!(edges.len(), 1);
+        let g = &edges.iter().next().unwrap().guard;
+        assert!(g.excludes(Field::IpDst, 1));
+        assert!(g.excludes(Field::IpDst, 2));
+    }
+
+    #[test]
+    fn union_collects_edges_from_both_branches() {
+        let p = parse(
+            "ip_dst=H1; (1:1)->(2:1)<state(0)<-1> + ip_dst=H2; (1:1)->(2:1)<state(1)<-1>",
+            &env(),
+        )
+        .unwrap();
+        let (edges, _) = event_edges(&p, &vec![0, 0], &TestConj::new()).unwrap();
+        assert_eq!(edges.len(), 2);
+        let tos: BTreeSet<_> = edges.iter().map(|e| e.to.clone()).collect();
+        assert!(tos.contains(&vec![1, 0]));
+        assert!(tos.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn star_extraction_converges() {
+        let p = parse("(ip_dst=H1; vlan<-1)*; (1:1)->(2:1)<state<-[1]>", &env()).unwrap();
+        let (edges, _) = event_edges(&p, &vec![0], &TestConj::new()).unwrap();
+        // Two guards reach the link: the empty iteration (no constraint) and
+        // ip_dst=1 & vlan=1.
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn state_writes_extend_the_vector() {
+        let p = parse("(1:1)->(2:1)<state(3)<-9>", &env()).unwrap();
+        let (edges, _) = event_edges(&p, &vec![0], &TestConj::new()).unwrap();
+        assert_eq!(edges.iter().next().unwrap().to, vec![0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn projection_of_annotated_link_is_plain_link() {
+        let p = parse("(1:1)->(4:1)<state<-[1]>", &env()).unwrap();
+        assert_eq!(project(&p, &[0]), Policy::link(Loc::new(1, 1), Loc::new(4, 1)));
+    }
+}

@@ -1,0 +1,307 @@
+//! Lexer for the Stateful NetKAT concrete syntax.
+//!
+//! The token set follows the paper's Fig. 9 programs, ASCII-fied:
+//! `∧`→`&`, `∨`→`|`, `¬`→`!`, `←`→`<-`, `_` (link arrow)→`->`,
+//! `⟨…⟩`→`<…>`.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An identifier (field name, `state`, `true`, `false`, or a symbol
+    /// looked up in the parser's environment).
+    Ident(String),
+    /// A numeric literal.
+    Num(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<` (opening a link's state annotation)
+    Lt,
+    /// `>` (closing a link's state annotation)
+    Gt,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<-`
+    Assign,
+    /// `->`
+    Arrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Colon => write!(f, ":"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Plus => write!(f, "+"),
+            Token::Star => write!(f, "*"),
+            Token::And => write!(f, "&"),
+            Token::Or => write!(f, "|"),
+            Token::Bang => write!(f, "!"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "!="),
+            Token::Assign => write!(f, "<-"),
+            Token::Arrow => write!(f, "->"),
+        }
+    }
+}
+
+/// A lexical error: an unexpected character with its byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at byte {}", self.ch, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes Stateful NetKAT source text.
+///
+/// Comments run from `#` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the language.
+///
+/// # Examples
+///
+/// ```
+/// use stateful_netkat::lexer::{tokenize, Token};
+/// let toks = tokenize("pt=2 & ip_dst=H4; pt<-1")?;
+/// assert_eq!(toks[0], Token::Ident("pt".into()));
+/// assert_eq!(toks[1], Token::Eq);
+/// # Ok::<(), stateful_netkat::lexer::LexError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::And);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Or);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '>' => {
+                out.push(Token::Gt);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'-') {
+                    out.push(Token::Assign);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    return Err(LexError { ch: '-', offset: i });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Token::Num(text.parse().expect("digits parse")));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => return Err(LexError { ch: other, offset: i }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firewall_clause_tokens() {
+        let toks = tokenize("pt=2 & ip_dst=H4; pt<-1; (1:1)->(4:1)<state<-[1]>").unwrap();
+        use Token::*;
+        assert_eq!(
+            toks,
+            vec![
+                Ident("pt".into()),
+                Eq,
+                Num(2),
+                And,
+                Ident("ip_dst".into()),
+                Eq,
+                Ident("H4".into()),
+                Semi,
+                Ident("pt".into()),
+                Assign,
+                Num(1),
+                Semi,
+                LParen,
+                Num(1),
+                Colon,
+                Num(1),
+                RParen,
+                Arrow,
+                LParen,
+                Num(4),
+                Colon,
+                Num(1),
+                RParen,
+                Lt,
+                Ident("state".into()),
+                Assign,
+                LBracket,
+                Num(1),
+                RBracket,
+                Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn neq_vs_bang() {
+        assert_eq!(
+            tokenize("state!=[0]").unwrap(),
+            vec![
+                Token::Ident("state".into()),
+                Token::Neq,
+                Token::LBracket,
+                Token::Num(0),
+                Token::RBracket,
+            ]
+        );
+        assert_eq!(tokenize("!true").unwrap()[0], Token::Bang);
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = tokenize("pt=1 # comment ; ignored\n+ pt=2").unwrap();
+        assert_eq!(toks.len(), 7);
+        assert_eq!(toks[3], Token::Plus);
+    }
+
+    #[test]
+    fn bad_character_reports_offset() {
+        let err = tokenize("pt=2 $").unwrap_err();
+        assert_eq!(err.ch, '$');
+        assert_eq!(err.offset, 5);
+        assert!(err.to_string().contains("byte 5"));
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(tokenize("a - b").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # Stateful NetKAT
+//!
+//! The stateful extension of NetKAT from Section 3 of *Event-Driven Network
+//! Programming* (PLDI 2016): a global vector-valued `state` variable lets
+//! one program denote a whole family of NetKAT configurations together with
+//! the event-driven transitions between them.
+//!
+//! The crate provides the concrete syntax of the paper's Fig. 9 programs
+//! ([`parse`]), the per-state projection `⟦p⟧~k` of Fig. 5 ([`project`]),
+//! the event-edge extraction `⦇p⦈~k` of Fig. 6 ([`event_edges`]), and the
+//! `ETS(p)` construction of Section 3.3 ([`build_ets`]), which feeds the
+//! `edn-core` conversion to network event structures.
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use stateful_netkat::{build_ets, parse, NetworkSpec};
+//! use netkat::Loc;
+//!
+//! let env = BTreeMap::from([("H4".to_string(), 104u64)]);
+//! let program = parse(
+//!     "pt=2 & ip_dst=H4; pt<-1; (1:1)->(4:1)<state<-[1]>; pt<-2",
+//!     &env,
+//! )?;
+//! let spec = NetworkSpec::new([1, 4])
+//!     .host(101, Loc::new(1, 2))
+//!     .host(104, Loc::new(4, 2))
+//!     .bilink(Loc::new(1, 1), Loc::new(4, 1));
+//! let ets = build_ets(&program, &[0], &spec)?;
+//! let nes = ets.to_nes()?;
+//! assert_eq!(nes.events().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod build;
+mod equiv;
+mod extract;
+pub mod lexer;
+mod parser;
+
+pub use ast::{SPolicy, STest, StateVec};
+pub use build::{build_ets, project_config, BuildError, NetworkSpec};
+pub use equiv::{equivalent_programs, ets_bisimilar};
+pub use extract::{event_edges, project, EventEdge};
+pub use parser::{parse, parse_netkat, ParseError};
