@@ -80,13 +80,8 @@ mod tests {
     #[test]
     fn knock_sequence_unlocks_h3() {
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let s = SimTime::from_millis;
         let pings = vec![
             Ping { time: s(10), src: H4, dst: H3, id: 1 },  // fail

@@ -20,10 +20,7 @@ use crate::scenario::host_env;
 pub fn source(n: u64) -> String {
     let mut clauses = Vec::new();
     for k in 0..=n {
-        clauses.push(format!(
-            "state=[{k}]; (1:1)->(4:1)<state<-[{}]>",
-            k + 1
-        ));
+        clauses.push(format!("state=[{k}]; (1:1)->(4:1)<state<-[{}]>", k + 1));
     }
     clauses.push(format!("state=[{}]; (1:1)->(4:1)", n + 1));
     format!(
@@ -89,20 +86,10 @@ mod tests {
     fn exactly_ten_pings_succeed() {
         let n = 10;
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(n),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(n), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let pings: Vec<Ping> = (0..15)
-            .map(|i| Ping {
-                time: SimTime::from_millis(100 * i + 10),
-                src: H1,
-                dst: H4,
-                id: i,
-            })
+            .map(|i| Ping { time: SimTime::from_millis(100 * i + 10), src: H1, dst: H4, id: i })
             .collect();
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(5));
@@ -126,12 +113,7 @@ mod tests {
             Box::new(ScenarioHosts::new()),
         );
         let pings: Vec<Ping> = (0..20)
-            .map(|i| Ping {
-                time: SimTime::from_millis(100 * i + 10),
-                src: H1,
-                dst: H4,
-                id: i,
-            })
+            .map(|i| Ping { time: SimTime::from_millis(100 * i + 10), src: H1, dst: H4, id: i })
             .collect();
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(5));

@@ -76,9 +76,7 @@ pub fn nes(variant: Variant) -> NetworkEventStructure {
         Variant::SameSwitch => (Loc::new(HUB, 1), Loc::new(HUB, 1)),
     };
     let (p1, p2) = match variant {
-        Variant::DifferentSwitches => {
-            (Pred::test(Field::IpDst, H2), Pred::test(Field::IpDst, H4))
-        }
+        Variant::DifferentSwitches => (Pred::test(Field::IpDst, H2), Pred::test(Field::IpDst, H4)),
         Variant::SameSwitch => (Pred::test(Field::IpDst, H2), Pred::test(Field::IpDst, H4)),
     };
     let es = EventStructure::new(
@@ -101,9 +99,12 @@ pub fn nes(variant: Variant) -> NetworkEventStructure {
 pub fn sim_topology() -> SimTopology {
     let mut topo = SimTopology::new([1, 2, HUB, 4]);
     for (sw, host) in [(1u64, H1), (2, H2), (4, H4)] {
-        topo = topo
-            .host(host, Loc::new(sw, 2))
-            .bilink(Loc::new(sw, 1), Loc::new(HUB, sw), SimTime::from_micros(80), None);
+        topo = topo.host(host, Loc::new(sw, 2)).bilink(
+            Loc::new(sw, 1),
+            Loc::new(HUB, sw),
+            SimTime::from_micros(80),
+            None,
+        );
     }
     topo
 }
@@ -168,10 +169,7 @@ mod tests {
             "both conflicting events fire at their own switches"
         );
         let verdict = verify_nes_run(&result);
-        assert!(
-            verdict.is_err(),
-            "the checker must flag the inconsistent P1 run, got {verdict:?}"
-        );
+        assert!(verdict.is_err(), "the checker must flag the inconsistent P1 run, got {verdict:?}");
     }
 
     /// With enough separation in time, P1 behaves: the first event's digest

@@ -74,13 +74,8 @@ mod tests {
     #[test]
     fn correct_runtime_behaviour() {
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let pings = vec![
             Ping { time: SimTime::from_millis(10), src: H4, dst: H1, id: 1 },
             Ping { time: SimTime::from_millis(100), src: H1, dst: H4, id: 2 },
@@ -109,8 +104,7 @@ mod tests {
             7,
             Box::new(ScenarioHosts::new()),
         );
-        let pings =
-            vec![Ping { time: SimTime::from_millis(10), src: H1, dst: H4, id: 1 }];
+        let pings = vec![Ping { time: SimTime::from_millis(10), src: H1, dst: H4, id: 1 }];
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(2));
         let o = ping_outcomes(&pings, &result.stats);

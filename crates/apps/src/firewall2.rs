@@ -131,13 +131,8 @@ mod tests {
     #[test]
     fn simultaneous_triggers_are_fine() {
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let pings = vec![
             Ping { time: SimTime::from_millis(10), src: H1, dst: H4, id: 1 },
             Ping { time: SimTime::from_millis(10), src: H2, dst: H4, id: 2 },

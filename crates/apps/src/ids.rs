@@ -69,16 +69,11 @@ mod tests {
     #[test]
     fn suspicious_scan_is_thwarted() {
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let s = SimTime::from_millis;
         let pings = vec![
-            Ping { time: s(10), src: H4, dst: H3, id: 1 },  // allowed
+            Ping { time: s(10), src: H4, dst: H3, id: 1 }, // allowed
             Ping { time: s(100), src: H4, dst: H2, id: 2 }, // allowed, no transition
             Ping { time: s(200), src: H4, dst: H1, id: 3 }, // allowed, state -> 1
             Ping { time: s(300), src: H4, dst: H2, id: 4 }, // allowed, state -> 2
@@ -99,13 +94,8 @@ mod tests {
     #[test]
     fn benign_order_keeps_h3_open() {
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let s = SimTime::from_millis;
         let pings = vec![
             Ping { time: s(10), src: H4, dst: H2, id: 1 },

@@ -73,20 +73,10 @@ mod tests {
     #[test]
     fn flooding_stops_after_learning() {
         let topo = sim_topology(&spec(), SimTime::from_micros(50), None);
-        let mut engine = nes_engine(
-            nes(),
-            topo,
-            SimParams::default(),
-            false,
-            Box::new(ScenarioHosts::new()),
-        );
+        let mut engine =
+            nes_engine(nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
         let pings: Vec<Ping> = (0..10)
-            .map(|i| Ping {
-                time: SimTime::from_millis(100 * i + 10),
-                src: H4,
-                dst: H1,
-                id: i,
-            })
+            .map(|i| Ping { time: SimTime::from_millis(100 * i + 10), src: H4, dst: H1, id: i })
             .collect();
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(5));
@@ -116,12 +106,7 @@ mod tests {
             Box::new(ScenarioHosts::new()),
         );
         let pings: Vec<Ping> = (0..10)
-            .map(|i| Ping {
-                time: SimTime::from_millis(100 * i + 10),
-                src: H4,
-                dst: H1,
-                id: i,
-            })
+            .map(|i| Ping { time: SimTime::from_millis(100 * i + 10), src: H4, dst: H1, id: i })
             .collect();
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(3));

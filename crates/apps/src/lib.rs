@@ -28,8 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod authentication;
-pub mod conflict;
 pub mod bandwidth_cap;
+pub mod conflict;
 pub mod firewall;
 pub mod firewall2;
 pub mod ids;

@@ -125,10 +125,7 @@ impl Ring {
         );
         NetworkEventStructure::new(
             es,
-            [
-                (EventSet::empty(), self.config(true)),
-                (EventSet::singleton(e0), self.config(false)),
-            ],
+            [(EventSet::empty(), self.config(true)), (EventSet::singleton(e0), self.config(false))],
         )
         .expect("both event-sets have configurations")
     }
@@ -141,8 +138,18 @@ impl Ring {
             topo = topo.host(host(sw), Loc::new(sw, HOST_PORT));
             let next = self.clockwise_next(sw);
             topo = topo
-                .link(LinkSpec { src: Loc::new(sw, CW), dst: Loc::new(next, CCW), latency, capacity })
-                .link(LinkSpec { src: Loc::new(next, CCW), dst: Loc::new(sw, CW), latency, capacity });
+                .link(LinkSpec {
+                    src: Loc::new(sw, CW),
+                    dst: Loc::new(next, CCW),
+                    latency,
+                    capacity,
+                })
+                .link(LinkSpec {
+                    src: Loc::new(next, CCW),
+                    dst: Loc::new(sw, CW),
+                    latency,
+                    capacity,
+                });
         }
         topo
     }
@@ -204,7 +211,8 @@ mod tests {
             StaticDataPlane::new(ring.config(true)),
             Box::new(ScenarioHosts::new()),
         );
-        let pings = vec![Ping { time: SimTime::from_millis(1), src: ring.h1(), dst: ring.h2(), id: 1 }];
+        let pings =
+            vec![Ping { time: SimTime::from_millis(1), src: ring.h1(), dst: ring.h2(), id: 1 }];
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(1));
         assert!(ping_outcomes(&pings, &result.stats)[0].replied.is_some());
@@ -282,11 +290,7 @@ mod failure_tests {
         // direction (a unidirectional fibre failure). After the flip,
         // requests go counterclockwise (1->6->5->4) and replies come back
         // 4->3->2->1 over the *healthy* 3->2 direction.
-        engine.fail_link_at(
-            SimTime::from_millis(500),
-            Loc::new(2, 1),
-            Loc::new(3, 2),
-        );
+        engine.fail_link_at(SimTime::from_millis(500), Loc::new(2, 1), Loc::new(3, 2));
         let pings = vec![
             // Healthy clockwise ping.
             Ping { time: SimTime::from_millis(1), src: ring.h1(), dst: ring.h2(), id: 1 },

@@ -21,9 +21,7 @@ fn bench_compile(c: &mut Criterion) {
     g.bench_function("bandwidth_cap_10", |b| {
         b.iter(|| CompiledNes::compile(black_box(edn_apps::bandwidth_cap::nes(10))))
     });
-    g.bench_function("ids", |b| {
-        b.iter(|| CompiledNes::compile(black_box(edn_apps::ids::nes())))
-    });
+    g.bench_function("ids", |b| b.iter(|| CompiledNes::compile(black_box(edn_apps::ids::nes()))));
     g.finish();
 }
 

@@ -4,13 +4,22 @@
 //! always-zero line of the correct implementation.
 //!
 //! Run with: `cargo run --release -p edn-bench --bin fig10_firewall_delay`
+//!
+//! For quick smoke runs (CI), the sweep can be reduced via environment
+//! variables: `FIG10_MAX_DELAY_MS` caps the swept delay and
+//! `FIG10_RUNS_PER_POINT` overrides the number of seeded runs per point.
 
 use edn_apps::{firewall, H1, H4};
 use edn_bench::{run_correct, run_uncoordinated};
 use netsim::traffic::Ping;
 use netsim::SimTime;
 
-const RUNS_PER_POINT: u64 = 10;
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
 
 /// The Fig. 10 workload: H1 opens the connection, then H4 sends replies at
 /// a steady rate. Every lost probe is an incorrect drop: after the event at
@@ -18,25 +27,28 @@ const RUNS_PER_POINT: u64 = 10;
 fn workload() -> Vec<Ping> {
     let mut pings = vec![Ping { time: SimTime::from_millis(10), src: H1, dst: H4, id: 0 }];
     for i in 0..60 {
-        pings.push(Ping {
-            time: SimTime::from_millis(100 * i + 50),
-            src: H4,
-            dst: H1,
-            id: i + 1,
-        });
+        pings.push(Ping { time: SimTime::from_millis(100 * i + 50), src: H4, dst: H1, id: i + 1 });
     }
     pings
 }
 
 fn main() {
+    let max_delay_ms = env_u64("FIG10_MAX_DELAY_MS", 5000);
+    let runs_per_point = env_u64("FIG10_RUNS_PER_POINT", 10);
     println!("# Fig. 10: incorrectly-dropped packets vs controller delay");
     println!("# workload: trigger at 10ms, then H4->H1 probes every 100ms for 6s");
-    println!("# {RUNS_PER_POINT} seeded runs per point");
+    println!("# {runs_per_point} seeded runs per point, delays 0..={max_delay_ms} ms");
     println!("delay_ms,incorrect_total,correct_total");
     let pings = workload();
-    for delay_ms in (0..=5000).step_by(250) {
+    // The correct implementation is delay-independent and deterministic:
+    // one run covers every point of the sweep.
+    let (rows, result) =
+        run_correct(firewall::nes(), &firewall::spec(), &pings, SimTime::from_secs(20));
+    let correct_total = rows.iter().filter(|r| !r.ok).count();
+    nes_runtime::verify_nes_run(&result).expect("correct runs verify");
+    for delay_ms in (0..=max_delay_ms).step_by(250) {
         let mut incorrect_total = 0usize;
-        for seed in 0..RUNS_PER_POINT {
+        for seed in 0..runs_per_point {
             let (rows, _) = run_uncoordinated(
                 firewall::nes(),
                 &firewall::spec(),
@@ -47,11 +59,6 @@ fn main() {
             );
             incorrect_total += rows.iter().filter(|r| !r.ok).count();
         }
-        // The correct implementation, same workload (any seed: deterministic).
-        let (rows, result) =
-            run_correct(firewall::nes(), &firewall::spec(), &pings, SimTime::from_secs(20));
-        let correct_total = rows.iter().filter(|r| !r.ok).count();
-        nes_runtime::verify_nes_run(&result).expect("correct runs verify");
         println!("{delay_ms},{incorrect_total},{correct_total}");
     }
     println!("# shape check: even at delay 0 the uncoordinated strategy drops >= 1 packet");

@@ -9,14 +9,7 @@ use netsim::traffic::{schedule_pings, Ping, ScenarioHosts, PROTO_PING_REQUEST};
 use netsim::{SimParams, SimTime, Stats};
 
 fn workload() -> Vec<Ping> {
-    (0..9)
-        .map(|i| Ping {
-            time: SimTime::from_secs(i + 1),
-            src: H4,
-            dst: H1,
-            id: i,
-        })
-        .collect()
+    (0..9).map(|i| Ping { time: SimTime::from_secs(i + 1), src: H4, dst: H1, id: i }).collect()
 }
 
 fn per_second_counts(stats: &Stats, host: u64, seconds: u64) -> Vec<usize> {

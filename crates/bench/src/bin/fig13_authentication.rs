@@ -21,8 +21,7 @@ fn main() {
         Ping { time: s(20), src: H4, dst: H2, id: 5 },
         Ping { time: s(24), src: H4, dst: H3, id: 6 },
     ];
-    let (rows, result) =
-        run_correct(authentication::nes(), &authentication::spec(), &pings, s(30));
+    let (rows, result) = run_correct(authentication::nes(), &authentication::spec(), &pings, s(30));
     print_timeline("(a) correct: only the complete knock order unlocks H3:", &rows, host_name);
     match nes_runtime::verify_nes_run(&result) {
         Ok(()) => println!("  checker: consistent\n"),
@@ -43,5 +42,9 @@ fn main() {
         11,
         s(15),
     );
-    print_timeline("(b) uncoordinated (1.5s delay): H3 lags behind completed knocks:", &rows, host_name);
+    print_timeline(
+        "(b) uncoordinated (1.5s delay): H3 lags behind completed knocks:",
+        &rows,
+        host_name,
+    );
 }

@@ -12,12 +12,7 @@ const CAP: u64 = 10;
 
 fn workload() -> Vec<Ping> {
     (0..20)
-        .map(|i| Ping {
-            time: SimTime::from_millis(1_000 * i + 100),
-            src: H1,
-            dst: H4,
-            id: i,
-        })
+        .map(|i| Ping { time: SimTime::from_millis(1_000 * i + 100), src: H1, dst: H4, id: i })
         .collect()
 }
 

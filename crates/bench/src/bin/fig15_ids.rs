@@ -16,7 +16,7 @@ fn main() {
     let pings = vec![
         Ping { time: s(1), src: H4, dst: H3, id: 0 },
         Ping { time: s(5), src: H4, dst: H2, id: 1 },
-        Ping { time: s(9), src: H4, dst: H1, id: 2 },  // suspicious step 1
+        Ping { time: s(9), src: H4, dst: H1, id: 2 }, // suspicious step 1
         Ping { time: s(13), src: H4, dst: H3, id: 3 },
         Ping { time: s(17), src: H4, dst: H2, id: 4 }, // suspicious step 2
         Ping { time: s(21), src: H4, dst: H1, id: 5 },
@@ -37,14 +37,8 @@ fn main() {
         Ping { time: SimTime::from_millis(4_200), src: H4, dst: H3, id: 2 },
         Ping { time: s(10), src: H4, dst: H3, id: 3 },
     ];
-    let (rows, _) = run_uncoordinated(
-        ids::nes(),
-        &ids::spec(),
-        &pings,
-        SimTime::from_millis(2_000),
-        13,
-        s(15),
-    );
+    let (rows, _) =
+        run_uncoordinated(ids::nes(), &ids::spec(), &pings, SimTime::from_millis(2_000), 13, s(15));
     print_timeline(
         "(b) uncoordinated (2s delay): H3 briefly stays open after the scan:",
         &rows,

@@ -12,7 +12,7 @@ use edn_apps::ring::Ring;
 use nes_runtime::{nes_engine, StaticDataPlane};
 use netsim::traffic::{
     proto_bytes_delivered, proto_packets_delivered, schedule_tcp_flow, schedule_udp_flow,
-    ScenarioHosts, TcpFlowSpec, PROTO_TCP_DATA, PROTO_UDP,
+    ScenarioHosts, TcpFlowSpec, UdpFlowSpec, PROTO_TCP_DATA, PROTO_UDP,
 };
 use netsim::{Engine, SimParams, SimTime};
 
@@ -37,7 +37,7 @@ fn measure(ring: &Ring, with_runtime: bool) -> Measurement {
     let mut params = SimParams::default();
     if with_runtime {
         params.header_overhead = OVERHEAD;
-        params.switch_delay = params.switch_delay + SimTime::from_micros(1);
+        params.switch_delay += SimTime::from_micros(1);
     }
     let topo = ring.sim_topology(SimTime::from_micros(100), Some(CAPACITY));
 
@@ -57,8 +57,12 @@ fn measure(ring: &Ring, with_runtime: bool) -> Measurement {
         schedule_tcp_flow(&mut engine, &spec);
         engine.run_until(horizon()).stats
     } else {
-        let mut engine =
-            Engine::new(topo.clone(), params, StaticDataPlane::new(ring.config(true)), Box::new(hosts));
+        let mut engine = Engine::new(
+            topo.clone(),
+            params,
+            StaticDataPlane::new(ring.config(true)),
+            Box::new(hosts),
+        );
         schedule_tcp_flow(&mut engine, &spec);
         engine.run_until(horizon()).stats
     };
@@ -68,18 +72,27 @@ fn measure(ring: &Ring, with_runtime: bool) -> Measurement {
         .map(|d| d.time)
         .max()
         .unwrap_or(SimTime::ZERO);
-    let tcp_bytes = proto_bytes_delivered(&tcp_stats, ring.h2(), PROTO_TCP_DATA, SimTime::ZERO, horizon());
+    let tcp_bytes =
+        proto_bytes_delivered(&tcp_stats, ring.h2(), PROTO_TCP_DATA, SimTime::ZERO, horizon());
     let tcp_mbps = tcp_bytes as f64 * 8.0 / last_data.as_secs_f64().max(1e-9) / 1e6;
 
     // UDP: offer exactly the link rate for 10 s (the overheaded runtime
     // cannot fit it and shows loss).
     let interval = SimTime::from_micros(1_500 * 1_000_000 / CAPACITY);
     let udp_end = SimTime::from_secs(10);
+    let udp_spec = UdpFlowSpec {
+        flow: 2,
+        src: ring.h1(),
+        dst: ring.h2(),
+        start: SimTime::ZERO,
+        end: udp_end,
+        interval,
+        size: 1_500,
+    };
     let (udp_stats, sent) = if with_runtime {
         let mut engine =
             nes_engine(ring.nes(), topo.clone(), params, false, Box::new(ScenarioHosts::new()));
-        let sent =
-            schedule_udp_flow(&mut engine, ring.h1(), ring.h2(), 2, SimTime::ZERO, udp_end, interval, 1_500);
+        let sent = schedule_udp_flow(&mut engine, &udp_spec);
         (engine.run_until(horizon()).stats, sent)
     } else {
         let mut engine = Engine::new(
@@ -88,13 +101,13 @@ fn measure(ring: &Ring, with_runtime: bool) -> Measurement {
             StaticDataPlane::new(ring.config(true)),
             Box::new(ScenarioHosts::new()),
         );
-        let sent =
-            schedule_udp_flow(&mut engine, ring.h1(), ring.h2(), 2, SimTime::ZERO, udp_end, interval, 1_500);
+        let sent = schedule_udp_flow(&mut engine, &udp_spec);
         (engine.run_until(horizon()).stats, sent)
     };
     let got = proto_packets_delivered(&udp_stats, ring.h2(), PROTO_UDP) as u64;
     let udp_goodput_mbps =
-        proto_bytes_delivered(&udp_stats, ring.h2(), PROTO_UDP, SimTime::ZERO, horizon()) as f64 * 8.0
+        proto_bytes_delivered(&udp_stats, ring.h2(), PROTO_UDP, SimTime::ZERO, horizon()) as f64
+            * 8.0
             / udp_end.as_secs_f64()
             / 1e6;
     let udp_loss_pct = 100.0 * (sent - got) as f64 / sent.max(1) as f64;
@@ -127,5 +140,7 @@ fn main() {
         );
     }
     let avg = degradations.iter().sum::<f64>() / degradations.len() as f64;
-    println!("# average TCP degradation: {avg:.2}% (paper: ~6%; shape check: within single digits)");
+    println!(
+        "# average TCP degradation: {avg:.2}% (paper: ~6%; shape check: within single digits)"
+    );
 }

@@ -14,13 +14,15 @@ use edn_core::NetworkEventStructure;
 use nes_runtime::CompiledNes;
 use rule_optimizer::optimize;
 
+type AppBuilder = Box<dyn Fn() -> NetworkEventStructure>;
+
 fn main() {
     println!("# Section 5.1/5.3 per-application table");
     println!(
         "app,compile_ms,event_sets,events,forwarding,stamping,detection,total_rules,\
          fwd_rules_optimized,fwd_savings_pct"
     );
-    let apps: Vec<(&str, Box<dyn Fn() -> NetworkEventStructure>)> = vec![
+    let apps: Vec<(&str, AppBuilder)> = vec![
         ("firewall", Box::new(edn_apps::firewall::nes)),
         ("learning-switch", Box::new(edn_apps::learning::nes)),
         ("authentication", Box::new(edn_apps::authentication::nes)),

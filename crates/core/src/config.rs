@@ -164,7 +164,11 @@ impl Config {
                 match ctx {
                     Ctx::AtHost | Ctx::Egress => {
                         if link_hop {
-                            next.push(if self.is_host(b.loc.sw) { Ctx::AtHost } else { Ctx::Ingress });
+                            next.push(if self.is_host(b.loc.sw) {
+                                Ctx::AtHost
+                            } else {
+                                Ctx::Ingress
+                            });
                         }
                     }
                     Ctx::Ingress => {
@@ -327,10 +331,7 @@ mod tests {
         let mut c = Config::new();
         let t = FlowTable::from_rules([Rule::new(
             Match::new(),
-            ActionSet::from_iter([
-                Action::assign(Field::Port, 1),
-                Action::assign(Field::Port, 3),
-            ]),
+            ActionSet::from_iter([Action::assign(Field::Port, 1), Action::assign(Field::Port, 3)]),
         )]);
         c.install(7, t);
         let pk = Packet::new();

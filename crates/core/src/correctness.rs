@@ -45,9 +45,7 @@ impl OccurrenceSemantics for CausalOccurrences<'_> {
         self.nes.structure().family().any(|y| {
             y.contains(event.id)
                 && y.remove(event.id).is_subset(fired)
-                && y.remove(event.id)
-                    .iter()
-                    .all(|x| index_of(x).is_some_and(|k| hb.before(k, j)))
+                && y.remove(event.id).iter().all(|x| index_of(x).is_some_and(|k| hb.before(k, j)))
         })
     }
 }
@@ -177,10 +175,8 @@ pub fn check_correct(
             }
         }
     }
-    let (best_sequence, violation) = best.unwrap_or((
-        Vec::new(),
-        UpdateViolation::NoFirstOccurrences { failed_at: Some(0) },
-    ));
+    let (best_sequence, violation) =
+        best.unwrap_or((Vec::new(), UpdateViolation::NoFirstOccurrences { failed_at: Some(0) }));
     Err(CorrectnessViolation::NoAllowedSequence { best_sequence, violation })
 }
 
@@ -260,11 +256,8 @@ mod tests {
             vec![Event::new(e0, Pred::test(Field::IpDst, 101), Loc::new(1, 2))],
             [EventSet::singleton(e0)],
         );
-        NetworkEventStructure::new(
-            es,
-            [(EventSet::empty(), c0), (EventSet::singleton(e0), c1)],
-        )
-        .unwrap()
+        NetworkEventStructure::new(es, [(EventSet::empty(), c0), (EventSet::singleton(e0), c1)])
+            .unwrap()
     }
 
     fn fwd_pk() -> Packet {
@@ -331,7 +324,8 @@ mod tests {
                 assert!(
                     matches!(
                         violation,
-                        UpdateViolation::TooEarly { .. } | UpdateViolation::NoFirstOccurrences { .. }
+                        UpdateViolation::TooEarly { .. }
+                            | UpdateViolation::NoFirstOccurrences { .. }
                     ),
                     "got {violation:?}"
                 );

@@ -89,11 +89,7 @@ impl EventStructure {
     ///
     /// Monotonicity in `X` (the axiom of Definition 3) is immediate.
     pub fn enabled(&self, x: EventSet, e: EventId) -> bool {
-        self.consistent(x)
-            && self
-                .family
-                .iter()
-                .any(|&y| y.contains(e) && y.remove(e).is_subset(x))
+        self.consistent(x) && self.family.iter().any(|&y| y.contains(e) && y.remove(e).is_subset(x))
     }
 
     /// All *event-sets* of the structure (Definition 4): consistent sets
@@ -199,11 +195,7 @@ mod tests {
         let e1 = EventId::new(1);
         EventStructure::new(
             vec![ev(0, 1), ev(1, 2)],
-            [
-                EventSet::singleton(e0),
-                EventSet::singleton(e1),
-                EventSet::from_iter([e0, e1]),
-            ],
+            [EventSet::singleton(e0), EventSet::singleton(e1), EventSet::from_iter([e0, e1])],
         )
     }
 

@@ -201,9 +201,7 @@ impl Ets {
         let family = self.family()?;
         Self::check_finite_complete(&family)?;
         let es = EventStructure::new(self.events.clone(), family.keys().copied());
-        let g = family
-            .iter()
-            .map(|(&set, &v)| (set, self.configs[v].clone()));
+        let g = family.iter().map(|(&set, &v)| (set, self.configs[v].clone()));
         Ok(NetworkEventStructure::new(es, g)?)
     }
 }

@@ -66,9 +66,9 @@ impl HappensBefore {
         use std::collections::HashMap;
         let mut last_at_switch: HashMap<u64, usize> = HashMap::new();
         let mut switch_pred: Vec<Option<usize>> = vec![None; n];
-        for i in 0..n {
+        for (i, pred) in switch_pred.iter_mut().enumerate() {
             let sw = ntr.packet(i).loc.sw;
-            switch_pred[i] = last_at_switch.insert(sw, i);
+            *pred = last_at_switch.insert(sw, i);
         }
 
         // Immediate predecessor within each packet trace.

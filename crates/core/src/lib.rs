@@ -48,7 +48,9 @@ mod trace;
 mod update;
 
 pub use config::Config;
-pub use correctness::{check_correct, sequence_allowed, sequence_to_update, CausalOccurrences, CorrectnessViolation};
+pub use correctness::{
+    check_correct, sequence_allowed, sequence_to_update, CausalOccurrences, CorrectnessViolation,
+};
 pub use estructure::EventStructure;
 pub use ets::{Ets, EtsError};
 pub use event::{Event, EventId, EventSet};
@@ -56,4 +58,7 @@ pub use happens::HappensBefore;
 pub use locality::{locally_determined, minimally_inconsistent};
 pub use nes::{NesError, NetworkEventStructure};
 pub use trace::{LocatedPacket, NetworkTrace, TraceBuilder, TraceStructureError};
-pub use update::{check_update, first_occurrences, LiteralOccurrences, OccurrenceSemantics, UpdateSequence, UpdateViolation};
+pub use update::{
+    check_update, first_occurrences, LiteralOccurrences, OccurrenceSemantics, UpdateSequence,
+    UpdateViolation,
+};

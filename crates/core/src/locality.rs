@@ -105,11 +105,7 @@ mod tests {
         let e1 = EventId::new(1);
         let es = EventStructure::new(
             vec![ev(0, 1), ev(1, 9)],
-            [
-                EventSet::singleton(e0),
-                EventSet::singleton(e1),
-                EventSet::from_iter([e0, e1]),
-            ],
+            [EventSet::singleton(e0), EventSet::singleton(e1), EventSet::from_iter([e0, e1])],
         );
         assert!(minimally_inconsistent(&es, 4).is_empty());
         assert!(locally_determined(&es, 4));

@@ -91,9 +91,7 @@ impl NetworkEventStructure {
     /// Panics if `X` is not a reachable event-set (construction guarantees
     /// coverage of reachable sets).
     pub fn config(&self, x: EventSet) -> &Config {
-        self.g
-            .get(&x)
-            .unwrap_or_else(|| panic!("event-set {x} has no configuration"))
+        self.g.get(&x).unwrap_or_else(|| panic!("event-set {x} has no configuration"))
     }
 
     /// The initial configuration `g(∅)`.
@@ -151,9 +149,8 @@ mod tests {
     #[test]
     fn construction_requires_total_g() {
         let es = one_event_structure();
-        let err =
-            NetworkEventStructure::new(es.clone(), [(EventSet::empty(), Config::new())])
-                .unwrap_err();
+        let err = NetworkEventStructure::new(es.clone(), [(EventSet::empty(), Config::new())])
+            .unwrap_err();
         assert_eq!(err, NesError::MissingConfig(EventSet::singleton(EventId::new(0))));
         let ok = NetworkEventStructure::new(
             es,

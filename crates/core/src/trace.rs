@@ -150,12 +150,7 @@ impl NetworkTrace {
                 }
             }
         }
-        Ok(NetworkTrace {
-            packets,
-            traces,
-            terminated: BTreeSet::new(),
-            extra_edges: Vec::new(),
-        })
+        Ok(NetworkTrace { packets, traces, terminated: BTreeSet::new(), extra_edges: Vec::new() })
     }
 
     /// Adds an out-of-band causal edge `from ≺ to` (controller messages:

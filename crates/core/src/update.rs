@@ -42,7 +42,13 @@ pub trait OccurrenceSemantics {
 pub struct LiteralOccurrences;
 
 impl OccurrenceSemantics for LiteralOccurrences {
-    fn is_occurrence(&self, _: &HappensBefore, _: usize, _: &Event, _: &[(EventId, usize)]) -> bool {
+    fn is_occurrence(
+        &self,
+        _: &HappensBefore,
+        _: usize,
+        _: &Event,
+        _: &[(EventId, usize)],
+    ) -> bool {
         true
     }
 }
@@ -159,7 +165,8 @@ fn first_occurrences_with_hb(
     residual: &[Event],
     occ: &dyn OccurrenceSemantics,
 ) -> Result<Vec<usize>, UpdateViolation> {
-    let erased: Vec<LocatedPacket> = ntr.packets().iter().map(LocatedPacket::erase_virtual).collect();
+    let erased: Vec<LocatedPacket> =
+        ntr.packets().iter().map(LocatedPacket::erase_virtual).collect();
     let occurs = |j: usize, e: &Event, prior: &[(EventId, usize)]| {
         e.matches(&erased[j].packet, erased[j].loc) && occ.is_occurrence(hb, j, e, prior)
     };
@@ -214,7 +221,8 @@ pub fn check_update(
 ) -> Result<(), UpdateViolation> {
     let hb = HappensBefore::of(ntr);
     let ks = first_occurrences_with_hb(ntr, &hb, update, residual, occ)?;
-    let erased: Vec<LocatedPacket> = ntr.packets().iter().map(LocatedPacket::erase_virtual).collect();
+    let erased: Vec<LocatedPacket> =
+        ntr.packets().iter().map(LocatedPacket::erase_virtual).collect();
 
     // Which configurations admit each packet trace. A trace that ended in a
     // recorded drop must be a *complete* trace of the configuration; one
@@ -225,24 +233,23 @@ pub fn check_update(
         let trace: Vec<LocatedPacket> =
             ntr.traces()[t].iter().map(|&j| erased[j].clone()).collect();
         let allow_prefix = !ntr.trace_is_terminated(t);
-        admitted.push(
-            update.configs.iter().map(|c| c.admits_trace(&trace, allow_prefix)).collect(),
-        );
+        admitted
+            .push(update.configs.iter().map(|c| c.admits_trace(&trace, allow_prefix)).collect());
     }
 
-    for t in 0..n_traces {
+    for (t, admitted_t) in admitted.iter().enumerate() {
         // Condition 1: some configuration processes the whole trace.
-        if !admitted[t].iter().any(|&a| a) {
+        if !admitted_t.iter().any(|&a| a) {
             return Err(UpdateViolation::Inconsistent { trace: t });
         }
         for (i, &k) in ks.iter().enumerate() {
             let idxs = || ntr.traces()[t].iter().copied();
             // Condition 2: entirely before eᵢ ⇒ processed by C₀..Cᵢ.
-            if hb.all_before(idxs(), k) && !admitted[t][..=i].iter().any(|&a| a) {
+            if hb.all_before(idxs(), k) && !admitted_t[..=i].iter().any(|&a| a) {
                 return Err(UpdateViolation::TooEarly { trace: t, event: i });
             }
             // Condition 3: entirely after eᵢ ⇒ processed by Cᵢ₊₁..Cₙ₊₁.
-            if hb.all_after(idxs(), k) && !admitted[t][i + 1..].iter().any(|&a| a) {
+            if hb.all_after(idxs(), k) && !admitted_t[i + 1..].iter().any(|&a| a) {
                 return Err(UpdateViolation::TooLate { trace: t, event: i });
             }
         }

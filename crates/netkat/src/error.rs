@@ -52,7 +52,11 @@ impl fmt::Display for NetkatError {
                     "link ({} -> {}) cannot be traversed: packet is at switch {sw}",
                     link.0, link.1
                 ),
-                None => write!(f, "link ({} -> {}) source port contradicts packet state", link.0, link.1),
+                None => write!(
+                    f,
+                    "link ({} -> {}) source port contradicts packet state",
+                    link.0, link.1
+                ),
             },
             NetkatError::ContradictorySwitch { wanted, known } => {
                 write!(f, "test sw={wanted} contradicts known switch {known}")

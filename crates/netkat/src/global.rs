@@ -93,10 +93,8 @@ impl TestConj {
     /// Converts to a [`Pred`].
     pub fn to_pred(&self) -> Pred {
         let eqs = self.eqs.iter().map(|(&f, &v)| Pred::test(f, v));
-        let neqs = self
-            .neqs
-            .iter()
-            .flat_map(|(&f, vs)| vs.iter().map(move |&v| Pred::test(f, v).not()));
+        let neqs =
+            self.neqs.iter().flat_map(|(&f, vs)| vs.iter().map(move |&v| Pred::test(f, v).not()));
         Pred::all(eqs.chain(neqs))
     }
 
@@ -153,10 +151,7 @@ impl Hop {
     pub fn to_policy(&self) -> Policy {
         let mut arrival = self.arrival.clone();
         arrival.strip(Field::Switch);
-        let mods = self
-            .mods
-            .iter()
-            .map(|(&f, &v)| Policy::modify(f, v));
+        let mods = self.mods.iter().map(|(&f, &v)| Policy::modify(f, v));
         Policy::filter(arrival.to_pred()).seq(Policy::seq_all(mods))
     }
 }
@@ -321,7 +316,11 @@ fn exec(pol: &Policy, states: Vec<SymState>) -> Result<Vec<SymState>, NetkatErro
                 let mut hops = s.hops;
                 let mut closed_arrival = s.arrival.clone();
                 closed_arrival.strip(Field::Switch);
-                hops.push(Hop { switch: Some(src.sw), arrival: closed_arrival, mods: s.mods.clone() });
+                hops.push(Hop {
+                    switch: Some(src.sw),
+                    arrival: closed_arrival,
+                    mods: s.mods.clone(),
+                });
                 // The packet arriving at dst carries the fields produced at
                 // src: modified fields have known values; unmodified header
                 // fields keep their arrival constraints.
@@ -599,8 +598,8 @@ mod tests {
 
     #[test]
     fn switch_test_pins_clause() {
-        let p = Policy::filter(Pred::switch(7).and(Pred::port(1)))
-            .seq(Policy::modify(Field::Port, 2));
+        let p =
+            Policy::filter(Pred::switch(7).and(Pred::port(1))).seq(Policy::modify(Field::Port, 2));
         let tables = compile_global(&p, &[6, 7]).unwrap();
         let pk = Packet::new().with(Field::Port, 1);
         assert!(tables.tables[&6].apply(&pk).is_empty());

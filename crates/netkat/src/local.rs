@@ -111,14 +111,8 @@ mod tests {
         let pks = packets();
         check_agrees(&Policy::filter(Pred::port(2)), &pks);
         check_agrees(&Policy::modify(Field::Port, 9), &pks);
-        check_agrees(
-            &Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 1)),
-            &pks,
-        );
-        check_agrees(
-            &Policy::modify(Field::Port, 1).union(Policy::modify(Field::Port, 3)),
-            &pks,
-        );
+        check_agrees(&Policy::filter(Pred::port(2)).seq(Policy::modify(Field::Port, 1)), &pks);
+        check_agrees(&Policy::modify(Field::Port, 1).union(Policy::modify(Field::Port, 3)), &pks);
         check_agrees(
             &Policy::filter(Pred::port(2).not()).seq(Policy::modify(Field::Vlan, 5)),
             &pks,
@@ -129,14 +123,8 @@ mod tests {
     fn modify_then_test_agrees() {
         let pks = packets();
         // pt<-1; pt=1 == pt<-1 and pt<-1; pt=2 == drop
-        check_agrees(
-            &Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(1))),
-            &pks,
-        );
-        check_agrees(
-            &Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(2))),
-            &pks,
-        );
+        check_agrees(&Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(1))), &pks);
+        check_agrees(&Policy::modify(Field::Port, 1).seq(Policy::filter(Pred::port(2))), &pks);
     }
 
     #[test]
@@ -179,12 +167,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_field() -> impl Strategy<Value = Field> {
-        prop_oneof![
-            Just(Field::Port),
-            Just(Field::Vlan),
-            Just(Field::IpDst),
-            Just(Field::IpSrc),
-        ]
+        prop_oneof![Just(Field::Port), Just(Field::Vlan), Just(Field::IpDst), Just(Field::IpSrc),]
     }
 
     fn arb_pred() -> impl Strategy<Value = Pred> {

@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn erase_virtual_removes_only_runtime_fields() {
-        let pk = Packet::new()
-            .with(Field::IpDst, 1)
-            .with(Field::Tag, 5)
-            .with(Field::Digest, 0b101);
+        let pk = Packet::new().with(Field::IpDst, 1).with(Field::Tag, 5).with(Field::Digest, 0b101);
         let erased = pk.erase_virtual();
         assert_eq!(erased.get(Field::IpDst), Some(1));
         assert_eq!(erased.get(Field::Tag), None);

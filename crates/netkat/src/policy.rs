@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn smart_constructors_fold() {
-        assert_eq!(Policy::id().seq(Policy::modify(Field::Port, 1)), Policy::modify(Field::Port, 1));
+        assert_eq!(
+            Policy::id().seq(Policy::modify(Field::Port, 1)),
+            Policy::modify(Field::Port, 1)
+        );
         assert_eq!(Policy::drop().seq(Policy::modify(Field::Port, 1)), Policy::drop());
         assert_eq!(Policy::drop().union(Policy::id()), Policy::id());
         assert_eq!(Policy::id().star(), Policy::id());
@@ -214,8 +217,8 @@ mod tests {
     fn link_discovery() {
         let l1 = (Loc::new(1, 1), Loc::new(4, 1));
         let l2 = (Loc::new(4, 1), Loc::new(1, 1));
-        let p = Policy::link(l1.0, l1.1)
-            .union(Policy::link(l2.0, l2.1).seq(Policy::link(l1.0, l1.1)));
+        let p =
+            Policy::link(l1.0, l1.1).union(Policy::link(l2.0, l2.1).seq(Policy::link(l1.0, l1.1)));
         assert!(p.has_links());
         assert_eq!(p.links(), vec![l1, l2]);
         assert!(!Policy::modify(Field::Port, 1).has_links());

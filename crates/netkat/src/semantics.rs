@@ -195,7 +195,9 @@ mod tests {
         let c = Policy::modify(Field::Port, 3);
         let pks = [pk(1), pk(2), Packet::new()];
         // p + q = q + p
-        assert!(equivalent_on(&a.clone().union(b.clone()), &b.clone().union(a.clone()), &pks).unwrap());
+        assert!(
+            equivalent_on(&a.clone().union(b.clone()), &b.clone().union(a.clone()), &pks).unwrap()
+        );
         // (p + q); r = p;r + q;r
         let lhs = a.clone().union(b.clone()).seq(c.clone());
         let rhs = a.clone().seq(c.clone()).union(b.clone().seq(c.clone()));

@@ -385,10 +385,12 @@ mod tests {
     }
 
     fn topo() -> SimTopology {
-        SimTopology::new([1, 2])
-            .host(100, Loc::new(1, 2))
-            .host(200, Loc::new(2, 2))
-            .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), None)
+        SimTopology::new([1, 2]).host(100, Loc::new(1, 2)).host(200, Loc::new(2, 2)).bilink(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            SimTime::from_micros(50),
+            None,
+        )
     }
 
     /// A data plane delivering to the local host port.
@@ -414,7 +416,14 @@ mod tests {
         // making the data plane depend on the switch.
         struct PerSwitch;
         impl DataPlane for PerSwitch {
-            fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            fn process(
+                &mut self,
+                sw: u64,
+                _: u64,
+                packet: Packet,
+                _: bool,
+                _: SimTime,
+            ) -> StepResult {
                 StepResult::forward(if sw == 1 { 1 } else { 2 }, packet)
             }
             fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
@@ -448,8 +457,7 @@ mod tests {
 
     #[test]
     fn dead_end_output_counts_as_drop() {
-        let mut e =
-            Engine::new(topo(), SimParams::default(), ToHostPort(7), Box::new(SinkHosts));
+        let mut e = Engine::new(topo(), SimParams::default(), ToHostPort(7), Box::new(SinkHosts));
         e.inject_at(SimTime::ZERO, 100, Packet::new());
         let r = e.run_until(SimTime::from_secs(1));
         assert_eq!(r.stats.drop_count(Some(DropReason::DeadEnd)), 1);
@@ -465,7 +473,14 @@ mod tests {
             .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), Some(125_000));
         struct PerSwitch;
         impl DataPlane for PerSwitch {
-            fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            fn process(
+                &mut self,
+                sw: u64,
+                _: u64,
+                packet: Packet,
+                _: bool,
+                _: SimTime,
+            ) -> StepResult {
                 StepResult::forward(if sw == 1 { 1 } else { 2 }, packet)
             }
             fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
@@ -488,7 +503,8 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let run = || {
-            let mut e = Engine::new(topo(), SimParams::default(), ToHostPort(2), Box::new(SinkHosts));
+            let mut e =
+                Engine::new(topo(), SimParams::default(), ToHostPort(2), Box::new(SinkHosts));
             for i in 0..10 {
                 e.inject_at(SimTime::from_millis(i), 100, Packet::new().with(Field::Vlan, i));
             }
@@ -505,7 +521,12 @@ mod tests {
     fn host_replies_are_injected() {
         struct Echo;
         impl HostLogic for Echo {
-            fn on_receive(&mut self, _: u64, packet: &Packet, _: SimTime) -> Vec<(SimTime, Packet, u32)> {
+            fn on_receive(
+                &mut self,
+                _: u64,
+                packet: &Packet,
+                _: SimTime,
+            ) -> Vec<(SimTime, Packet, u32)> {
                 if packet.get(Field::Vlan) == Some(1) {
                     // Reply once (vlan 2 so it doesn't echo forever).
                     vec![(SimTime::from_micros(100), packet.clone().with(Field::Vlan, 2), 64)]
@@ -544,10 +565,12 @@ mod failure_tests {
     }
 
     fn topo() -> SimTopology {
-        SimTopology::new([1, 2])
-            .host(100, Loc::new(1, 2))
-            .host(200, Loc::new(2, 2))
-            .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), None)
+        SimTopology::new([1, 2]).host(100, Loc::new(1, 2)).host(200, Loc::new(2, 2)).bilink(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            SimTime::from_micros(50),
+            None,
+        )
     }
 
     #[test]

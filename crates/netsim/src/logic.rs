@@ -46,8 +46,14 @@ pub trait DataPlane {
     ///
     /// `from_host` is `true` when the packet just entered the network from a
     /// host (the IN rule of Fig. 7, where ingress stamping happens).
-    fn process(&mut self, sw: u64, pt: u64, packet: Packet, from_host: bool, now: SimTime)
-        -> StepResult;
+    fn process(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: Packet,
+        from_host: bool,
+        now: SimTime,
+    ) -> StepResult;
 
     /// The controller received `msg`; returns commands to deliver to
     /// switches as `(extra delay, switch, message)`.
@@ -61,8 +67,12 @@ pub trait DataPlane {
 pub trait HostLogic {
     /// Called on delivery; returns packets to inject back into the network
     /// from this host as `(delay, packet, size in bytes)`.
-    fn on_receive(&mut self, host: u64, packet: &Packet, now: SimTime)
-        -> Vec<(SimTime, Packet, u32)>;
+    fn on_receive(
+        &mut self,
+        host: u64,
+        packet: &Packet,
+        now: SimTime,
+    ) -> Vec<(SimTime, Packet, u32)>;
 }
 
 /// A host logic that only consumes packets.

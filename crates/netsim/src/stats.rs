@@ -102,12 +102,7 @@ mod tests {
     fn drop_filtering() {
         let mut s = Stats::default();
         for reason in [DropReason::NoRule, DropReason::NoRule, DropReason::QueueFull] {
-            s.drops.push(Drop {
-                time: SimTime::ZERO,
-                switch: 1,
-                packet: Packet::new(),
-                reason,
-            });
+            s.drops.push(Drop { time: SimTime::ZERO, switch: 1, packet: Packet::new(), reason });
         }
         assert_eq!(s.drop_count(None), 3);
         assert_eq!(s.drop_count(Some(DropReason::NoRule)), 2);

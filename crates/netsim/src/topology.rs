@@ -86,7 +86,13 @@ impl SimTopology {
 
     /// Adds both directions of a link with shared latency/capacity
     /// (builder style).
-    pub fn bilink(mut self, a: Loc, b: Loc, latency: SimTime, capacity: Option<u64>) -> SimTopology {
+    pub fn bilink(
+        mut self,
+        a: Loc,
+        b: Loc,
+        latency: SimTime,
+        capacity: Option<u64>,
+    ) -> SimTopology {
         self.links.push(LinkSpec { src: a, dst: b, latency, capacity });
         self.links.push(LinkSpec { src: b, dst: a, latency, capacity });
         self
@@ -160,9 +166,12 @@ mod tests {
 
     #[test]
     fn lookup_helpers() {
-        let topo = SimTopology::new([1, 2])
-            .host(100, Loc::new(1, 2))
-            .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), Some(1_000_000));
+        let topo = SimTopology::new([1, 2]).host(100, Loc::new(1, 2)).bilink(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            SimTime::from_micros(50),
+            Some(1_000_000),
+        );
         assert_eq!(topo.host_at(Loc::new(1, 2)), Some(100));
         assert_eq!(topo.host_at(Loc::new(9, 9)), None);
         let l = topo.link_from(Loc::new(1, 1)).unwrap();

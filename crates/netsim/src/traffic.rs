@@ -103,6 +103,27 @@ pub struct TcpFlowSpec {
     pub segment_size: u32,
 }
 
+/// A constant-rate UDP flow: datagrams of `size` bytes from `src` to `dst`
+/// every `interval` within `[start, end)`, scheduled up front with
+/// [`schedule_udp_flow`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpFlowSpec {
+    /// Flow identifier (must be unique across flows).
+    pub flow: u64,
+    /// Sender host.
+    pub src: u64,
+    /// Receiver host.
+    pub dst: u64,
+    /// First datagram time.
+    pub start: SimTime,
+    /// End of the stream (exclusive).
+    pub end: SimTime,
+    /// Gap between consecutive datagrams.
+    pub interval: SimTime,
+    /// Datagram size in bytes.
+    pub size: u32,
+}
+
 #[derive(Clone, Debug)]
 struct TcpFlowState {
     spec: TcpFlowSpec,
@@ -143,7 +164,12 @@ impl Default for ScenarioHosts {
 }
 
 impl HostLogic for ScenarioHosts {
-    fn on_receive(&mut self, host: u64, packet: &Packet, _: SimTime) -> Vec<(SimTime, Packet, u32)> {
+    fn on_receive(
+        &mut self,
+        host: u64,
+        packet: &Packet,
+        _: SimTime,
+    ) -> Vec<(SimTime, Packet, u32)> {
         let proto = packet.get(Field::IpProto);
         let to_me = packet.get(Field::IpDst) == Some(host);
         match proto {
@@ -219,22 +245,13 @@ pub fn ping_outcomes(pings: &[Ping], stats: &Stats) -> Vec<PingOutcome> {
 }
 
 /// Schedules a constant-rate UDP stream; returns the number of datagrams.
-pub fn schedule_udp_flow<D: DataPlane>(
-    engine: &mut Engine<D>,
-    src: u64,
-    dst: u64,
-    flow: u64,
-    start: SimTime,
-    end: SimTime,
-    interval: SimTime,
-    size: u32,
-) -> u64 {
-    let mut t = start;
+pub fn schedule_udp_flow<D: DataPlane>(engine: &mut Engine<D>, spec: &UdpFlowSpec) -> u64 {
+    let mut t = spec.start;
     let mut seq = 0;
-    while t < end {
-        engine.inject_sized(t, src, udp_packet(src, dst, flow, seq), size);
+    while t < spec.end {
+        engine.inject_sized(t, spec.src, udp_packet(spec.src, spec.dst, spec.flow, seq), spec.size);
         seq += 1;
-        t += interval;
+        t += spec.interval;
     }
     seq
 }
@@ -253,7 +270,13 @@ pub fn schedule_tcp_flow<D: DataPlane>(engine: &mut Engine<D>, spec: &TcpFlowSpe
 }
 
 /// Bytes of `proto` traffic delivered to `host` in `[from, to)`.
-pub fn proto_bytes_delivered(stats: &Stats, host: u64, proto: u64, from: SimTime, to: SimTime) -> u64 {
+pub fn proto_bytes_delivered(
+    stats: &Stats,
+    host: u64,
+    proto: u64,
+    from: SimTime,
+    to: SimTime,
+) -> u64 {
     stats
         .delivered_to(host)
         .filter(|d| d.time >= from && d.time < to && d.packet.get(Field::IpProto) == Some(proto))
@@ -263,10 +286,7 @@ pub fn proto_bytes_delivered(stats: &Stats, host: u64, proto: u64, from: SimTime
 
 /// Count of `proto` packets delivered to `host`.
 pub fn proto_packets_delivered(stats: &Stats, host: u64, proto: u64) -> usize {
-    stats
-        .delivered_to(host)
-        .filter(|d| d.packet.get(Field::IpProto) == Some(proto))
-        .count()
+    stats.delivered_to(host).filter(|d| d.packet.get(Field::IpProto) == Some(proto)).count()
 }
 
 #[cfg(test)]
@@ -296,8 +316,12 @@ mod tests {
 
     #[test]
     fn ping_round_trip() {
-        let mut e =
-            Engine::new(wire_topology(), SimParams::default(), Wire, Box::new(ScenarioHosts::new()));
+        let mut e = Engine::new(
+            wire_topology(),
+            SimParams::default(),
+            Wire,
+            Box::new(ScenarioHosts::new()),
+        );
         let pings = vec![Ping { time: SimTime::from_millis(1), src: 100, dst: 200, id: 7 }];
         schedule_pings(&mut e, &pings);
         let r = e.run_until(SimTime::from_secs(1));
@@ -337,17 +361,23 @@ mod tests {
 
     #[test]
     fn udp_flow_delivers_expected_bytes() {
-        let mut e =
-            Engine::new(wire_topology(), SimParams::default(), Wire, Box::new(ScenarioHosts::new()));
+        let mut e = Engine::new(
+            wire_topology(),
+            SimParams::default(),
+            Wire,
+            Box::new(ScenarioHosts::new()),
+        );
         let n = schedule_udp_flow(
             &mut e,
-            100,
-            200,
-            1,
-            SimTime::ZERO,
-            SimTime::from_millis(100),
-            SimTime::from_millis(10),
-            1_000,
+            &UdpFlowSpec {
+                flow: 1,
+                src: 100,
+                dst: 200,
+                start: SimTime::ZERO,
+                end: SimTime::from_millis(100),
+                interval: SimTime::from_millis(10),
+                size: 1_000,
+            },
         );
         assert_eq!(n, 10);
         let r = e.run_until(SimTime::from_secs(1));

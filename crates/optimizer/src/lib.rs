@@ -65,10 +65,7 @@ mod proptests {
     use std::collections::BTreeSet;
 
     fn arb_configs() -> impl Strategy<Value = Vec<BTreeSet<u8>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u8..12, 0..8),
-            1..10,
-        )
+        proptest::collection::vec(proptest::collection::btree_set(0u8..12, 0..8), 1..10)
     }
 
     proptest! {

@@ -57,11 +57,7 @@ impl<R: Ord + Clone> Optimized<R> {
     /// mask matches its new ID.
     pub fn effective_rules(&self, original: usize) -> BTreeSet<R> {
         let Some(id) = self.id_of(original) else { return BTreeSet::new() };
-        self.guarded_rules
-            .iter()
-            .filter(|(m, _)| m.matches(id))
-            .map(|(_, r)| r.clone())
-            .collect()
+        self.guarded_rules.iter().filter(|(m, _)| m.matches(id)).map(|(_, r)| r.clone()).collect()
     }
 }
 
@@ -120,8 +116,7 @@ fn optimize_with<R: Ord + Clone>(configs: &[BTreeSet<R>], pairing: Pairing) -> O
         .enumerate()
         .map(|(i, rules)| Node { rules: rules.clone(), leaves: vec![i] })
         .chain(
-            (configs.len()..leaf_count)
-                .map(|i| Node { rules: universe.clone(), leaves: vec![i] }),
+            (configs.len()..leaf_count).map(|i| Node { rules: universe.clone(), leaves: vec![i] }),
         )
         .collect();
 
@@ -170,10 +165,8 @@ fn optimize_with<R: Ord + Clone>(configs: &[BTreeSet<R>], pairing: Pairing) -> O
     // The root's leaf order fixes the configuration IDs. Tokens at or past
     // `configs.len()` are padding dummies.
     let token_order = level[0].leaves.clone();
-    let leaf_order: Vec<Option<usize>> = token_order
-        .iter()
-        .map(|&t| if t < configs.len() { Some(t) } else { None })
-        .collect();
+    let leaf_order: Vec<Option<usize>> =
+        token_order.iter().map(|&t| if t < configs.len() { Some(t) } else { None }).collect();
     let mut position_of_token = vec![0u64; leaf_count];
     for (pos, &t) in token_order.iter().enumerate() {
         position_of_token[t] = pos as u64;
@@ -233,12 +226,8 @@ mod tests {
     /// the bad trie (a) needs 6.
     #[test]
     fn fig18_reaches_the_good_trie() {
-        let configs = vec![
-            set(&["r1", "r2"]),
-            set(&["r1", "r3"]),
-            set(&["r2", "r3"]),
-            set(&["r1", "r2"]),
-        ];
+        let configs =
+            vec![set(&["r1", "r2"]), set(&["r1", "r3"]), set(&["r2", "r3"]), set(&["r1", "r2"])];
         let opt = optimize(&configs);
         assert_eq!(opt.original_count, 8);
         assert_eq!(opt.optimized_count(), 5, "greedy pairing finds trie (b)");
@@ -252,12 +241,8 @@ mod tests {
     /// trie (a): 6 rules. The gap to 5 is the heuristic's contribution.
     #[test]
     fn fig18_in_order_builds_trie_a() {
-        let configs = vec![
-            set(&["r1", "r2"]),
-            set(&["r1", "r3"]),
-            set(&["r2", "r3"]),
-            set(&["r1", "r2"]),
-        ];
+        let configs =
+            vec![set(&["r1", "r2"]), set(&["r1", "r3"]), set(&["r2", "r3"]), set(&["r1", "r2"])];
         let naive = optimize_in_order(&configs);
         assert_eq!(naive.optimized_count(), 6, "in-order IDs yield trie (a)");
         for (i, c) in configs.iter().enumerate() {

@@ -219,13 +219,8 @@ impl CompiledNes {
         packet: &netkat::Packet,
         loc: netkat::Loc,
     ) -> EventSet {
-        let matching: EventSet = self
-            .nes
-            .events()
-            .iter()
-            .filter(|e| e.matches(packet, loc))
-            .map(|e| e.id)
-            .collect();
+        let matching: EventSet =
+            self.nes.events().iter().filter(|e| e.matches(packet, loc)).map(|e| e.id).collect();
         self.fire_step(known, matching)
     }
 
@@ -280,10 +275,7 @@ mod tests {
         // Knowing only e1 (prerequisite missing) has no effect.
         assert_eq!(c.effective_set(EventSet::singleton(e1)), EventSet::empty());
         // Knowing both applies both.
-        assert_eq!(
-            c.effective_set(EventSet::from_iter([e0, e1])),
-            EventSet::from_iter([e0, e1])
-        );
+        assert_eq!(c.effective_set(EventSet::from_iter([e0, e1])), EventSet::from_iter([e0, e1]));
         assert_eq!(c.tag_for_known(EventSet::singleton(e1)), 0);
     }
 

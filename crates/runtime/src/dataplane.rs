@@ -258,10 +258,7 @@ mod tests {
         let pk = Packet::new().with(Field::Digest, 1).with(Field::Tag, 1);
         dp.process(2, 1, pk, false, SimTime::from_millis(3));
         assert_eq!(dp.local_events(2), EventSet::singleton(EventId::new(0)));
-        assert_eq!(
-            dp.discovery_time(2, EventId::new(0)),
-            Some(SimTime::from_millis(3))
-        );
+        assert_eq!(dp.discovery_time(2, EventId::new(0)), Some(SimTime::from_millis(3)));
     }
 
     #[test]

@@ -19,9 +19,9 @@
 #![warn(missing_docs)]
 
 mod compile;
-mod static_plane;
 mod dataplane;
 mod program;
+mod static_plane;
 mod uncoordinated;
 mod verify;
 
@@ -30,6 +30,4 @@ pub use dataplane::NesDataPlane;
 pub use program::{tagged_lookup, SwitchProgram};
 pub use static_plane::StaticDataPlane;
 pub use uncoordinated::UncoordDataPlane;
-pub use verify::{
-    nes_engine, uncoordinated_engine, verify_nes_run, verify_uncoordinated_run,
-};
+pub use verify::{nes_engine, uncoordinated_engine, verify_nes_run, verify_uncoordinated_run};

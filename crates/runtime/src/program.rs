@@ -159,11 +159,8 @@ mod tests {
                     // The guarded program must behave exactly like the
                     // packet's own configuration (modulo the tag field the
                     // guard leaves on the packet).
-                    let got: std::collections::BTreeSet<Packet> = program
-                        .apply(&tagged)
-                        .into_iter()
-                        .map(|p| p.erase_virtual())
-                        .collect();
+                    let got: std::collections::BTreeSet<Packet> =
+                        program.apply(&tagged).into_iter().map(|p| p.erase_virtual()).collect();
                     assert_eq!(got, table.apply(&untagged), "tag {tag}, pt {pt}, dst {dst}");
                 }
             }
@@ -186,9 +183,7 @@ mod tests {
         assert_eq!(program.detections.len(), 1);
         let (tag, event, m) = &program.detections[0];
         assert_eq!((*tag, *event), (0, 0));
-        assert!(m.matches(
-            &Packet::new().with(Field::IpDst, 300).with(Field::Port, 2)
-        ));
+        assert!(m.matches(&Packet::new().with(Field::IpDst, 300).with(Field::Port, 2)));
         // Display mentions the firing.
         assert!(program.to_string().contains("fires e0"));
     }

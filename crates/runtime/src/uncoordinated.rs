@@ -112,10 +112,7 @@ impl DataPlane for UncoordDataPlane {
         if before == after {
             return Vec::new();
         }
-        let tag = self
-            .compiled
-            .tag_of(after)
-            .expect("effective sets are reachable");
+        let tag = self.compiled.tag_of(after).expect("effective sets are reachable");
         // Push the new configuration to every switch after the update
         // delay, in random order with random jitter.
         let mut order = self.switches.clone();
@@ -123,8 +120,7 @@ impl DataPlane for UncoordDataPlane {
         order
             .into_iter()
             .map(|sw| {
-                let jitter =
-                    SimTime::from_micros(self.rng.gen_range(0..=self.jitter.as_micros()));
+                let jitter = SimTime::from_micros(self.rng.gen_range(0..=self.jitter.as_micros()));
                 (self.update_delay + jitter, sw, CtrlMsg::SetConfig(tag))
             })
             .collect()

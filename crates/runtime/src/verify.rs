@@ -33,8 +33,7 @@ pub fn uncoordinated_engine(
     hosts: Box<dyn netsim::HostLogic>,
 ) -> Engine<UncoordDataPlane> {
     let switches = topo.switches().to_vec();
-    let dataplane =
-        UncoordDataPlane::new(CompiledNes::compile(nes), switches, update_delay, seed);
+    let dataplane = UncoordDataPlane::new(CompiledNes::compile(nes), switches, update_delay, seed);
     Engine::new(topo, params, dataplane, hosts)
 }
 

@@ -216,8 +216,11 @@ mod tests {
 
     #[test]
     fn state_width_tracks_max_index() {
-        let p = SPolicy::Test(STest::State(2, 1))
-            .seq(SPolicy::LinkState(Loc::new(1, 1), Loc::new(2, 1), vec![(4, 0)]));
+        let p = SPolicy::Test(STest::State(2, 1)).seq(SPolicy::LinkState(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            vec![(4, 0)],
+        ));
         assert_eq!(p.max_state_index(), Some(4));
         assert_eq!(p.state_width(), 5);
         assert_eq!(SPolicy::id().state_width(), 0);
@@ -232,14 +235,14 @@ mod tests {
 
     #[test]
     fn links_are_collected() {
-        let p = SPolicy::Link(Loc::new(1, 1), Loc::new(4, 1))
-            .union(SPolicy::LinkState(Loc::new(4, 1), Loc::new(1, 1), vec![(0, 1)]));
+        let p = SPolicy::Link(Loc::new(1, 1), Loc::new(4, 1)).union(SPolicy::LinkState(
+            Loc::new(4, 1),
+            Loc::new(1, 1),
+            vec![(0, 1)],
+        ));
         assert_eq!(
             p.links(),
-            vec![
-                (Loc::new(1, 1), Loc::new(4, 1)),
-                (Loc::new(4, 1), Loc::new(1, 1)),
-            ]
+            vec![(Loc::new(1, 1), Loc::new(4, 1)), (Loc::new(4, 1), Loc::new(1, 1)),]
         );
     }
 

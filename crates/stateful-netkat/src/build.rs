@@ -159,9 +159,9 @@ pub fn build_ets(p: &SPolicy, k0: &[Value], spec: &NetworkSpec) -> Result<Ets, B
     let mut order: Vec<StateVec> = Vec::new();
 
     let add_vertex = |k: &StateVec,
-                          configs: &mut Vec<Config>,
-                          order: &mut Vec<StateVec>,
-                          vertex_of: &mut BTreeMap<StateVec, usize>|
+                      configs: &mut Vec<Config>,
+                      order: &mut Vec<StateVec>,
+                      vertex_of: &mut BTreeMap<StateVec, usize>|
      -> Result<usize, BuildError> {
         if let Some(&v) = vertex_of.get(k) {
             return Ok(v);
@@ -235,11 +235,7 @@ mod tests {
     use crate::parser::parse;
 
     fn env() -> Env<String, Value> {
-        Env::from([
-            ("H1".to_string(), 101),
-            ("H2".to_string(), 102),
-            ("H4".to_string(), 104),
-        ])
+        Env::from([("H1".to_string(), 101), ("H2".to_string(), 102), ("H4".to_string(), 104)])
     }
 
     /// The Fig. 8(a) firewall topology: hosts 101 (at 1:2) and 104 (at 4:2),
@@ -283,7 +279,9 @@ mod tests {
         let c1 = project_config(&p, &[1], &spec).unwrap();
         assert_ne!(c0, c1);
         // In C1 switch 4 forwards replies: its table is larger.
-        assert!(c1.table(4).map(|t| t.len()).unwrap_or(0) >= c0.table(4).map(|t| t.len()).unwrap_or(0));
+        assert!(
+            c1.table(4).map(|t| t.len()).unwrap_or(0) >= c0.table(4).map(|t| t.len()).unwrap_or(0)
+        );
     }
 
     #[test]

@@ -42,13 +42,7 @@ fn out_labels(ets: &Ets, v: usize) -> Vec<(Label, usize)> {
     out
 }
 
-fn bisim(
-    a: &Ets,
-    b: &Ets,
-    va: usize,
-    vb: usize,
-    assumed: &mut BTreeSet<(usize, usize)>,
-) -> bool {
+fn bisim(a: &Ets, b: &Ets, va: usize, vb: usize, assumed: &mut BTreeSet<(usize, usize)>) -> bool {
     if !assumed.insert((va, vb)) {
         return true; // coinductive hypothesis
     }
@@ -115,11 +109,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn env() -> BTreeMap<String, Value> {
-        BTreeMap::from([
-            ("H1".to_string(), 101),
-            ("H2".to_string(), 102),
-            ("H4".to_string(), 104),
-        ])
+        BTreeMap::from([("H1".to_string(), 101), ("H2".to_string(), 102), ("H4".to_string(), 104)])
     }
 
     fn spec() -> NetworkSpec {

@@ -156,13 +156,8 @@ pub fn event_edges(
                 }
                 to[m] = n;
             }
-            let edge = EventEdge {
-                from: k.clone(),
-                guard: phi.clone(),
-                loc: *dst,
-                writes: sorted,
-                to,
-            };
+            let edge =
+                EventEdge { from: k.clone(), guard: phi.clone(), loc: *dst, writes: sorted, to };
             Ok((BTreeSet::from([edge]), BTreeSet::from([phi.clone()])))
         }
     }
@@ -219,11 +214,7 @@ mod tests {
     use crate::parser::parse;
 
     fn env() -> BTreeMap<String, Value> {
-        BTreeMap::from([
-            ("H1".to_string(), 1),
-            ("H2".to_string(), 2),
-            ("H4".to_string(), 4),
-        ])
+        BTreeMap::from([("H1".to_string(), 1), ("H2".to_string(), 2), ("H4".to_string(), 4)])
     }
 
     fn firewall() -> SPolicy {

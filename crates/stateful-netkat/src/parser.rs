@@ -234,7 +234,9 @@ impl Parser<'_> {
             Some(Token::Eq) => false,
             Some(Token::Neq) => true,
             Some(Token::Assign) => {
-                return Err(self.err("state assignment must be attached to a link: (a:b)->(c:d)<state<-[..]>"));
+                return Err(self.err(
+                    "state assignment must be attached to a link: (a:b)->(c:d)<state<-[..]>",
+                ));
             }
             other => {
                 return Err(self.err(format!(
@@ -414,15 +416,9 @@ mod tests {
     #[test]
     fn link_annotations() {
         let p = parse("(1:1)->(4:1)<state<-[1]>", &env()).unwrap();
-        assert_eq!(
-            p,
-            SPolicy::LinkState(Loc::new(1, 1), Loc::new(4, 1), vec![(0, 1)])
-        );
+        assert_eq!(p, SPolicy::LinkState(Loc::new(1, 1), Loc::new(4, 1), vec![(0, 1)]));
         let q = parse("(1:1)->(4:1)<state(2)<-5, state(0)<-1>", &env()).unwrap();
-        assert_eq!(
-            q,
-            SPolicy::LinkState(Loc::new(1, 1), Loc::new(4, 1), vec![(2, 5), (0, 1)])
-        );
+        assert_eq!(q, SPolicy::LinkState(Loc::new(1, 1), Loc::new(4, 1), vec![(2, 5), (0, 1)]));
     }
 
     #[test]
@@ -534,9 +530,7 @@ mod netkat_parse_tests {
     #[test]
     fn plain_policies_parse() {
         let p = parse_netkat("pt=2 & ip_dst=H4; pt<-1", &env()).unwrap();
-        let pk = netkat::Packet::new()
-            .with(netkat::Field::Port, 2)
-            .with(netkat::Field::IpDst, 104);
+        let pk = netkat::Packet::new().with(netkat::Field::Port, 2).with(netkat::Field::IpDst, 104);
         let out = netkat::eval(&p, &pk).unwrap();
         assert_eq!(out.len(), 1);
     }

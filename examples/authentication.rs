@@ -13,7 +13,11 @@ use netsim::{SimParams, SimTime};
 
 fn main() {
     let nes = authentication::nes();
-    println!("authentication NES: {} events, {} event-sets", nes.events().len(), nes.event_sets().len());
+    println!(
+        "authentication NES: {} events, {} event-sets",
+        nes.events().len(),
+        nes.event_sets().len()
+    );
     for e in nes.events() {
         println!("  {e}");
     }
@@ -25,8 +29,8 @@ fn main() {
 
     let s = SimTime::from_millis;
     let pings = vec![
-        Ping { time: s(100), src: H4, dst: H3, id: 0 },  // blocked
-        Ping { time: s(600), src: H4, dst: H2, id: 1 },  // blocked (wrong order)
+        Ping { time: s(100), src: H4, dst: H3, id: 0 }, // blocked
+        Ping { time: s(600), src: H4, dst: H2, id: 1 }, // blocked (wrong order)
         Ping { time: s(1100), src: H4, dst: H1, id: 2 }, // knock 1
         Ping { time: s(1600), src: H4, dst: H3, id: 3 }, // still blocked
         Ping { time: s(2100), src: H4, dst: H2, id: 4 }, // knock 2

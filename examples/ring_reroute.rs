@@ -65,10 +65,7 @@ fn run(diameter: u64, broadcast: bool) {
         }
     }
     let max = times.iter().filter_map(|(_, t)| *t).max().map(|t| t.saturating_sub(t0));
-    println!(
-        "  max discovery time: {}\n",
-        max.map_or("n/a".to_string(), |t| t.to_string())
-    );
+    println!("  max discovery time: {}\n", max.map_or("n/a".to_string(), |t| t.to_string()));
 }
 
 fn main() {

@@ -27,7 +27,11 @@ fn main() {
     ];
     let good = optimize(&configs);
     let naive = optimize_in_order(&configs);
-    println!("Fig. 18: naive IDs need {} rules, the heuristic needs {}", naive.optimized_count(), good.optimized_count());
+    println!(
+        "Fig. 18: naive IDs need {} rules, the heuristic needs {}",
+        naive.optimized_count(),
+        good.optimized_count()
+    );
     println!("heuristic's guarded rules:");
     for (mask, rule) in &good.guarded_rules {
         println!("  ({}){}", mask.render(good.id_bits), rule);
@@ -44,8 +48,8 @@ fn main() {
         opt.optimized_count(),
         (opt.savings() * 100.0).round(),
     );
-    for tag in 0..rule_sets.len() {
-        assert_eq!(opt.effective_rules(tag), rule_sets[tag], "semantics preserved");
+    for (tag, rules) in rule_sets.iter().enumerate() {
+        assert_eq!(&opt.effective_rules(tag), rules, "semantics preserved");
     }
     println!("every configuration's effective rule set verified unchanged");
 

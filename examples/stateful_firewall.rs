@@ -17,15 +17,15 @@ fn timeline() -> Vec<Ping> {
     let mut id = 0;
     // Fig. 11's shape: H4->H1 probes, then H1->H4 opens the connection,
     // then more H4->H1 probes.
-    for t in (1..6).map(|s| SimTime::from_secs(s)) {
+    for t in (1..6).map(SimTime::from_secs) {
         pings.push(Ping { time: t, src: H4, dst: H1, id });
         id += 1;
     }
-    for t in (6..10).map(|s| SimTime::from_secs(s)) {
+    for t in (6..10).map(SimTime::from_secs) {
         pings.push(Ping { time: t, src: H1, dst: H4, id });
         id += 1;
     }
-    for t in (10..16).map(|s| SimTime::from_secs(s)) {
+    for t in (10..16).map(SimTime::from_secs) {
         pings.push(Ping { time: t, src: H4, dst: H1, id });
         id += 1;
     }
@@ -80,9 +80,6 @@ fn main() {
     let result = engine.run_until(SimTime::from_secs(20));
     let outcomes = ping_outcomes(&pings, &result.stats);
     render("(b) uncoordinated baseline (1s delay):", &outcomes);
-    let lost_h1 = outcomes
-        .iter()
-        .filter(|o| o.ping.src == H1 && o.replied.is_none())
-        .count();
+    let lost_h1 = outcomes.iter().filter(|o| o.ping.src == H1 && o.replied.is_none()).count();
     println!("  H1->H4 pings that lost their reply: {lost_h1} (the paper's Fig. 11(b) pathology)");
 }

@@ -126,15 +126,12 @@ fn bandwidth_cap_exact_at_various_caps() {
             false,
             Box::new(ScenarioHosts::new()),
         );
-        let pings: Vec<Ping> = (0..n + 5)
-            .map(|i| Ping { time: ms(100 * i + 10), src: H1, dst: H4, id: i })
-            .collect();
+        let pings: Vec<Ping> =
+            (0..n + 5).map(|i| Ping { time: ms(100 * i + 10), src: H1, dst: H4, id: i }).collect();
         schedule_pings(&mut engine, &pings);
         let result = engine.run_until(SimTime::from_secs(10));
-        let ok = ping_outcomes(&pings, &result.stats)
-            .iter()
-            .filter(|o| o.replied.is_some())
-            .count() as u64;
+        let ok = ping_outcomes(&pings, &result.stats).iter().filter(|o| o.replied.is_some()).count()
+            as u64;
         assert_eq!(ok, n, "cap {n} enforced exactly");
         verify_nes_run(&result).unwrap_or_else(|v| panic!("cap {n} run consistent: {v}"));
     }
@@ -162,13 +159,8 @@ fn tight_timing_stays_consistent() {
 
     // IDS: scan completes within a millisecond.
     let topo = sim_topology(&ids::spec(), SimTime::from_micros(50), None);
-    let mut engine = nes_engine(
-        ids::nes(),
-        topo,
-        SimParams::default(),
-        false,
-        Box::new(ScenarioHosts::new()),
-    );
+    let mut engine =
+        nes_engine(ids::nes(), topo, SimParams::default(), false, Box::new(ScenarioHosts::new()));
     let pings = vec![
         Ping { time: SimTime::from_micros(100), src: H4, dst: H1, id: 1 },
         Ping { time: SimTime::from_micros(400), src: H4, dst: H2, id: 2 },

@@ -58,10 +58,7 @@ fn firewall_config_forwarding_matrix() {
     let c1 = project_config(&program, &[1], &spec).expect("C[1]");
 
     let at = |sw: u64, pt: u64, dst: u64| {
-        edn_core::LocatedPacket::new(
-            Packet::new().with(Field::IpDst, dst),
-            Loc::new(sw, pt),
-        )
+        edn_core::LocatedPacket::new(Packet::new().with(Field::IpDst, dst), Loc::new(sw, pt))
     };
     // Outgoing H1 -> H4 works in both configurations.
     for c in [&c0, &c1] {
@@ -111,8 +108,7 @@ fn two_slot_program_builds_diamond() {
 #[test]
 fn extracted_guards_are_header_only() {
     let program = firewall::program();
-    let (edges, _) =
-        event_edges(&program, &vec![0], &netkat::TestConj::new()).expect("extracts");
+    let (edges, _) = event_edges(&program, &vec![0], &netkat::TestConj::new()).expect("extracts");
     assert_eq!(edges.len(), 1);
     let edge = edges.iter().next().unwrap();
     assert_eq!(edge.guard.eq(Field::IpDst), Some(H4));
@@ -145,9 +141,8 @@ fn program_sources_round_trip_through_display() {
 #[test]
 fn rule_counts_scale_like_the_paper() {
     use nes_runtime::CompiledNes;
-    let count = |nes: edn_core::NetworkEventStructure| {
-        CompiledNes::compile(nes).rule_breakdown().total()
-    };
+    let count =
+        |nes: edn_core::NetworkEventStructure| CompiledNes::compile(nes).rule_breakdown().total();
     let fw = count(firewall::nes());
     let ls = count(edn_apps::learning::nes());
     let auth = count(edn_apps::authentication::nes());
@@ -155,11 +150,11 @@ fn rule_counts_scale_like_the_paper() {
     let ids = count(edn_apps::ids::nes());
     assert!(fw < auth, "firewall ({fw}) smaller than authentication ({auth})");
     assert!(auth < bw, "authentication ({auth}) smaller than bandwidth cap ({bw})");
-    assert!(fw >= 6 && fw <= 40, "firewall rules in range, got {fw}");
-    assert!(ls >= 10 && ls <= 90, "learning rules in range, got {ls}");
-    assert!(auth >= 30 && auth <= 160, "auth rules in range, got {auth}");
-    assert!(bw >= 80 && bw <= 400, "bandwidth-cap rules in range, got {bw}");
-    assert!(ids >= 40 && ids <= 320, "IDS rules in range, got {ids}");
+    assert!((6..=40).contains(&fw), "firewall rules in range, got {fw}");
+    assert!((10..=90).contains(&ls), "learning rules in range, got {ls}");
+    assert!((30..=160).contains(&auth), "auth rules in range, got {auth}");
+    assert!((80..=400).contains(&bw), "bandwidth-cap rules in range, got {bw}");
+    assert!((40..=320).contains(&ids), "IDS rules in range, got {ids}");
 }
 
 mod global_compiler_properties {
@@ -192,8 +187,7 @@ mod global_compiler_properties {
                 let mut sw = start;
                 for _ in 0..hops {
                     // The triangle link leaving switch `sw` starts at port 1.
-                    let (src, dst_loc) =
-                        links.iter().find(|(s, _)| s.sw == sw).copied().unwrap();
+                    let (src, dst_loc) = links.iter().find(|(s, _)| s.sw == sw).copied().unwrap();
                     pol = pol
                         .seq(Policy::modify(Field::Port, src.pt))
                         .seq(Policy::link(src, dst_loc));

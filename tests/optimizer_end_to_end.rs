@@ -33,10 +33,7 @@ fn per_app_savings_match_the_papers_shape() {
         let (before, after) = savings_for(nes);
         assert!(after <= before, "{name}: optimizer never grows rules");
         // Multi-config apps share their common clauses.
-        assert!(
-            after < before,
-            "{name}: some sharing expected ({before} -> {after})"
-        );
+        assert!(after < before, "{name}: some sharing expected ({before} -> {after})");
         println!("{name}: {before} -> {after}");
     }
 }
@@ -81,7 +78,7 @@ fn wildcard_guards_partition_correctly() {
     let compiled = CompiledNes::compile(authentication::nes());
     let configs = compiled.config_rule_sets();
     let opt = optimize(&configs);
-    for tag in 0..configs.len() {
+    for (tag, config) in configs.iter().enumerate() {
         let id = opt.id_of(tag).expect("placed");
         let via_mask: std::collections::BTreeSet<_> = opt
             .guarded_rules
@@ -89,6 +86,6 @@ fn wildcard_guards_partition_correctly() {
             .filter(|(m, _)| m.matches(id))
             .map(|(_, r)| r.clone())
             .collect();
-        assert_eq!(via_mask, configs[tag]);
+        assert_eq!(&via_mask, config);
     }
 }

@@ -1,0 +1,192 @@
+//! A minimal, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency. It implements the 0.5-series
+//! API subset the `edn-bench` benches use — [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::throughput`],
+//! [`Bencher::iter`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a plain wall-clock measurement loop
+//! instead of upstream's statistical analysis. Results print as
+//! `<group>/<name>  time: [median per iter]` lines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; one per process, created by
+/// [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`; flags
+        // (e.g. the `--bench` cargo appends) are not name filters.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 50, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, None, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples: sample_size, per_iter: Duration::ZERO };
+        f(&mut bencher);
+        let nanos = bencher.per_iter.as_nanos();
+        match throughput {
+            Some(Throughput::Elements(n)) if nanos > 0 => {
+                let rate = *n as f64 * 1e9 / nanos as f64;
+                println!("{id}  time: [{}]  thrpt: [{rate:.0} elem/s]", fmt_nanos(nanos));
+            }
+            Some(Throughput::Bytes(n)) if nanos > 0 => {
+                let rate = *n as f64 * 1e9 / nanos as f64;
+                println!("{id}  time: [{}]  thrpt: [{rate:.0} B/s]", fmt_nanos(nanos));
+            }
+            _ => println!("{id}  time: [{}]", fmt_nanos(nanos)),
+        }
+    }
+}
+
+fn fmt_nanos(nanos: u128) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling a
+    /// throughput line in the output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Ends the group. (Analysis-free here; provided for API parity.)
+    pub fn finish(self) {}
+}
+
+/// The amount of work one benchmark iteration represents.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (packets, rules, …) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` once to warm up, then `samples` timed times, and
+    /// records the median duration per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.per_iter = times[times.len() / 2];
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

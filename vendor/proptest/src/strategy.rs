@@ -1,0 +1,208 @@
+//! The [`Strategy`] trait and its combinators: value generation without
+//! shrinking.
+
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Maps generated values through `f`, retrying on `None`. `whence`
+    /// names the filter in the panic raised if retries are exhausted.
+    fn prop_filter_map<O, F>(self, whence: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { source: self, whence: whence.into(), f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into the recursive case, nested at most
+    /// `depth` levels. `desired_size` and `expected_branch_size` are
+    /// accepted for API compatibility; depth alone bounds generation here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Erases the strategy type behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Picks uniformly among its arms. Built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the given arms; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    source: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.source.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map retries exhausted: {}", self.whence);
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);

@@ -1,0 +1,86 @@
+//! Test-runner support types: the deterministic RNG, per-test
+//! configuration, and the error type the `prop_assert*` macros return.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic stream used to generate test cases, backed by the
+/// vendored [`rand`] crate's seeded [`StdRng`].
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// The fixed-seed generator every [`proptest!`](crate::proptest) test
+    /// starts from, so failures replay identically on every machine.
+    pub fn deterministic() -> Self {
+        TestRng { rng: StdRng::seed_from_u64(0x853C_49E6_748F_EA9B) }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Returns a uniform value in `0..n` (and `0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// How a [`proptest!`](crate::proptest) block runs its tests.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test generates.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case, carrying the failure message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The result type a property-test body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
