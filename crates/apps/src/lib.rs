@@ -13,7 +13,10 @@
 //! * [`ids`] — the intrusion detection system (Figs. 8(e)/9(e), Fig. 15);
 //! * [`ring`] — the synthetic scalability ring (Section 5.2, Fig. 16);
 //! * [`conflict`] — the locality programs P1/P2 of Section 2 (Lemma 1's
-//!   impossibility, demonstrated empirically).
+//!   impossibility, demonstrated empirically);
+//! * [`generated`] — the firewall and learning switch lifted to arbitrary
+//!   `edn-topo` generated topologies (fat-trees, tori, random graphs), the
+//!   scale-harness workloads.
 //!
 //! Each case-study module carries the Fig. 9 program in the concrete
 //! Stateful NetKAT syntax, the Fig. 8 topology, and a `nes()` constructor
@@ -32,6 +35,7 @@ pub mod bandwidth_cap;
 pub mod conflict;
 pub mod firewall;
 pub mod firewall2;
+pub mod generated;
 pub mod ids;
 pub mod learning;
 pub mod ring;

@@ -265,6 +265,48 @@ mod tests {
 }
 
 #[cfg(test)]
+mod generator_agreement {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The `edn-topo` ring generator reproduces the hand-built Section
+        /// 5.2 ring exactly — same switches, same port conventions, links in
+        /// the same order, hosts at the same attachment points (ids differ:
+        /// the generator numbers hosts from `HOST_BASE`).
+        #[test]
+        fn generated_ring_matches_hand_built(diameter in 1u64..=8) {
+            let hand = Ring::new(diameter).sim_topology(SimTime::from_micros(50), None);
+            let gen = edn_topo::ring(
+                2 * diameter,
+                edn_topo::LinkProfile::new(SimTime::from_micros(50)),
+            );
+            prop_assert_eq!(gen.sim().switches(), hand.switches());
+            prop_assert_eq!(gen.sim().links(), hand.links());
+            prop_assert_eq!(gen.sim().host_latency, hand.host_latency);
+            let gen_locs: Vec<netkat::Loc> = gen.sim().hosts().map(|(_, l)| l).collect();
+            let hand_locs: Vec<netkat::Loc> = hand.hosts().map(|(_, l)| l).collect();
+            prop_assert_eq!(gen_locs, hand_locs);
+        }
+
+        /// And the 4-node case agrees in routing too: the generated ring's
+        /// shortest-path config gives every switch one rule per host, like
+        /// `Ring::config`.
+        #[test]
+        fn generated_ring_routes_all_pairs(diameter in 1u64..=4) {
+            let n = 2 * diameter;
+            let gen = edn_topo::ring(n, edn_topo::LinkProfile::default());
+            let config = edn_topo::shortest_path_config(&gen);
+            for sw in 1..=n {
+                prop_assert_eq!(config.table(sw).unwrap().len(), n as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod failure_tests {
     use super::*;
     use nes_runtime::{nes_engine, verify_nes_run};

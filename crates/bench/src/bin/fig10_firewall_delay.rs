@@ -10,16 +10,9 @@
 //! `FIG10_RUNS_PER_POINT` overrides the number of seeded runs per point.
 
 use edn_apps::{firewall, H1, H4};
-use edn_bench::{run_correct, run_uncoordinated};
+use edn_bench::{env_u64, run_correct, run_uncoordinated};
 use netsim::traffic::Ping;
 use netsim::SimTime;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => v.parse().unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
-        Err(_) => default,
-    }
-}
 
 /// The Fig. 10 workload: H1 opens the connection, then H4 sends replies at
 /// a steady rate. Every lost probe is an incorrect drop: after the event at

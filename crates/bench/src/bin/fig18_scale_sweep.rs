@@ -1,0 +1,54 @@
+//! Figure 18 (new): the scale trajectory — wall-clock, events processed,
+//! and rule counts as switch count grows, on generated rings and fat-trees,
+//! for both the static reference plane and the NES runtime.
+//!
+//! Run with: `cargo run --release -p edn-bench --bin fig18_scale_sweep`
+//!
+//! Environment overrides (CI smoke uses small values):
+//! * `FIG18_RING_SIZES` — comma-separated ring sizes (default
+//!   `4,8,16,32,64,128`);
+//! * `FIG18_FATTREE_KS` — comma-separated fat-tree arities (default
+//!   `4,6,8`);
+//! * `FIG18_PACKETS_PER_FLOW` — datagrams per flow (default `20`);
+//! * `FIG18_SEED` — workload seed (default `7`);
+//! * `FIG18_CANONICAL` — when `1`, report the wall-clock column as `0` so
+//!   two runs with the same seed produce byte-identical CSV.
+
+use edn_bench::scale::{run_point, Plane, CSV_HEADER};
+use edn_bench::{env_list, env_u64};
+use edn_topo::{fat_tree, ring, LinkProfile, TierProfile, TrafficPattern, Workload};
+
+fn main() {
+    let ring_sizes = env_list("FIG18_RING_SIZES", &[4, 8, 16, 32, 64, 128]);
+    let fat_tree_ks = env_list("FIG18_FATTREE_KS", &[4, 6, 8]);
+    let seed = env_u64("FIG18_SEED", 7);
+    let packets_per_flow = env_u64("FIG18_PACKETS_PER_FLOW", 20);
+    let canonical = env_u64("FIG18_CANONICAL", 0) == 1;
+    let workload = Workload {
+        pattern: TrafficPattern::Permutation,
+        seed,
+        packets_per_flow,
+        ..Workload::default()
+    };
+    println!("# Fig. 18: scale sweep — permutation traffic, seed {seed}");
+    println!("# rings {ring_sizes:?}, fat-trees {fat_tree_ks:?}, {packets_per_flow} pkts/flow");
+    println!("{CSV_HEADER}");
+    let emit = |mut row: edn_bench::scale::SweepRow| {
+        if canonical {
+            row.wall_us = 0;
+        }
+        println!("{}", row.csv());
+    };
+    for &n in &ring_sizes {
+        let gen = ring(n, LinkProfile::default());
+        for plane in [Plane::Static, Plane::Nes] {
+            emit(run_point(&gen, "ring", n, plane, &workload));
+        }
+    }
+    for &k in &fat_tree_ks {
+        let gen = fat_tree(k, TierProfile::default());
+        for plane in [Plane::Static, Plane::Nes] {
+            emit(run_point(&gen, "fat-tree", k, plane, &workload));
+        }
+    }
+}

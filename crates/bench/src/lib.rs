@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod scale;
+
 use edn_core::NetworkEventStructure;
 use nes_runtime::{nes_engine, uncoordinated_engine, NesDataPlane, UncoordDataPlane};
 use netsim::traffic::{ping_outcomes, schedule_pings, Ping, PingOutcome, ScenarioHosts};
@@ -80,6 +82,40 @@ pub fn print_timeline(label: &str, rows: &[TimelineRow], name: impl Fn(u64) -> S
             format!("{}->{}", name(r.ping.src), name(r.ping.dst)),
             if r.ok { "reply" } else { "LOST" }
         );
+    }
+}
+
+/// Reads an integer parameter from the environment, falling back to
+/// `default` — the mechanism the `fig*` binaries use for reduced CI smoke
+/// sweeps.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not an integer.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Reads a comma-separated integer list from the environment, falling back
+/// to `default`.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not a comma-separated integer list.
+pub fn env_list(name: &str, default: &[u64]) -> Vec<u64> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} must be comma-separated integers"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
     }
 }
 

@@ -1,0 +1,217 @@
+//! The Fig. 18 scale harness: parametric topology sweeps.
+//!
+//! Each sweep point builds a generated topology, synthesizes a seeded
+//! traffic matrix over it, runs the workload on a data plane — the static
+//! shortest-path reference or the NES runtime hosting a generated firewall
+//! — and reports sizes, rule counts, simulation work, and wall-clock time
+//! as one CSV row. Everything except the wall-clock column is deterministic
+//! given the seed.
+
+use std::time::Instant;
+
+use edn_topo::{shortest_path_config, synthesize, GenTopology, Workload};
+use nes_runtime::{nes_engine, StaticDataPlane};
+use netsim::traffic::udp_packet;
+use netsim::{Engine, SimParams, SimTime, SinkHosts, Stats};
+
+/// Which data plane a sweep point exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Plane {
+    /// The fixed shortest-path configuration (no events, no tags).
+    Static,
+    /// The paper's runtime hosting a generated stateful firewall between
+    /// the first and last host, with a trigger flow firing its event
+    /// mid-run.
+    Nes,
+}
+
+impl Plane {
+    /// The CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Plane::Static => "static",
+            Plane::Nes => "nes",
+        }
+    }
+}
+
+/// One row of the scale sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepRow {
+    /// Topology family (`ring`, `fat-tree`, …).
+    pub topology: String,
+    /// The swept parameter (ring size, fat-tree k).
+    pub param: u64,
+    /// Data plane exercised.
+    pub plane: Plane,
+    /// Switch count.
+    pub switches: usize,
+    /// Host count.
+    pub hosts: usize,
+    /// Directed link count.
+    pub links: usize,
+    /// Installed rules (config rules for `static`; the compiled NES
+    /// breakdown total for `nes`).
+    pub rules: usize,
+    /// Synthesized flows.
+    pub flows: usize,
+    /// Scheduled datagrams.
+    pub datagrams: u64,
+    /// Discrete events the engine processed.
+    pub events: u64,
+    /// Packets delivered.
+    pub deliveries: usize,
+    /// Packets dropped.
+    pub drops: usize,
+    /// Wall-clock time of the run in microseconds — the only
+    /// non-deterministic column; zero it for byte-identical CSVs.
+    pub wall_us: u64,
+}
+
+/// The CSV header matching [`SweepRow::csv`].
+pub const CSV_HEADER: &str = "topology,param,plane,switches,hosts,links,rules,flows,datagrams,\
+                              events,deliveries,drops,wall_us";
+
+impl SweepRow {
+    /// Renders the row as a CSV line (no trailing newline).
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.topology,
+            self.param,
+            self.plane.label(),
+            self.switches,
+            self.hosts,
+            self.links,
+            self.rules,
+            self.flows,
+            self.datagrams,
+            self.events,
+            self.deliveries,
+            self.drops,
+            self.wall_us,
+        )
+    }
+}
+
+/// Runs one sweep point: `workload` over `gen` on the chosen plane.
+///
+/// The run horizon is the last synthesized flow's end plus ten simulated
+/// seconds of drain time, so the event queue always empties — whatever
+/// flow counts and rates the workload asks for.
+pub fn run_point(
+    gen: &GenTopology,
+    topology: &str,
+    param: u64,
+    plane: Plane,
+    workload: &Workload,
+) -> SweepRow {
+    let flows = synthesize(gen, workload);
+    let last_end = flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO);
+    let horizon = last_end + SimTime::from_secs(10);
+    let (rules, datagrams, stats, wall_us): (usize, u64, Stats, u64) = match plane {
+        Plane::Static => {
+            let config = shortest_path_config(gen);
+            let rules = config.rule_count();
+            let mut engine = Engine::new(
+                gen.sim().clone(),
+                SimParams::default(),
+                StaticDataPlane::new(config),
+                Box::new(SinkHosts),
+            );
+            let datagrams = edn_topo::schedule(&mut engine, &flows);
+            let started = Instant::now();
+            let result = engine.run_until(horizon);
+            let wall_us = started.elapsed().as_micros() as u64;
+            (rules, datagrams, result.stats, wall_us)
+        }
+        Plane::Nes => {
+            let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
+            let nes = edn_apps::generated::firewall_nes(gen, inside, outside);
+            let mut engine = nes_engine(
+                nes,
+                gen.sim().clone(),
+                SimParams::default(),
+                false,
+                Box::new(SinkHosts),
+            );
+            let datagrams = edn_topo::schedule(&mut engine, &flows);
+            // A trigger datagram from `inside` fires the firewall's event
+            // mid-run, so the sweep exercises an actual configuration
+            // update at every scale.
+            engine.inject_at(
+                SimTime::from_millis(5),
+                inside,
+                udp_packet(inside, outside, u64::MAX, 0),
+            );
+            let started = Instant::now();
+            let result = engine.run_until(horizon);
+            let wall_us = started.elapsed().as_micros() as u64;
+            let rules = result.dataplane.compiled().rule_breakdown().total();
+            (rules, datagrams + 1, result.stats, wall_us)
+        }
+    };
+    SweepRow {
+        topology: topology.to_string(),
+        param,
+        plane,
+        switches: gen.switch_count(),
+        hosts: gen.host_count(),
+        links: gen.link_count(),
+        rules,
+        flows: flows.len(),
+        datagrams,
+        events: stats.events_processed,
+        deliveries: stats.deliveries.len(),
+        drops: stats.drops.len(),
+        wall_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edn_topo::{fat_tree, ring, LinkProfile, TierProfile, TrafficPattern};
+
+    fn small_workload() -> Workload {
+        Workload {
+            pattern: TrafficPattern::Permutation,
+            seed: 7,
+            packets_per_flow: 3,
+            ..Workload::default()
+        }
+    }
+
+    #[test]
+    fn sweep_point_is_deterministic_modulo_wall_clock() {
+        let gen = ring(8, LinkProfile::default());
+        for plane in [Plane::Static, Plane::Nes] {
+            let mut a = run_point(&gen, "ring", 8, plane, &small_workload());
+            let mut b = run_point(&gen, "ring", 8, plane, &small_workload());
+            a.wall_us = 0;
+            b.wall_us = 0;
+            assert_eq!(a, b, "{} rows differ", plane.label());
+            assert!(a.events > 0 && a.deliveries > 0);
+        }
+    }
+
+    #[test]
+    fn fat_tree_point_delivers_traffic_on_both_planes() {
+        let gen = fat_tree(4, TierProfile::default());
+        let stat = run_point(&gen, "fat-tree", 4, Plane::Static, &small_workload());
+        assert_eq!(stat.switches, 20);
+        assert_eq!(stat.rules, 20 * 16);
+        assert_eq!(stat.flows, 16);
+        assert!(stat.deliveries > 0 && stat.events > stat.datagrams);
+        let nes = run_point(&gen, "fat-tree", 4, Plane::Nes, &small_workload());
+        assert!(nes.deliveries > 0);
+        assert!(nes.rules > stat.rules, "tagged configs outweigh one static config");
+    }
+
+    #[test]
+    fn csv_row_shape_matches_header() {
+        let gen = ring(4, LinkProfile::default());
+        let row = run_point(&gen, "ring", 4, Plane::Static, &small_workload());
+        assert_eq!(row.csv().split(',').count(), CSV_HEADER.split(',').count());
+    }
+}

@@ -90,8 +90,15 @@ pub struct Engine<D: DataPlane> {
     now: SimTime,
     trace: TraceBuilder,
     stats: Stats,
-    /// Per-link transmission backlog: when the link is next free.
-    link_free: HashMap<(Loc, Loc), SimTime>,
+    /// The out-link leaving each source location, as an index into
+    /// `topo.links()`. Resolved once at construction (the topology is
+    /// immutable), so the hot path never scans the link list.
+    out_link: HashMap<Loc, u32>,
+    /// The host (if any) attached at each switch-side location.
+    host_at: HashMap<Loc, u64>,
+    /// Per-link transmission backlog, indexed like `topo.links()`: when the
+    /// link is next free.
+    link_free: Vec<SimTime>,
     /// Trace indices whose processing sent something to the controller.
     /// Controller knowledge is cumulative, so a controller→switch delivery
     /// causally descends from all of them.
@@ -101,8 +108,9 @@ pub struct Engine<D: DataPlane> {
     ctrl_delivered: HashMap<u64, usize>,
     /// Per switch: how many of `ctrl_causes` are already linked.
     ctrl_linked: HashMap<u64, usize>,
-    /// Injected failures: links dead from the given instant onward.
-    failures: HashMap<(Loc, Loc), SimTime>,
+    /// Injected failures, indexed like `topo.links()`: the instant from
+    /// which the link drops everything (`None` = healthy forever).
+    fail_at: Vec<Option<SimTime>>,
 }
 
 impl<D: DataPlane> Engine<D> {
@@ -113,6 +121,12 @@ impl<D: DataPlane> Engine<D> {
         dataplane: D,
         hosts: Box<dyn HostLogic>,
     ) -> Engine<D> {
+        // Dense per-link state, resolved once: the topology never changes
+        // after construction, so packet forwarding can index links instead
+        // of hashing `(Loc, Loc)` tuples or scanning the link list.
+        let out_link = topo.links().iter().enumerate().map(|(i, l)| (l.src, i as u32)).collect();
+        let host_at = topo.hosts().map(|(h, loc)| (loc, h)).collect();
+        let n_links = topo.links().len();
         Engine {
             topo,
             params,
@@ -123,20 +137,24 @@ impl<D: DataPlane> Engine<D> {
             now: SimTime::ZERO,
             trace: TraceBuilder::new(),
             stats: Stats::default(),
-            link_free: HashMap::new(),
+            out_link,
+            host_at,
+            link_free: vec![SimTime::ZERO; n_links],
             ctrl_causes: Vec::new(),
             ctrl_delivered: HashMap::new(),
             ctrl_linked: HashMap::new(),
-            failures: HashMap::new(),
+            fail_at: vec![None; n_links],
         }
     }
 
     /// Injects a failure: the directed link `src → dst` drops every packet
     /// offered to it at or after `time` (failure injection for recovery
-    /// scenarios and robustness tests).
+    /// scenarios and robustness tests). Failing a link the topology does not
+    /// have is a no-op (no packet can ever traverse it).
     pub fn fail_link_at(&mut self, time: SimTime, src: Loc, dst: Loc) {
-        let entry = self.failures.entry((src, dst)).or_insert(time);
-        *entry = (*entry).min(time);
+        let Some(i) = self.topo.link_index(src, dst) else { return };
+        let at = self.fail_at[i].get_or_insert(time);
+        *at = (*at).min(time);
     }
 
     /// Injects a bidirectional failure at `time`.
@@ -189,6 +207,7 @@ impl<D: DataPlane> Engine<D> {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        self.stats.events_processed += 1;
         match kind {
             EventKind::Inject { host, packet, size } => {
                 let Some(attach) = self.topo.attachment(host) else { return };
@@ -283,7 +302,7 @@ impl<D: DataPlane> Engine<D> {
             let out_loc = Loc::new(loc.sw, out_pt);
             let egress_idx = self.trace.push(out_pkt.clone(), out_loc, Some(ingress_idx));
             // Host delivery?
-            if let Some(host) = self.topo.host_at(out_loc) {
+            if let Some(&host) = self.host_at.get(&out_loc) {
                 let t = depart + self.topo.host_latency;
                 self.push(
                     t,
@@ -298,7 +317,7 @@ impl<D: DataPlane> Engine<D> {
                 continue;
             }
             // Inter-switch link?
-            let Some(link) = self.topo.link_from(out_loc).copied() else {
+            let Some(link_idx) = self.out_link.get(&out_loc).map(|&i| i as usize) else {
                 self.trace.mark_terminated(egress_idx);
                 self.stats.drops.push(Drop {
                     time: depart,
@@ -308,10 +327,11 @@ impl<D: DataPlane> Engine<D> {
                 });
                 continue;
             };
+            let link = self.topo.links()[link_idx];
             // Injected failure? Like queue losses, failure drops are left
             // unterminated in the trace: the abstract configuration has no
             // notion of a dead link, so the packet reads as in flight.
-            if self.failures.get(&(link.src, link.dst)).is_some_and(|&t| depart >= t) {
+            if self.fail_at[link_idx].is_some_and(|t| depart >= t) {
                 self.stats.drops.push(Drop {
                     time: depart,
                     switch: loc.sw,
@@ -323,7 +343,7 @@ impl<D: DataPlane> Engine<D> {
             let arrival = match link.capacity {
                 None => depart + link.latency,
                 Some(bps) => {
-                    let free = self.link_free.entry((link.src, link.dst)).or_insert(SimTime::ZERO);
+                    let free = &mut self.link_free[link_idx];
                     let start = (*free).max(depart);
                     // Tail drop when the backlog exceeds the queue bound.
                     // Queue losses are *not* marked terminated in the trace:

@@ -52,6 +52,10 @@ pub struct Stats {
     pub drops: Vec<Drop>,
     /// Packets injected by hosts.
     pub injected: u64,
+    /// Discrete events the engine dispatched (injections, arrivals,
+    /// controller notifications and deliveries) — the scale harness's
+    /// work-done metric.
+    pub events_processed: u64,
 }
 
 impl Stats {

@@ -1,6 +1,6 @@
 //! Simulated topologies and timing/capacity parameters.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use netkat::Loc;
 
@@ -52,6 +52,14 @@ pub struct SimTopology {
     switches: Vec<u64>,
     hosts: BTreeMap<u64, Loc>,
     links: Vec<LinkSpec>,
+    /// Index of each link by its source location (kept in lockstep with
+    /// `links`). Serves both the duplicate guard in [`SimTopology::link`]
+    /// and O(log L) [`SimTopology::link_from`]/[`SimTopology::link_index`]
+    /// lookups.
+    link_by_src: BTreeMap<Loc, usize>,
+    /// Locations already carrying a host attachment (duplicate guard for
+    /// [`SimTopology::host`], same rationale as `link_srcs`).
+    host_locs: BTreeSet<Loc>,
     /// Latency of host attachment links.
     pub host_latency: SimTime,
 }
@@ -67,34 +75,79 @@ impl SimTopology {
         }
     }
 
+    /// Sets the host attachment-link latency (builder style).
+    pub fn with_host_latency(mut self, latency: SimTime) -> SimTopology {
+        self.host_latency = latency;
+        self
+    }
+
     /// Attaches a host at a switch location (builder style).
     ///
     /// # Panics
     ///
-    /// Panics if the host id collides with a switch id.
+    /// Panics if the host id collides with a switch id, or if the location
+    /// already carries an attachment: a silent duplicate would make packet
+    /// delivery at that location pick an arbitrary host.
     pub fn host(mut self, id: u64, attached: Loc) -> SimTopology {
         assert!(!self.switches.contains(&id), "host id {id} collides with a switch");
+        assert!(
+            self.host_locs.insert(attached),
+            "duplicate host attachment at {}:{} (adding host {id}): one host per location",
+            attached.sw,
+            attached.pt,
+        );
         self.hosts.insert(id, attached);
         self
     }
 
     /// Adds a unidirectional link (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link already leaves `spec.src`: each source location is
+    /// one physical port and carries at most one cable, and a silent
+    /// duplicate would make [`SimTopology::link_from`] pick an arbitrary
+    /// winner. Generators producing multigraphs must dedup first.
     pub fn link(mut self, spec: LinkSpec) -> SimTopology {
+        assert!(
+            self.link_by_src.insert(spec.src, self.links.len()).is_none(),
+            "duplicate link out of {}:{} (to {}:{}): a source location carries at most one link",
+            spec.src.sw,
+            spec.src.pt,
+            spec.dst.sw,
+            spec.dst.pt,
+        );
         self.links.push(spec);
         self
     }
 
     /// Adds both directions of a link with shared latency/capacity
     /// (builder style).
-    pub fn bilink(
-        mut self,
-        a: Loc,
-        b: Loc,
-        latency: SimTime,
-        capacity: Option<u64>,
-    ) -> SimTopology {
-        self.links.push(LinkSpec { src: a, dst: b, latency, capacity });
-        self.links.push(LinkSpec { src: b, dst: a, latency, capacity });
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate source location, as for
+    /// [`SimTopology::link`].
+    pub fn bilink(self, a: Loc, b: Loc, latency: SimTime, capacity: Option<u64>) -> SimTopology {
+        self.link(LinkSpec { src: a, dst: b, latency, capacity }).link(LinkSpec {
+            src: b,
+            dst: a,
+            latency,
+            capacity,
+        })
+    }
+
+    /// Adds a batch of links (builder style) — the bulk-construction entry
+    /// point for topology generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate source location, as for
+    /// [`SimTopology::link`].
+    pub fn extend_links<I: IntoIterator<Item = LinkSpec>>(mut self, specs: I) -> SimTopology {
+        for spec in specs {
+            self = self.link(spec);
+        }
         self
     }
 
@@ -130,7 +183,97 @@ impl SimTopology {
 
     /// The link leaving `loc`, if any.
     pub fn link_from(&self, loc: Loc) -> Option<&LinkSpec> {
-        self.links.iter().find(|l| l.src == loc)
+        self.link_by_src.get(&loc).map(|&i| &self.links[i])
+    }
+
+    /// The index (into [`SimTopology::links`]) of the link `src → dst`, if
+    /// present. Link indices are stable: links are never removed.
+    pub fn link_index(&self, src: Loc, dst: Loc) -> Option<usize> {
+        self.link_by_src.get(&src).copied().filter(|&i| self.links[i].dst == dst)
+    }
+
+    /// The inter-switch adjacency implied by the links: for each switch, the
+    /// `(out port, neighbour switch)` pairs in ascending port order.
+    ///
+    /// This is the port map that routing queries and topology generators
+    /// work from.
+    pub fn switch_adjacency(&self) -> BTreeMap<u64, Vec<(u64, u64)>> {
+        let mut adj: BTreeMap<u64, Vec<(u64, u64)>> =
+            self.switches.iter().map(|&s| (s, Vec::new())).collect();
+        for l in &self.links {
+            if let Some(ports) = adj.get_mut(&l.src.sw) {
+                ports.push((l.src.pt, l.dst.sw));
+            }
+        }
+        for ports in adj.values_mut() {
+            ports.sort_unstable();
+        }
+        adj
+    }
+
+    /// Shortest-path next hops toward `dst_sw`: for every switch that can
+    /// reach it, the out port of a deterministic shortest path (ties break
+    /// toward the lowest `(neighbour distance, neighbour id, port)`).
+    ///
+    /// `dst_sw` itself is not in the map. Unreachable switches are absent.
+    pub fn next_hop_ports(&self, dst_sw: u64) -> BTreeMap<u64, u64> {
+        let adj = self.switch_adjacency();
+        // BFS from the destination over reversed edges to get hop counts.
+        let mut rev: BTreeMap<u64, Vec<u64>> =
+            self.switches.iter().map(|&s| (s, Vec::new())).collect();
+        for l in &self.links {
+            if let Some(srcs) = rev.get_mut(&l.dst.sw) {
+                srcs.push(l.src.sw);
+            }
+        }
+        let mut dist: BTreeMap<u64, u64> = BTreeMap::new();
+        dist.insert(dst_sw, 0);
+        let mut frontier = VecDeque::from([dst_sw]);
+        while let Some(sw) = frontier.pop_front() {
+            let d = dist[&sw];
+            let Some(srcs) = rev.get(&sw) else { continue };
+            for &p in srcs {
+                dist.entry(p).or_insert_with(|| {
+                    frontier.push_back(p);
+                    d + 1
+                });
+            }
+        }
+        // Each switch forwards out the port minimizing the deterministic key.
+        let mut next = BTreeMap::new();
+        for (&sw, ports) in &adj {
+            if sw == dst_sw {
+                continue;
+            }
+            let best =
+                ports.iter().filter_map(|&(pt, nb)| dist.get(&nb).map(|&d| (d, nb, pt))).min();
+            if let Some((_, _, pt)) = best {
+                next.insert(sw, pt);
+            }
+        }
+        next
+    }
+
+    /// The deterministic shortest path from `src_sw` to `dst_sw` as a link
+    /// sequence, or `None` if unreachable (or `src_sw == dst_sw`, where the
+    /// path is empty — represented as `Some` of an empty vector).
+    pub fn route(&self, src_sw: u64, dst_sw: u64) -> Option<Vec<LinkSpec>> {
+        if src_sw == dst_sw {
+            return Some(Vec::new());
+        }
+        let next = self.next_hop_ports(dst_sw);
+        let mut path = Vec::new();
+        let mut at = src_sw;
+        while at != dst_sw {
+            let &pt = next.get(&at)?;
+            let link = *self.link_from(Loc::new(at, pt))?;
+            at = link.dst.sw;
+            path.push(link);
+            if path.len() > self.links.len() {
+                return None; // inconsistent next-hop map; avoid looping
+            }
+        }
+        Some(path)
     }
 }
 
@@ -184,6 +327,79 @@ mod tests {
     #[should_panic(expected = "collides")]
     fn host_switch_collision_panics() {
         let _ = SimTopology::new([1]).host(1, Loc::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate host attachment at 1:2")]
+    fn duplicate_host_attachment_is_rejected() {
+        let _ = SimTopology::new([1]).host(100, Loc::new(1, 2)).host(200, Loc::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link out of 1:1")]
+    fn duplicate_directed_link_is_rejected() {
+        let lat = SimTime::from_micros(10);
+        let _ = SimTopology::new([1, 2])
+            .link(LinkSpec::new(Loc::new(1, 1), Loc::new(2, 1), lat))
+            .link(LinkSpec::new(Loc::new(1, 1), Loc::new(2, 1), lat));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link out of 1:1")]
+    fn second_link_from_same_port_is_rejected() {
+        // Not byte-identical links, but the same source port: still a
+        // multigraph `link_from` would silently resolve arbitrarily.
+        let lat = SimTime::from_micros(10);
+        let _ = SimTopology::new([1, 2, 3])
+            .link(LinkSpec::new(Loc::new(1, 1), Loc::new(2, 1), lat))
+            .link(LinkSpec::new(Loc::new(1, 1), Loc::new(3, 1), lat));
+    }
+
+    /// A 4-chain 1—2—3—4 (port 1 = right, port 2 = left).
+    fn chain() -> SimTopology {
+        let lat = SimTime::from_micros(10);
+        SimTopology::new(1..=4)
+            .bilink(Loc::new(1, 1), Loc::new(2, 2), lat, None)
+            .bilink(Loc::new(2, 1), Loc::new(3, 2), lat, None)
+            .bilink(Loc::new(3, 1), Loc::new(4, 2), lat, None)
+    }
+
+    #[test]
+    fn adjacency_and_next_hops_on_a_chain() {
+        let topo = chain();
+        let adj = topo.switch_adjacency();
+        assert_eq!(adj[&1], vec![(1, 2)]);
+        assert_eq!(adj[&2], vec![(1, 3), (2, 1)]);
+        let next = topo.next_hop_ports(4);
+        assert_eq!(next.get(&1), Some(&1));
+        assert_eq!(next.get(&2), Some(&1));
+        assert_eq!(next.get(&3), Some(&1));
+        assert_eq!(next.get(&4), None, "destination has no next hop");
+        let back = topo.next_hop_ports(1);
+        assert_eq!(back.get(&4), Some(&2));
+        assert_eq!(back.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn route_walks_the_shortest_path() {
+        let topo = chain();
+        let path = topo.route(1, 4).expect("connected");
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].src, Loc::new(1, 1));
+        assert_eq!(path[2].dst, Loc::new(4, 2));
+        assert_eq!(topo.route(2, 2), Some(Vec::new()));
+        // Disconnected switch: no route.
+        let island = SimTopology::new([1, 2]);
+        assert_eq!(island.route(1, 2), None);
+    }
+
+    #[test]
+    fn link_index_is_positional() {
+        let topo = chain();
+        let i = topo.link_index(Loc::new(2, 1), Loc::new(3, 2)).expect("present");
+        assert_eq!(topo.links()[i].dst, Loc::new(3, 2));
+        assert_eq!(topo.link_index(Loc::new(3, 2), Loc::new(2, 1)), Some(i + 1));
+        assert_eq!(topo.link_index(Loc::new(1, 1), Loc::new(3, 2)), None);
     }
 
     #[test]

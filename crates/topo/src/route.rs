@@ -1,0 +1,141 @@
+//! Routing synthesis: turn a generated topology into deployable
+//! shortest-path forwarding state.
+//!
+//! The output is an `edn-core` [`Config`] — one `ip_dst = host → output
+//! port` rule per (switch, host) pair, plus the topology's links and hosts —
+//! directly deployable on `StaticDataPlane` or usable as an NES
+//! configuration. Tie-breaking is deterministic (see
+//! [`SimTopology::next_hop_ports`](netsim::SimTopology::next_hop_ports)),
+//! so equal topologies compile to identical configs.
+
+use std::collections::BTreeMap;
+
+use edn_core::Config;
+use netkat::{Action, ActionSet, Field, FlowTable, Match, Rule};
+
+use crate::generate::GenTopology;
+
+/// Shortest-path forwarding rules for every switch: one rule per reachable
+/// host, in ascending host-id order.
+///
+/// Rules at a host's own attachment switch output to the attachment port;
+/// rules elsewhere follow the deterministic shortest path. Switches that
+/// cannot reach a host simply get no rule for it.
+pub fn shortest_path_rules(gen: &GenTopology) -> BTreeMap<u64, Vec<Rule>> {
+    let topo = gen.sim();
+    let mut rules: BTreeMap<u64, Vec<Rule>> =
+        topo.switches().iter().map(|&s| (s, Vec::new())).collect();
+    // One BFS per attachment switch, shared by its co-located hosts.
+    let mut next_hops: BTreeMap<u64, BTreeMap<u64, u64>> = BTreeMap::new();
+    for &host in gen.hosts() {
+        let at = gen.attachment(host).expect("generated hosts are attached");
+        let next = next_hops.entry(at.sw).or_insert_with(|| topo.next_hop_ports(at.sw));
+        for (&sw, list) in rules.iter_mut() {
+            let out = if sw == at.sw { Some(at.pt) } else { next.get(&sw).copied() };
+            if let Some(out) = out {
+                list.push(Rule::new(
+                    Match::new().with(Field::IpDst, host),
+                    ActionSet::single(Action::assign(Field::Port, out)),
+                ));
+            }
+        }
+    }
+    rules
+}
+
+/// Builds a [`Config`] from per-switch rules plus the generated topology's
+/// links and hosts (so correctness checking sees the full network).
+pub fn config_from_rules(gen: &GenTopology, rules: BTreeMap<u64, Vec<Rule>>) -> Config {
+    let mut config = Config::new();
+    for (sw, list) in rules {
+        config.install(sw, FlowTable::from_rules(list));
+    }
+    for l in gen.sim().links() {
+        config.add_link(l.src, l.dst);
+    }
+    for (host, at) in gen.sim().hosts() {
+        config.add_host(host, at);
+    }
+    config
+}
+
+/// The all-pairs shortest-path configuration of a generated topology.
+pub fn shortest_path_config(gen: &GenTopology) -> Config {
+    config_from_rules(gen, shortest_path_rules(gen))
+}
+
+/// Returns `true` if every host can reach every other host (their
+/// attachment switches are mutually connected).
+pub fn all_hosts_connected(gen: &GenTopology) -> bool {
+    let topo = gen.sim();
+    let attach: Vec<u64> = {
+        let mut v: Vec<u64> =
+            gen.hosts().iter().filter_map(|&h| gen.attachment(h)).map(|l| l.sw).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    attach.iter().all(|&dst| {
+        let next = topo.next_hop_ports(dst);
+        attach.iter().all(|&src| src == dst || next.contains_key(&src))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{fat_tree, linear, ring, LinkProfile, TierProfile, HOST_BASE};
+    use netsim::{Engine, SimParams, SimTime};
+
+    #[test]
+    fn rule_counts_are_all_pairs() {
+        let g = ring(5, LinkProfile::default());
+        let config = shortest_path_config(&g);
+        // 5 switches × 5 hosts, every pair connected.
+        assert_eq!(config.rule_count(), 25);
+        assert!(all_hosts_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_pairs_get_no_rules() {
+        // Two isolated switches: only the local attachment rules exist.
+        let g = {
+            use netsim::SimTopology;
+            let topo = SimTopology::new([1, 2])
+                .host(HOST_BASE + 1, netkat::Loc::new(1, 3))
+                .host(HOST_BASE + 2, netkat::Loc::new(2, 3));
+            crate::generate::GenTopology::from_sim("islands", topo)
+        };
+        assert!(!all_hosts_connected(&g));
+        assert_eq!(shortest_path_config(&g).rule_count(), 2);
+    }
+
+    #[test]
+    fn fat_tree_traffic_crosses_pods() {
+        use netsim::traffic::{ping_outcomes, schedule_pings, Ping, ScenarioHosts};
+        let g = fat_tree(4, TierProfile::default());
+        let config = shortest_path_config(&g);
+        let (src, dst) = (g.hosts()[0], *g.hosts().last().unwrap());
+        let mut engine = Engine::new(
+            g.sim().clone(),
+            SimParams::default(),
+            nes_runtime::StaticDataPlane::new(config),
+            Box::new(ScenarioHosts::new()),
+        );
+        let pings = vec![Ping { time: SimTime::from_millis(1), src, dst, id: 1 }];
+        schedule_pings(&mut engine, &pings);
+        let result = engine.run_until(SimTime::from_secs(1));
+        assert!(ping_outcomes(&pings, &result.stats)[0].replied.is_some());
+    }
+
+    #[test]
+    fn linear_routes_are_direct() {
+        let g = linear(4, LinkProfile::default());
+        let rules = shortest_path_rules(&g);
+        // Switch 1's rule for the host at switch 4 points right (port 1).
+        let r = &rules[&1][3];
+        assert_eq!(r.pattern.get(Field::IpDst), Some(HOST_BASE + 4));
+        let out = r.actions.iter().next().unwrap().get(Field::Port);
+        assert_eq!(out, Some(1));
+    }
+}

@@ -1,0 +1,241 @@
+//! Workload synthesis: seeded traffic matrices over generated topologies.
+//!
+//! A [`Workload`] describes *what* traffic to offer (pattern, flow count,
+//! rate, sizes); [`synthesize`] turns it into concrete
+//! [`UdpFlowSpec`]s — the existing `netsim::traffic` scheduling primitive —
+//! and [`schedule`] injects them into an engine. All sampling comes from the
+//! vendored deterministic RNG, so equal seeds give byte-identical traffic.
+
+use netsim::traffic::{schedule_udp_flow, UdpFlowSpec};
+use netsim::{DataPlane, Engine, SimTime};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::generate::GenTopology;
+
+/// The shape of a synthetic traffic matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrafficPattern {
+    /// Each flow's source and destination are independent uniform draws
+    /// (distinct from each other) — uniform all-to-all load.
+    Uniform,
+    /// A few destinations absorb most flows: `hotspots` seeded targets
+    /// receive `bias_pct`% of the traffic; the rest is uniform.
+    Hotspot {
+        /// Number of hotspot destination hosts.
+        hotspots: usize,
+        /// Percentage (0–100) of flows aimed at a hotspot.
+        bias_pct: u8,
+    },
+    /// A seeded permutation: every host sends one flow to a distinct
+    /// partner (a derangement, so nobody talks to itself). Ignores
+    /// [`Workload::flows`] — the flow count is the host count.
+    Permutation,
+}
+
+/// A parametric workload over a generated topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Workload {
+    /// The traffic matrix shape.
+    pub pattern: TrafficPattern,
+    /// RNG seed; equal seeds give identical flows.
+    pub seed: u64,
+    /// Number of flows (ignored for [`TrafficPattern::Permutation`]).
+    pub flows: usize,
+    /// Datagrams per flow.
+    pub packets_per_flow: u64,
+    /// Gap between a flow's consecutive datagrams.
+    pub interval: SimTime,
+    /// Datagram payload size in bytes.
+    pub size: u32,
+    /// Earliest flow start.
+    pub start: SimTime,
+    /// Flow starts are jittered uniformly over `[start, start + spread)`.
+    pub spread: SimTime,
+}
+
+impl Default for Workload {
+    /// 64 uniform flows of twenty 512-byte datagrams at 1 ms spacing,
+    /// starting within the first 10 ms.
+    fn default() -> Workload {
+        Workload {
+            pattern: TrafficPattern::Uniform,
+            seed: 1,
+            flows: 64,
+            packets_per_flow: 20,
+            interval: SimTime::from_millis(1),
+            size: 512,
+            start: SimTime::ZERO,
+            spread: SimTime::from_millis(10),
+        }
+    }
+}
+
+/// Synthesizes the workload's concrete flows over a topology's hosts.
+///
+/// Flow ids are `0..` in synthesis order. Sources and destinations are
+/// always distinct hosts of `gen`.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two hosts.
+pub fn synthesize(gen: &GenTopology, w: &Workload) -> Vec<UdpFlowSpec> {
+    let hosts = gen.hosts();
+    assert!(hosts.len() >= 2, "workload synthesis needs at least two hosts");
+    let mut rng = StdRng::seed_from_u64(w.seed);
+    let pairs: Vec<(u64, u64)> = match w.pattern {
+        TrafficPattern::Uniform => (0..w.flows)
+            .map(|_| {
+                let s = *hosts.choose(&mut rng).expect("nonempty");
+                let mut d = *hosts.choose(&mut rng).expect("nonempty");
+                while d == s {
+                    d = *hosts.choose(&mut rng).expect("nonempty");
+                }
+                (s, d)
+            })
+            .collect(),
+        TrafficPattern::Hotspot { hotspots, bias_pct } => {
+            let mut targets = hosts.to_vec();
+            targets.shuffle(&mut rng);
+            targets.truncate(hotspots.clamp(1, hosts.len()));
+            (0..w.flows)
+                .map(|_| {
+                    let s = *hosts.choose(&mut rng).expect("nonempty");
+                    let hot = rng.gen_range(0..100u64) < u64::from(bias_pct.min(100));
+                    // Fall back to the full pool when the hotspot pool has
+                    // no host other than the source (a lone hotspot can be
+                    // the source itself; redrawing would never terminate).
+                    let pool =
+                        if hot && targets.iter().any(|&t| t != s) { &targets } else { hosts };
+                    let mut d = *pool.choose(&mut rng).expect("nonempty");
+                    while d == s {
+                        d = *pool.choose(&mut rng).expect("nonempty");
+                    }
+                    (s, d)
+                })
+                .collect()
+        }
+        TrafficPattern::Permutation => {
+            // A seeded derangement: shuffle, then send to the next host in
+            // the shuffled cycle — never yourself, everyone exactly once.
+            let mut order = hosts.to_vec();
+            order.shuffle(&mut rng);
+            (0..order.len()).map(|i| (order[i], order[(i + 1) % order.len()])).collect()
+        }
+    };
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (src, dst))| {
+            let jitter = if w.spread == SimTime::ZERO {
+                SimTime::ZERO
+            } else {
+                SimTime::from_micros(rng.gen_range(0..w.spread.as_micros()))
+            };
+            let start = w.start + jitter;
+            let duration = SimTime::from_micros(w.interval.as_micros() * w.packets_per_flow);
+            UdpFlowSpec {
+                flow: i as u64,
+                src,
+                dst,
+                start,
+                end: start + duration,
+                interval: w.interval,
+                size: w.size,
+            }
+        })
+        .collect()
+}
+
+/// Schedules synthesized flows on an engine; returns the total datagram
+/// count.
+pub fn schedule<D: DataPlane>(engine: &mut Engine<D>, flows: &[UdpFlowSpec]) -> u64 {
+    flows.iter().map(|spec| schedule_udp_flow(engine, spec)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{ring, LinkProfile};
+
+    #[test]
+    fn synthesis_is_seed_deterministic() {
+        let g = ring(8, LinkProfile::default());
+        let w = Workload::default();
+        assert_eq!(synthesize(&g, &w), synthesize(&g, &w));
+        let other = Workload { seed: 2, ..w };
+        assert_ne!(synthesize(&g, &w), synthesize(&g, &other));
+    }
+
+    #[test]
+    fn uniform_flows_have_distinct_endpoints() {
+        let g = ring(4, LinkProfile::default());
+        let flows = synthesize(&g, &Workload { flows: 100, ..Workload::default() });
+        assert_eq!(flows.len(), 100);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let g = ring(9, LinkProfile::default());
+        let w = Workload { pattern: TrafficPattern::Permutation, ..Workload::default() };
+        let flows = synthesize(&g, &w);
+        assert_eq!(flows.len(), 9, "one flow per host");
+        assert!(flows.iter().all(|f| f.src != f.dst));
+        let mut sources: Vec<u64> = flows.iter().map(|f| f.src).collect();
+        let mut dests: Vec<u64> = flows.iter().map(|f| f.dst).collect();
+        sources.sort_unstable();
+        dests.sort_unstable();
+        assert_eq!(sources, g.hosts(), "every host sends once");
+        assert_eq!(dests, g.hosts(), "every host receives once");
+    }
+
+    #[test]
+    fn single_hotspot_with_full_bias_terminates() {
+        // Regression: with one hotspot, a flow whose source *is* the
+        // hotspot used to redraw forever from a one-element pool.
+        let g = ring(4, LinkProfile::default());
+        let w = Workload {
+            pattern: TrafficPattern::Hotspot { hotspots: 1, bias_pct: 100 },
+            flows: 200,
+            ..Workload::default()
+        };
+        let flows = synthesize(&g, &w);
+        assert_eq!(flows.len(), 200);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn hotspot_bias_concentrates_traffic() {
+        let g = ring(16, LinkProfile::default());
+        let w = Workload {
+            pattern: TrafficPattern::Hotspot { hotspots: 2, bias_pct: 90 },
+            flows: 200,
+            ..Workload::default()
+        };
+        let flows = synthesize(&g, &w);
+        // Count flows into the two most popular destinations.
+        let mut by_dst = std::collections::BTreeMap::<u64, usize>::new();
+        for f in &flows {
+            *by_dst.entry(f.dst).or_default() += 1;
+        }
+        let mut counts: Vec<usize> = by_dst.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top2: usize = counts.iter().take(2).sum();
+        assert!(top2 > 120, "two hotspots absorb most of 200 flows, got {top2}");
+    }
+
+    #[test]
+    fn jitter_stays_in_the_spread_window() {
+        let g = ring(4, LinkProfile::default());
+        let w = Workload {
+            start: SimTime::from_millis(5),
+            spread: SimTime::from_millis(2),
+            ..Workload::default()
+        };
+        for f in synthesize(&g, &w) {
+            assert!(f.start >= SimTime::from_millis(5) && f.start < SimTime::from_millis(7));
+        }
+    }
+}
