@@ -4,6 +4,15 @@
 //!
 //! Run with: `cargo run --release -p edn-bench --bin fig18_scale_sweep`
 //!
+//! Every sweep point runs on **both** flow-table lookup paths (the linear
+//! reference scan and the compiled index): the CSV on stdout reports the
+//! path selected by `EDN_LOOKUP` (default `indexed`), and a
+//! machine-readable perf-trajectory file (`BENCH_fig18.json` by default)
+//! records `(switches, events, wall, ns/event)` for both paths at every
+//! point. All CSV columns except `wall_us` are identical across paths by
+//! construction — CI runs the sweep once per path and `cmp`s the
+//! canonical CSVs.
+//!
 //! Environment overrides (CI smoke uses small values):
 //! * `FIG18_RING_SIZES` — comma-separated ring sizes (default
 //!   `4,8,16,32,64,128`);
@@ -12,11 +21,57 @@
 //! * `FIG18_PACKETS_PER_FLOW` — datagrams per flow (default `20`);
 //! * `FIG18_SEED` — workload seed (default `7`);
 //! * `FIG18_CANONICAL` — when `1`, report the wall-clock column as `0` so
-//!   two runs with the same seed produce byte-identical CSV.
+//!   two runs with the same seed produce byte-identical CSV;
+//! * `FIG18_JSON` — where to write the perf trajectory (default
+//!   `BENCH_fig18.json`; empty string disables);
+//! * `EDN_LOOKUP` — `linear` or `indexed`: the path the CSV reports.
 
-use edn_bench::scale::{run_point, Plane, CSV_HEADER};
+use std::fmt::Write as _;
+
+use edn_bench::scale::{run_point, Plane, SweepRow, CSV_HEADER};
 use edn_bench::{env_list, env_u64};
-use edn_topo::{fat_tree, ring, LinkProfile, TierProfile, TrafficPattern, Workload};
+use edn_topo::{fat_tree, ring, GenTopology, LinkProfile, TierProfile, TrafficPattern, Workload};
+use netkat::LookupPath;
+
+/// One `(sweep point, lookup path)` record of the perf trajectory.
+struct JsonRow {
+    lookup: LookupPath,
+    row: SweepRow,
+}
+
+impl JsonRow {
+    fn render(&self) -> String {
+        let r = &self.row;
+        format!(
+            "    {{\"topology\": \"{}\", \"param\": {}, \"plane\": \"{}\", \"lookup\": \"{}\", \
+             \"switches\": {}, \"rules\": {}, \"events\": {}, \"wall_us\": {}, \
+             \"ns_per_event\": {:.1}}}",
+            r.topology,
+            r.param,
+            r.plane.label(),
+            self.lookup.label(),
+            r.switches,
+            r.rules,
+            r.events,
+            r.wall_us,
+            r.ns_per_event(),
+        )
+    }
+}
+
+fn render_json(seed: u64, packets_per_flow: u64, rows: &[JsonRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig18_scale_sweep\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"packets_per_flow\": {packets_per_flow},");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.render());
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
     let ring_sizes = env_list("FIG18_RING_SIZES", &[4, 8, 16, 32, 64, 128]);
@@ -24,6 +79,8 @@ fn main() {
     let seed = env_u64("FIG18_SEED", 7);
     let packets_per_flow = env_u64("FIG18_PACKETS_PER_FLOW", 20);
     let canonical = env_u64("FIG18_CANONICAL", 0) == 1;
+    let json_path = std::env::var("FIG18_JSON").unwrap_or_else(|_| "BENCH_fig18.json".to_string());
+    let csv_lookup = LookupPath::from_env();
     let workload = Workload {
         pattern: TrafficPattern::Permutation,
         seed,
@@ -31,24 +88,45 @@ fn main() {
         ..Workload::default()
     };
     println!("# Fig. 18: scale sweep — permutation traffic, seed {seed}");
-    println!("# rings {ring_sizes:?}, fat-trees {fat_tree_ks:?}, {packets_per_flow} pkts/flow");
+    println!(
+        "# rings {ring_sizes:?}, fat-trees {fat_tree_ks:?}, {packets_per_flow} pkts/flow, \
+         CSV lookup path: {}",
+        csv_lookup.label()
+    );
     println!("{CSV_HEADER}");
-    let emit = |mut row: edn_bench::scale::SweepRow| {
-        if canonical {
-            row.wall_us = 0;
+    let mut json_rows: Vec<JsonRow> = Vec::new();
+    let mut sweep = |gen: &GenTopology, topology: &str, param: u64| {
+        for plane in [Plane::Static, Plane::Nes] {
+            for lookup in [LookupPath::Linear, LookupPath::Indexed] {
+                // The non-selected path's rows only feed the JSON
+                // trajectory; skip them when it is disabled.
+                if lookup != csv_lookup && json_path.is_empty() {
+                    continue;
+                }
+                let row = run_point(gen, topology, param, plane, &workload, lookup);
+                if lookup == csv_lookup {
+                    let mut csv_row = row.clone();
+                    if canonical {
+                        csv_row.wall_us = 0;
+                    }
+                    println!("{}", csv_row.csv());
+                }
+                json_rows.push(JsonRow { lookup, row });
+            }
         }
-        println!("{}", row.csv());
     };
     for &n in &ring_sizes {
-        let gen = ring(n, LinkProfile::default());
-        for plane in [Plane::Static, Plane::Nes] {
-            emit(run_point(&gen, "ring", n, plane, &workload));
-        }
+        sweep(&ring(n, LinkProfile::default()), "ring", n);
     }
     for &k in &fat_tree_ks {
-        let gen = fat_tree(k, TierProfile::default());
-        for plane in [Plane::Static, Plane::Nes] {
-            emit(run_point(&gen, "fat-tree", k, plane, &workload));
+        sweep(&fat_tree(k, TierProfile::default()), "fat-tree", k);
+    }
+    if !json_path.is_empty() {
+        let json = render_json(seed, packets_per_flow, &json_rows);
+        if let Err(e) = std::fs::write(&json_path, json) {
+            eprintln!("fig18: could not write {json_path}: {e}");
+            std::process::exit(1);
         }
+        eprintln!("fig18: perf trajectory written to {json_path}");
     }
 }

@@ -10,7 +10,8 @@
 use std::time::Instant;
 
 use edn_topo::{shortest_path_config, synthesize, GenTopology, Workload};
-use nes_runtime::{nes_engine, StaticDataPlane};
+use nes_runtime::{nes_engine_with_path, StaticDataPlane};
+use netkat::LookupPath;
 use netsim::traffic::udp_packet;
 use netsim::{Engine, SimParams, SimTime, SinkHosts, Stats};
 
@@ -73,6 +74,15 @@ pub const CSV_HEADER: &str = "topology,param,plane,switches,hosts,links,rules,fl
                               events,deliveries,drops,wall_us";
 
 impl SweepRow {
+    /// Nanoseconds of wall-clock per engine event — the per-event cost the
+    /// perf trajectory (`BENCH_fig18.json`) tracks.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.wall_us as f64 * 1_000.0 / self.events as f64
+    }
+
     /// Renders the row as a CSV line (no trailing newline).
     pub fn csv(&self) -> String {
         format!(
@@ -94,7 +104,12 @@ impl SweepRow {
     }
 }
 
-/// Runs one sweep point: `workload` over `gen` on the chosen plane.
+/// Runs one sweep point: `workload` over `gen` on the chosen plane,
+/// dispatching table lookups through `path`.
+///
+/// Every column except `wall_us` is independent of `path` — that is the
+/// equivalence the lookup engine's differential tests (and the CI
+/// per-path CSV comparison) pin down.
 ///
 /// The run horizon is the last synthesized flow's end plus ten simulated
 /// seconds of drain time, so the event queue always empties — whatever
@@ -105,6 +120,7 @@ pub fn run_point(
     param: u64,
     plane: Plane,
     workload: &Workload,
+    path: LookupPath,
 ) -> SweepRow {
     let flows = synthesize(gen, workload);
     let last_end = flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO);
@@ -116,7 +132,7 @@ pub fn run_point(
             let mut engine = Engine::new(
                 gen.sim().clone(),
                 SimParams::default(),
-                StaticDataPlane::new(config),
+                StaticDataPlane::with_path(config, path),
                 Box::new(SinkHosts),
             );
             let datagrams = edn_topo::schedule(&mut engine, &flows);
@@ -128,12 +144,13 @@ pub fn run_point(
         Plane::Nes => {
             let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
             let nes = edn_apps::generated::firewall_nes(gen, inside, outside);
-            let mut engine = nes_engine(
+            let mut engine = nes_engine_with_path(
                 nes,
                 gen.sim().clone(),
                 SimParams::default(),
                 false,
                 Box::new(SinkHosts),
+                path,
             );
             let datagrams = edn_topo::schedule(&mut engine, &flows);
             // A trigger datagram from `inside` fires the firewall's event
@@ -186,24 +203,40 @@ mod tests {
     fn sweep_point_is_deterministic_modulo_wall_clock() {
         let gen = ring(8, LinkProfile::default());
         for plane in [Plane::Static, Plane::Nes] {
-            let mut a = run_point(&gen, "ring", 8, plane, &small_workload());
-            let mut b = run_point(&gen, "ring", 8, plane, &small_workload());
+            for path in [LookupPath::Linear, LookupPath::Indexed] {
+                let mut a = run_point(&gen, "ring", 8, plane, &small_workload(), path);
+                let mut b = run_point(&gen, "ring", 8, plane, &small_workload(), path);
+                a.wall_us = 0;
+                b.wall_us = 0;
+                assert_eq!(a, b, "{} rows differ", plane.label());
+                assert!(a.events > 0 && a.deliveries > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_paths_produce_identical_rows() {
+        let gen = ring(8, LinkProfile::default());
+        for plane in [Plane::Static, Plane::Nes] {
+            let mut a = run_point(&gen, "ring", 8, plane, &small_workload(), LookupPath::Linear);
+            let mut b = run_point(&gen, "ring", 8, plane, &small_workload(), LookupPath::Indexed);
             a.wall_us = 0;
             b.wall_us = 0;
-            assert_eq!(a, b, "{} rows differ", plane.label());
-            assert!(a.events > 0 && a.deliveries > 0);
+            assert_eq!(a, b, "{} rows differ across lookup paths", plane.label());
         }
     }
 
     #[test]
     fn fat_tree_point_delivers_traffic_on_both_planes() {
         let gen = fat_tree(4, TierProfile::default());
-        let stat = run_point(&gen, "fat-tree", 4, Plane::Static, &small_workload());
+        let stat =
+            run_point(&gen, "fat-tree", 4, Plane::Static, &small_workload(), LookupPath::Indexed);
         assert_eq!(stat.switches, 20);
         assert_eq!(stat.rules, 20 * 16);
         assert_eq!(stat.flows, 16);
         assert!(stat.deliveries > 0 && stat.events > stat.datagrams);
-        let nes = run_point(&gen, "fat-tree", 4, Plane::Nes, &small_workload());
+        let nes =
+            run_point(&gen, "fat-tree", 4, Plane::Nes, &small_workload(), LookupPath::Indexed);
         assert!(nes.deliveries > 0);
         assert!(nes.rules > stat.rules, "tagged configs outweigh one static config");
     }
@@ -211,7 +244,8 @@ mod tests {
     #[test]
     fn csv_row_shape_matches_header() {
         let gen = ring(4, LinkProfile::default());
-        let row = run_point(&gen, "ring", 4, Plane::Static, &small_workload());
+        let row = run_point(&gen, "ring", 4, Plane::Static, &small_workload(), LookupPath::Linear);
         assert_eq!(row.csv().split(',').count(), CSV_HEADER.split(',').count());
+        assert!(row.ns_per_event() > 0.0);
     }
 }

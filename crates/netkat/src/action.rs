@@ -139,6 +139,18 @@ impl ActionSet {
         self.actions.iter().map(|a| a.apply(pk)).collect()
     }
 
+    /// Applies every action to `pk`, appending the outputs to `out` in
+    /// exactly the order [`apply`](ActionSet::apply)'s set iterates them
+    /// (sorted, deduplicated) — but without materializing the set for the
+    /// hot single-action case.
+    pub fn apply_into(&self, pk: &Packet, out: &mut Vec<Packet>) {
+        match self.actions.len() {
+            0 => {}
+            1 => out.push(self.actions.iter().next().expect("len 1").apply(pk)),
+            _ => out.extend(self.apply(pk)),
+        }
+    }
+
     /// Number of actions.
     pub fn len(&self) -> usize {
         self.actions.len()

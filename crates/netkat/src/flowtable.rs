@@ -178,12 +178,30 @@ impl FlowTable {
         self.rules.iter().find(|r| r.pattern.matches(pk))
     }
 
+    /// Returns the priority index of the first matching rule for `pk`.
+    ///
+    /// This linear scan is the *reference* lookup semantics; the indexed
+    /// [`CompiledTable`](crate::CompiledTable) must agree with it on every
+    /// packet (enforced by differential property tests).
+    pub fn lookup_index(&self, pk: &Packet) -> Option<usize> {
+        self.rules.iter().position(|r| r.pattern.matches(pk))
+    }
+
     /// Applies the table: the output packets of the first matching rule, or
     /// the empty set if no rule matches.
     pub fn apply(&self, pk: &Packet) -> BTreeSet<Packet> {
         match self.lookup(pk) {
             Some(rule) => rule.actions.apply(pk),
             None => BTreeSet::new(),
+        }
+    }
+
+    /// Applies the table, appending the outputs to `out` in the same order
+    /// as [`apply`](FlowTable::apply)'s set iteration — the allocation-lean
+    /// form simulator data planes use.
+    pub fn apply_into(&self, pk: &Packet, out: &mut Vec<Packet>) {
+        if let Some(rule) = self.lookup(pk) {
+            rule.actions.apply_into(pk, out);
         }
     }
 
@@ -299,6 +317,63 @@ mod tests {
     #[test]
     fn empty_table_drops() {
         assert!(FlowTable::new().apply(&Packet::new()).is_empty());
+        assert_eq!(FlowTable::new().lookup_index(&Packet::new()), None);
+    }
+
+    #[test]
+    fn all_wildcard_first_rule_shadows_later_rules() {
+        let t = FlowTable::from_rules([
+            Rule::new(Match::new(), ActionSet::single(Action::assign(Field::Vlan, 1))),
+            Rule::new(
+                Match::new().with(Field::Port, 2),
+                ActionSet::single(Action::assign(Field::Vlan, 2)),
+            ),
+        ]);
+        // Even a packet the second rule would match hits the wildcard.
+        let pk = Packet::new().with(Field::Port, 2);
+        assert_eq!(t.lookup_index(&pk), Some(0));
+        assert_eq!(t.apply(&pk).iter().next().unwrap().get(Field::Vlan), Some(1));
+    }
+
+    #[test]
+    fn duplicate_patterns_first_wins() {
+        let t = FlowTable::from_rules([
+            Rule::new(
+                Match::new().with(Field::Port, 1),
+                ActionSet::single(Action::assign(Field::Vlan, 10)),
+            ),
+            Rule::new(
+                Match::new().with(Field::Port, 1),
+                ActionSet::single(Action::assign(Field::Vlan, 20)),
+            ),
+        ]);
+        let pk = Packet::new().with(Field::Port, 1);
+        assert_eq!(t.lookup_index(&pk), Some(0));
+        assert_eq!(t.apply(&pk).iter().next().unwrap().get(Field::Vlan), Some(10));
+    }
+
+    #[test]
+    fn multicast_rule_emits_every_output_packet() {
+        let t = FlowTable::from_rules([Rule::new(
+            Match::new().with(Field::Port, 1),
+            ActionSet::from_iter([
+                Action::assign(Field::Port, 2),
+                Action::assign(Field::Port, 3).set(Field::Vlan, 7),
+            ]),
+        )]);
+        let out = t.apply(&Packet::new().with(Field::Port, 1));
+        assert_eq!(out.len(), 2);
+        let vlans: Vec<Option<Value>> = out.iter().map(|p| p.get(Field::Vlan)).collect();
+        assert!(vlans.contains(&Some(7)) && vlans.contains(&None));
+    }
+
+    #[test]
+    fn match_add_contradiction_leaves_match_unchanged() {
+        let mut m = Match::new().with(Field::IpDst, 4).with(Field::Port, 2);
+        assert!(!m.add(Field::IpDst, 9));
+        assert_eq!(m.get(Field::IpDst), Some(4));
+        assert_eq!(m.len(), 2);
+        assert!(m.matches(&Packet::new().with(Field::IpDst, 4).with(Field::Port, 2)));
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod action;
 mod error;
 mod fdd;
 mod field;
+mod flowindex;
 mod flowtable;
 mod global;
 mod local;
@@ -46,6 +47,7 @@ pub use action::{Action, ActionSet};
 pub use error::NetkatError;
 pub use fdd::{FddBuilder, FddPath, NodeId};
 pub use field::{Field, Value};
+pub use flowindex::{CompiledTable, LookupPath};
 pub use flowtable::{FlowTable, Match, Rule};
 pub use global::{compile_global, path_clauses, Hop, PathClause, SwitchTables, TestConj};
 pub use local::{compile_fdd, compile_local};

@@ -1,6 +1,5 @@
 //! Packets and network locations.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::field::{Field, Value};
@@ -43,6 +42,13 @@ impl fmt::Display for Loc {
 /// standard NetKAT semantics (where `sw` and `pt` are ordinary fields)
 /// straightforward.
 ///
+/// Internally the record is a `Vec` of `(field, value)` pairs kept sorted
+/// by field and duplicate-free: packets hold at most a dozen fields, and
+/// the simulator clones them on every trace step, so one flat allocation
+/// beats a node-per-field tree. The derived `Ord`/`Hash` compare the same
+/// sorted pair sequence a `BTreeMap` would iterate, so observable ordering
+/// (e.g. of `BTreeSet<Packet>` outputs) is unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -53,7 +59,7 @@ impl fmt::Display for Loc {
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Packet {
-    fields: BTreeMap<Field, Value>,
+    fields: Vec<(Field, Value)>,
 }
 
 impl Packet {
@@ -67,19 +73,26 @@ impl Packet {
         Packet::new().with(Field::Switch, loc.sw).with(Field::Port, loc.pt)
     }
 
+    fn position(&self, field: Field) -> Result<usize, usize> {
+        self.fields.binary_search_by_key(&field, |&(f, _)| f)
+    }
+
     /// Returns the value of `field`, or `None` if unset.
     pub fn get(&self, field: Field) -> Option<Value> {
-        self.fields.get(&field).copied()
+        self.position(field).ok().map(|i| self.fields[i].1)
     }
 
     /// Sets `field` to `value` in place (the paper's `pkt[f ← n]`).
     pub fn set(&mut self, field: Field, value: Value) {
-        self.fields.insert(field, value);
+        match self.position(field) {
+            Ok(i) => self.fields[i].1 = value,
+            Err(i) => self.fields.insert(i, (field, value)),
+        }
     }
 
     /// Removes `field` from the packet, returning its previous value.
     pub fn unset(&mut self, field: Field) -> Option<Value> {
-        self.fields.remove(&field)
+        self.position(field).ok().map(|i| self.fields.remove(i).1)
     }
 
     /// Builder-style [`set`](Packet::set).
@@ -94,14 +107,50 @@ impl Packet {
     }
 
     /// Moves the packet to `loc`.
+    ///
+    /// The location fields sort before every header field, so on the
+    /// simulator's per-hop path they are either both already in the first
+    /// two slots (update in place) or both absent (one front splice).
     pub fn set_loc(&mut self, loc: Loc) {
-        self.set(Field::Switch, loc.sw);
-        self.set(Field::Port, loc.pt);
+        match (self.fields.first().map(|&(f, _)| f), self.fields.get(1).map(|&(f, _)| f)) {
+            (Some(Field::Switch), Some(Field::Port)) => {
+                self.fields[0].1 = loc.sw;
+                self.fields[1].1 = loc.pt;
+            }
+            (Some(Field::Switch), _) | (Some(Field::Port), _) => {
+                self.set(Field::Switch, loc.sw);
+                self.set(Field::Port, loc.pt);
+            }
+            _ => {
+                self.fields.splice(0..0, [(Field::Switch, loc.sw), (Field::Port, loc.pt)]);
+            }
+        }
+    }
+
+    /// Removes both location fields in one front-of-record pass, returning
+    /// their values — the per-hop inverse of [`set_loc`](Packet::set_loc)
+    /// (links, not tables, decide the next location).
+    pub fn take_loc(&mut self) -> (Option<Value>, Option<Value>) {
+        let mut sw = None;
+        let mut pt = None;
+        let mut strip = 0;
+        for &(f, v) in self.fields.iter().take(2) {
+            match f {
+                Field::Switch => sw = Some(v),
+                Field::Port => pt = Some(v),
+                _ => break,
+            }
+            strip += 1;
+        }
+        if strip > 0 {
+            self.fields.drain(..strip);
+        }
+        (sw, pt)
     }
 
     /// Iterates over the `(field, value)` pairs in field order.
     pub fn iter(&self) -> impl Iterator<Item = (Field, Value)> + '_ {
-        self.fields.iter().map(|(&f, &v)| (f, v))
+        self.fields.iter().copied()
     }
 
     /// Returns a copy with the virtual runtime fields (`Tag`, `Digest`)
@@ -150,13 +199,17 @@ impl fmt::Display for Packet {
 
 impl FromIterator<(Field, Value)> for Packet {
     fn from_iter<I: IntoIterator<Item = (Field, Value)>>(iter: I) -> Packet {
-        Packet { fields: iter.into_iter().collect() }
+        let mut pk = Packet::new();
+        pk.extend(iter);
+        pk
     }
 }
 
 impl Extend<(Field, Value)> for Packet {
     fn extend<I: IntoIterator<Item = (Field, Value)>>(&mut self, iter: I) {
-        self.fields.extend(iter);
+        for (f, v) in iter {
+            self.set(f, v);
+        }
     }
 }
 
@@ -183,6 +236,40 @@ mod tests {
         pk.set_loc(Loc::new(3, 2));
         assert_eq!(pk.loc(), Some(Loc::new(3, 2)));
         assert_eq!(Packet::at(Loc::new(1, 9)).loc(), Some(Loc::new(1, 9)));
+    }
+
+    #[test]
+    fn set_loc_covers_partial_and_present_locations() {
+        // Both present: update in place.
+        let mut pk = Packet::at(Loc::new(1, 1)).with(Field::IpDst, 9);
+        pk.set_loc(Loc::new(5, 6));
+        assert_eq!(pk.loc(), Some(Loc::new(5, 6)));
+        assert_eq!(pk.len(), 3);
+        // Only Switch present.
+        let mut pk = Packet::new().with(Field::Switch, 1).with(Field::IpDst, 9);
+        pk.set_loc(Loc::new(5, 6));
+        assert_eq!(pk.loc(), Some(Loc::new(5, 6)));
+        // Only Port present.
+        let mut pk = Packet::new().with(Field::Port, 1).with(Field::IpDst, 9);
+        pk.set_loc(Loc::new(5, 6));
+        assert_eq!(pk.loc(), Some(Loc::new(5, 6)));
+        assert_eq!(pk.get(Field::IpDst), Some(9));
+    }
+
+    #[test]
+    fn take_loc_strips_and_returns_location() {
+        let mut pk = Packet::at(Loc::new(4, 7)).with(Field::IpDst, 2);
+        assert_eq!(pk.take_loc(), (Some(4), Some(7)));
+        assert_eq!(pk.loc(), None);
+        assert_eq!(pk.get(Field::IpDst), Some(2));
+        // Partial: only Port.
+        let mut pk = Packet::new().with(Field::Port, 3).with(Field::Vlan, 1);
+        assert_eq!(pk.take_loc(), (None, Some(3)));
+        assert_eq!(pk.get(Field::Vlan), Some(1));
+        // Absent: no-op.
+        let mut pk = Packet::new().with(Field::Vlan, 1);
+        assert_eq!(pk.take_loc(), (None, None));
+        assert_eq!(pk.len(), 1);
     }
 
     #[test]

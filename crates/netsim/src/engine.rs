@@ -37,32 +37,13 @@ enum EventKind {
     Deliver { sw: u64, msg: CtrlMsg },
 }
 
-#[derive(Clone, Debug)]
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.seq) == (other.time, other.seq)
-    }
-}
-
-impl Eq for QueuedEvent {}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
+/// A queue entry: fire time, insertion sequence (the deterministic
+/// tie-break), and the slab slot holding the event payload.
+///
+/// Keeping the payload out of the heap keeps sift operations moving
+/// 24-byte keys instead of full [`EventKind`]s — the heap is the single
+/// hottest structure in the simulator.
+type QueuedKey = (SimTime, u64, u32);
 
 /// The result of a finished run.
 #[derive(Debug)]
@@ -85,7 +66,11 @@ pub struct Engine<D: DataPlane> {
     params: SimParams,
     dataplane: D,
     hosts: Box<dyn HostLogic>,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: BinaryHeap<Reverse<QueuedKey>>,
+    /// Slab of pending event payloads, indexed by the keys in `queue`.
+    slots: Vec<Option<EventKind>>,
+    /// Recycled slab slots.
+    free_slots: Vec<u32>,
     seq: u64,
     now: SimTime,
     trace: TraceBuilder,
@@ -133,6 +118,8 @@ impl<D: DataPlane> Engine<D> {
             dataplane,
             hosts,
             queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
             trace: TraceBuilder::new(),
@@ -186,18 +173,30 @@ impl<D: DataPlane> Engine<D> {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                self.slots.push(Some(kind));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.queue.push(Reverse((time, seq, slot)));
     }
 
     /// Runs until the event queue empties or `deadline` passes, then returns
     /// the trace, statistics, and data plane.
     pub fn run_until(mut self, deadline: SimTime) -> RunResult<D> {
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if ev.time > deadline {
+        while let Some(Reverse((time, _, slot))) = self.queue.pop() {
+            if time > deadline {
                 break;
             }
-            self.now = ev.time;
-            self.dispatch(ev.kind);
+            let kind = self.slots[slot as usize].take().expect("queued slots are filled");
+            self.free_slots.push(slot);
+            self.now = time;
+            self.dispatch(kind);
         }
         RunResult {
             trace: self.trace.build().expect("engine-built traces are structurally valid"),
@@ -280,7 +279,9 @@ impl<D: DataPlane> Engine<D> {
             }
         }
         *linked = (*linked).max(delivered);
-        let result = self.dataplane.process(loc.sw, loc.pt, packet.clone(), from_host, self.now);
+        // The packet moves into the data plane; the drop path below
+        // recovers it from the trace record instead of keeping a copy.
+        let result = self.dataplane.process(loc.sw, loc.pt, packet, from_host, self.now);
         for msg in result.notifications {
             self.push(
                 self.now + self.params.controller_latency,
@@ -292,7 +293,7 @@ impl<D: DataPlane> Engine<D> {
             self.stats.drops.push(Drop {
                 time: self.now,
                 switch: loc.sw,
-                packet,
+                packet: self.trace.recorded(ingress_idx).packet.clone(),
                 reason: DropReason::NoRule,
             });
             return;

@@ -47,7 +47,7 @@ mod topology;
 pub mod traffic;
 
 pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
-pub use logic::{CtrlMsg, DataPlane, HostLogic, SinkHosts, StepResult};
+pub use logic::{table_outputs, CtrlMsg, DataPlane, HostLogic, SinkHosts, StepResult};
 pub use stats::{Delivery, Drop, DropReason, Stats};
 pub use time::SimTime;
 pub use topology::{LinkSpec, SimParams, SimTopology};

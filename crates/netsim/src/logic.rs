@@ -36,6 +36,21 @@ impl StepResult {
     }
 }
 
+/// Converts a flow-table application result into switch outputs — the
+/// engine's per-packet egress convention, shared by every table-driven
+/// [`DataPlane`]: each output packet leaves on the port its actions wrote
+/// (defaulting to the ingress port `pt`), with the location fields
+/// stripped (links, not tables, decide the next location).
+pub fn table_outputs(pt: u64, packets: impl IntoIterator<Item = Packet>) -> Vec<(u64, Packet)> {
+    packets
+        .into_iter()
+        .map(|mut out| {
+            let (_, out_pt) = out.take_loc();
+            (out_pt.unwrap_or(pt), out)
+        })
+        .collect()
+}
+
 /// The deployed system under test: all switches plus the controller.
 ///
 /// The engine calls [`process`](DataPlane::process) for every packet at
@@ -88,6 +103,7 @@ impl HostLogic for SinkHosts {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netkat::Field;
 
     #[test]
     fn step_result_constructors() {
@@ -95,6 +111,16 @@ mod tests {
         let s = StepResult::forward(3, Packet::new());
         assert_eq!(s.outputs.len(), 1);
         assert_eq!(s.outputs[0].0, 3);
+    }
+
+    #[test]
+    fn table_outputs_extract_ports_and_strip_location() {
+        let written = Packet::new().with(Field::Switch, 1).with(Field::Port, 4);
+        let unwritten = Packet::new().with(Field::Vlan, 2);
+        let outs = table_outputs(7, [written, unwritten]);
+        assert_eq!(outs.len(), 2);
+        assert!(outs.contains(&(4, Packet::new())));
+        assert!(outs.contains(&(7, Packet::new().with(Field::Vlan, 2))));
     }
 
     #[test]

@@ -14,15 +14,24 @@
 use std::collections::BTreeMap;
 
 use edn_core::{EventId, EventSet};
-use netkat::{Field, Loc, Packet};
-use netsim::{CtrlMsg, DataPlane, SimTime, StepResult};
+use netkat::{Field, Loc, LookupPath, Packet};
+use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult};
 
 use crate::compile::CompiledNes;
+use crate::program::SwitchProgram;
 
 /// The deployed NES runtime (switch state + controller).
 #[derive(Clone, Debug)]
 pub struct NesDataPlane {
     compiled: CompiledNes,
+    /// Per-switch guarded programs (Section 4.1): the one prioritized
+    /// tag-guarded table each switch actually installs, materialized once
+    /// at deployment. The linear reference path scans the program's
+    /// [`FlowTable`](netkat::FlowTable); the indexed path dispatches
+    /// through its compiled index.
+    programs: BTreeMap<u64, SwitchProgram>,
+    /// Which lookup implementation forwarding dispatches through.
+    path: LookupPath,
     /// Per-switch known events (`E` in Fig. 7).
     local: BTreeMap<u64, EventSet>,
     /// Controller's accumulated events (`R` in Fig. 7).
@@ -37,21 +46,57 @@ pub struct NesDataPlane {
     discovery: BTreeMap<(u64, EventId), SimTime>,
     /// Global fire log, in order (a hint for the correctness checker).
     fired_log: Vec<(SimTime, EventId)>,
+    /// Memoized `known → (effective set, tag)`: the enabling fixpoint is a
+    /// pure function of the known-events set, and switch knowledge only
+    /// grows at (rare) event learns, so the per-packet hot path reduces to
+    /// one map probe.
+    effective_cache: BTreeMap<EventSet, (EventSet, u64)>,
 }
 
 impl NesDataPlane {
-    /// Deploys a compiled NES on the given switches.
+    /// Deploys a compiled NES on the given switches, with the lookup path
+    /// taken from the environment (`EDN_LOOKUP`, default indexed).
     pub fn new(compiled: CompiledNes, switches: Vec<u64>, broadcast: bool) -> NesDataPlane {
+        NesDataPlane::with_path(compiled, switches, broadcast, LookupPath::from_env())
+    }
+
+    /// Deploys a compiled NES on an explicit lookup path.
+    pub fn with_path(
+        compiled: CompiledNes,
+        switches: Vec<u64>,
+        broadcast: bool,
+        path: LookupPath,
+    ) -> NesDataPlane {
         let local = switches.iter().map(|&s| (s, EventSet::empty())).collect();
+        let programs = compiled.switch_programs().into_iter().map(|p| (p.switch, p)).collect();
         NesDataPlane {
             compiled,
+            programs,
+            path,
             local,
             controller: EventSet::empty(),
             broadcast,
             switches,
             discovery: BTreeMap::new(),
             fired_log: Vec::new(),
+            effective_cache: BTreeMap::new(),
         }
+    }
+
+    /// The effective event-set and tag for a known-events set, memoized.
+    fn effective_of(&mut self, known: EventSet) -> (EventSet, u64) {
+        if let Some(&hit) = self.effective_cache.get(&known) {
+            return hit;
+        }
+        let effective = self.compiled.effective_set(known);
+        let tag = self.compiled.tag_for_known(known);
+        self.effective_cache.insert(known, (effective, tag));
+        (effective, tag)
+    }
+
+    /// The lookup path this deployment dispatches through.
+    pub fn lookup_path(&self) -> LookupPath {
+        self.path
     }
 
     /// The compiled NES.
@@ -105,12 +150,13 @@ impl DataPlane for NesDataPlane {
         let known = self.local_events(sw);
 
         // IN: stamp host-entering packets with the current tag.
+        let effective = self.effective_of(known);
         if from_host {
-            packet.set(Field::Tag, self.compiled.tag_for_known(known));
+            packet.set(Field::Tag, effective.1);
         }
 
         // SWITCH step 2: fire enabled events this arrival matches.
-        let effective = self.compiled.effective_set(known);
+        let effective = effective.0;
         let fired = self.compiled.triggered(effective, &packet, Loc::new(sw, pt));
         let mut notifications = Vec::new();
         if !fired.is_empty() {
@@ -122,24 +168,33 @@ impl DataPlane for NesDataPlane {
         }
         let known = self.local_events(sw);
 
-        // SWITCH step 3: forward under the packet's stamped configuration.
-        let tag = packet.get(Field::Tag).unwrap_or_else(|| self.compiled.tag_for_known(known));
-        let config = self.compiled.nes().config(self.compiled.set_of(tag));
-        let mut lookup = packet.clone();
-        lookup.set_loc(Loc::new(sw, pt));
-        let Some(table) = config.table(sw) else {
-            return StepResult { outputs: Vec::new(), notifications };
+        // SWITCH step 3: forward under the packet's stamped configuration,
+        // through the switch's installed tag-guarded table (the guard makes
+        // the per-tag block of the packet's own tag the only one that can
+        // match, so this agrees with the packet's configuration table —
+        // `program::tests` pin that equivalence).
+        let tag = match packet.get(Field::Tag) {
+            Some(tag) => tag,
+            None => self.effective_of(known).1,
         };
-        let mut outputs = Vec::new();
-        for mut out in table.apply(&lookup) {
-            let out_pt = out.get(Field::Port).unwrap_or(pt);
-            out.unset(Field::Switch);
-            out.unset(Field::Port);
+        // The packet is not needed after the table application: locate and
+        // tag it in place instead of cloning a lookup copy.
+        let mut lookup = packet;
+        lookup.set_loc(Loc::new(sw, pt));
+        lookup.set(Field::Tag, tag);
+        let mut out = Vec::new();
+        if let Some(program) = self.programs.get(&sw) {
+            match self.path {
+                LookupPath::Linear => program.table.apply_into(&lookup, &mut out),
+                LookupPath::Indexed => program.compiled.apply_into(&lookup, &mut out),
+            }
+        }
+        let mut outputs = table_outputs(pt, out);
+        for (_, out) in &mut outputs {
             // SWITCH step 4: the outgoing digest carries everything this
             // switch now knows.
             out.set(Field::Digest, digest.union(known).bits());
             out.set(Field::Tag, tag);
-            outputs.push((out_pt, out));
         }
         StepResult { outputs, notifications }
     }
@@ -274,6 +329,33 @@ mod tests {
         // Without broadcast, no pushes.
         let mut quiet = NesDataPlane::new(CompiledNes::compile(firewall_nes()), vec![1, 2], false);
         assert!(quiet.on_notify(CtrlMsg::Events(1), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn lookup_paths_agree_step_by_step() {
+        // Drive the same packet sequence through a linear-path and an
+        // indexed-path deployment; every step must produce identical
+        // outputs, notifications, and switch state.
+        let mk = |path| {
+            NesDataPlane::with_path(CompiledNes::compile(firewall_nes()), vec![1], false, path)
+        };
+        let mut linear = mk(LookupPath::Linear);
+        let mut indexed = mk(LookupPath::Indexed);
+        assert_eq!(indexed.lookup_path(), LookupPath::Indexed);
+        let steps = [
+            (2u64, 999u64, true),
+            (3, 200, true), // blocked pre-event
+            (2, 300, true), // fires e0
+            (3, 200, true), // allowed post-event
+            (9, 300, false),
+        ];
+        for (pt, dst, from_host) in steps {
+            let pk = Packet::new().with(Field::IpDst, dst);
+            let a = linear.process(1, pt, pk.clone(), from_host, SimTime::ZERO);
+            let b = indexed.process(1, pt, pk, from_host, SimTime::ZERO);
+            assert_eq!(a, b, "paths diverged at pt {pt}, dst {dst}");
+            assert_eq!(linear.local_events(1), indexed.local_events(1));
+        }
     }
 
     #[test]

@@ -30,4 +30,7 @@ pub use dataplane::NesDataPlane;
 pub use program::{tagged_lookup, SwitchProgram};
 pub use static_plane::StaticDataPlane;
 pub use uncoordinated::UncoordDataPlane;
-pub use verify::{nes_engine, uncoordinated_engine, verify_nes_run, verify_uncoordinated_run};
+pub use verify::{
+    nes_engine, nes_engine_with_path, uncoordinated_engine, verify_nes_run,
+    verify_uncoordinated_run,
+};

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use netkat::{Field, FlowTable, Loc, Match, Packet, Rule};
+use netkat::{CompiledTable, Field, FlowTable, Loc, Match, Packet, Rule};
 
 use crate::compile::CompiledNes;
 
@@ -21,8 +21,15 @@ pub struct SwitchProgram {
     /// The switch.
     pub switch: u64,
     /// The tag-guarded forwarding table (all configurations interleaved,
-    /// grouped by tag, first match wins within the packet's tag).
+    /// grouped by tag, first match wins within the packet's tag). This is
+    /// the reference representation; [`SwitchProgram::apply`] dispatches
+    /// through the [`compiled`](SwitchProgram::compiled) index built from
+    /// it at construction.
     pub table: FlowTable,
+    /// The indexed form of [`table`](SwitchProgram::table), compiled once
+    /// at construction — the tag guard makes every per-tag block a
+    /// hashable same-signature run.
+    pub compiled: CompiledTable,
     /// Stamping entries: `(tag, ingress ports)` — on ingress from a host,
     /// a packet is stamped with the switch's current tag.
     pub stamp_tags: Vec<u64>,
@@ -32,10 +39,12 @@ pub struct SwitchProgram {
 }
 
 impl SwitchProgram {
-    /// Looks up the forwarding behaviour for a tagged packet, which must
-    /// agree with the packet's configuration table.
+    /// Looks up the forwarding behaviour for a tagged packet through the
+    /// compiled index, which must agree with the packet's configuration
+    /// table (and, by the index's differential tests, with the reference
+    /// [`FlowTable::apply`] on [`table`](SwitchProgram::table)).
     pub fn apply(&self, packet: &Packet) -> std::collections::BTreeSet<Packet> {
-        self.table.apply(packet)
+        self.compiled.apply(packet)
     }
 }
 
@@ -85,7 +94,9 @@ impl CompiledNes {
                 }
             }
         }
-        SwitchProgram { switch, table: FlowTable::from_rules(rules), stamp_tags, detections }
+        let table = FlowTable::from_rules(rules);
+        let compiled = table.compile();
+        SwitchProgram { switch, table, compiled, stamp_tags, detections }
     }
 
     /// Every switch's program.
@@ -162,6 +173,27 @@ mod tests {
                     let got: std::collections::BTreeSet<Packet> =
                         program.apply(&tagged).into_iter().map(|p| p.erase_virtual()).collect();
                     assert_eq!(got, table.apply(&untagged), "tag {tag}, pt {pt}, dst {dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_index_mirrors_reference_table() {
+        let compiled = CompiledNes::compile(firewall_nes());
+        let program = compiled.switch_program(1);
+        assert_eq!(program.compiled.len(), program.table.len());
+        for tag in 0..compiled.tag_count() as u64 {
+            for pt in [2u64, 3, 9] {
+                for dst in [200u64, 300, 7] {
+                    let pk =
+                        tagged_lookup(&Packet::new().with(Field::IpDst, dst), Loc::new(1, pt), tag);
+                    assert_eq!(
+                        program.compiled.lookup_index(&pk),
+                        program.table.lookup_index(&pk),
+                        "index diverged on {pk}"
+                    );
+                    assert_eq!(program.apply(&pk), program.table.apply(&pk));
                 }
             }
         }

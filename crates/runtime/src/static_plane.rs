@@ -5,41 +5,64 @@
 //! reference switches" — against which the NES runtime's overhead is
 //! measured.
 
+use std::collections::BTreeMap;
+
 use edn_core::Config;
-use netkat::{Field, Loc, Packet};
-use netsim::{CtrlMsg, DataPlane, SimTime, StepResult};
+use netkat::{CompiledTable, Loc, LookupPath, Packet};
+use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult};
 
 /// A data plane that forwards under a single fixed [`Config`].
 #[derive(Clone, Debug)]
 pub struct StaticDataPlane {
     config: Config,
+    /// Per-switch compiled tables, built once at deployment.
+    index: BTreeMap<u64, CompiledTable>,
+    path: LookupPath,
 }
 
 impl StaticDataPlane {
-    /// Deploys the configuration.
+    /// Deploys the configuration, with the lookup path taken from the
+    /// environment (`EDN_LOOKUP`, default indexed).
     pub fn new(config: Config) -> StaticDataPlane {
-        StaticDataPlane { config }
+        StaticDataPlane::with_path(config, LookupPath::from_env())
+    }
+
+    /// Deploys the configuration on an explicit lookup path.
+    pub fn with_path(config: Config, path: LookupPath) -> StaticDataPlane {
+        let index = config
+            .switches()
+            .filter_map(|sw| config.table(sw).map(|t| (sw, t.compile())))
+            .collect();
+        StaticDataPlane { config, index, path }
     }
 
     /// The deployed configuration.
     pub fn config(&self) -> &Config {
         &self.config
     }
+
+    /// The lookup path this deployment dispatches through.
+    pub fn lookup_path(&self) -> LookupPath {
+        self.path
+    }
 }
 
 impl DataPlane for StaticDataPlane {
     fn process(&mut self, sw: u64, pt: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
-        let Some(table) = self.config.table(sw) else { return StepResult::drop() };
         let mut lookup = packet;
         lookup.set_loc(Loc::new(sw, pt));
-        let mut outputs = Vec::new();
-        for mut out in table.apply(&lookup) {
-            let out_pt = out.get(Field::Port).unwrap_or(pt);
-            out.unset(Field::Switch);
-            out.unset(Field::Port);
-            outputs.push((out_pt, out));
+        let mut out = Vec::new();
+        match self.path {
+            LookupPath::Linear => {
+                let Some(table) = self.config.table(sw) else { return StepResult::drop() };
+                table.apply_into(&lookup, &mut out);
+            }
+            LookupPath::Indexed => {
+                let Some(table) = self.index.get(&sw) else { return StepResult::drop() };
+                table.apply_into(&lookup, &mut out);
+            }
         }
-        StepResult { outputs, notifications: Vec::new() }
+        StepResult { outputs: table_outputs(pt, out), notifications: Vec::new() }
     }
 
     fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
@@ -52,10 +75,9 @@ impl DataPlane for StaticDataPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netkat::{Action, ActionSet, FlowTable, Match, Rule};
+    use netkat::{Action, ActionSet, Field, FlowTable, Match, Rule};
 
-    #[test]
-    fn forwards_under_the_fixed_config() {
+    fn config() -> Config {
         let mut config = Config::new();
         config.install(
             1,
@@ -64,7 +86,12 @@ mod tests {
                 ActionSet::single(Action::assign(Field::Port, 3)),
             )]),
         );
-        let mut dp = StaticDataPlane::new(config);
+        config
+    }
+
+    #[test]
+    fn forwards_under_the_fixed_config() {
+        let mut dp = StaticDataPlane::new(config());
         let r = dp.process(1, 2, Packet::new(), true, SimTime::ZERO);
         assert_eq!(r.outputs.len(), 1);
         assert_eq!(r.outputs[0].0, 3);
@@ -73,5 +100,21 @@ mod tests {
         assert!(dp.process(1, 9, Packet::new(), true, SimTime::ZERO).outputs.is_empty());
         // Controller messages are inert.
         assert!(dp.on_notify(CtrlMsg::Events(1), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn both_lookup_paths_agree() {
+        let mut linear = StaticDataPlane::with_path(config(), LookupPath::Linear);
+        let mut indexed = StaticDataPlane::with_path(config(), LookupPath::Indexed);
+        assert_eq!(linear.lookup_path(), LookupPath::Linear);
+        assert_eq!(indexed.lookup_path(), LookupPath::Indexed);
+        for (sw, pt) in [(1u64, 2u64), (1, 9), (7, 2)] {
+            let pk = Packet::new().with(Field::Vlan, 5);
+            assert_eq!(
+                linear.process(sw, pt, pk.clone(), true, SimTime::ZERO),
+                indexed.process(sw, pt, pk, true, SimTime::ZERO),
+                "paths diverged at {sw}:{pt}"
+            );
+        }
     }
 }

@@ -9,8 +9,8 @@
 use std::collections::BTreeMap;
 
 use edn_core::EventSet;
-use netkat::{Field, Loc, Packet};
-use netsim::{CtrlMsg, DataPlane, SimTime, StepResult};
+use netkat::{Loc, Packet};
+use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -90,14 +90,9 @@ impl DataPlane for UncoordDataPlane {
         let Some(table) = config.table(sw) else {
             return StepResult { outputs: Vec::new(), notifications };
         };
-        let mut outputs = Vec::new();
-        for mut out in table.apply(&lookup) {
-            let out_pt = out.get(Field::Port).unwrap_or(pt);
-            out.unset(Field::Switch);
-            out.unset(Field::Port);
-            outputs.push((out_pt, out));
-        }
-        StepResult { outputs, notifications }
+        let mut out = Vec::new();
+        table.apply_into(&lookup, &mut out);
+        StepResult { outputs: table_outputs(pt, out), notifications }
     }
 
     fn on_notify(&mut self, msg: CtrlMsg, _now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
@@ -137,7 +132,7 @@ impl DataPlane for UncoordDataPlane {
 mod tests {
     use super::*;
     use edn_core::{Config, Event, EventId, EventStructure, NetworkEventStructure};
-    use netkat::{Action, ActionSet, FlowTable, Match, Pred, Rule};
+    use netkat::{Action, ActionSet, Field, FlowTable, Match, Pred, Rule};
 
     fn firewall_nes() -> NetworkEventStructure {
         let mk = |rules: Vec<Rule>| {

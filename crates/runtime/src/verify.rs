@@ -10,7 +10,9 @@ use crate::uncoordinated::UncoordDataPlane;
 
 /// Builds an engine running `nes` with the paper's runtime.
 ///
-/// `broadcast` enables the controller-assisted event dissemination.
+/// `broadcast` enables the controller-assisted event dissemination. The
+/// flow-table lookup path comes from the environment (`EDN_LOOKUP`,
+/// default indexed); use [`nes_engine_with_path`] to pin it.
 pub fn nes_engine(
     nes: NetworkEventStructure,
     topo: SimTopology,
@@ -18,8 +20,20 @@ pub fn nes_engine(
     broadcast: bool,
     hosts: Box<dyn netsim::HostLogic>,
 ) -> Engine<NesDataPlane> {
+    nes_engine_with_path(nes, topo, params, broadcast, hosts, netkat::LookupPath::from_env())
+}
+
+/// [`nes_engine`] with an explicit flow-table lookup path.
+pub fn nes_engine_with_path(
+    nes: NetworkEventStructure,
+    topo: SimTopology,
+    params: SimParams,
+    broadcast: bool,
+    hosts: Box<dyn netsim::HostLogic>,
+    path: netkat::LookupPath,
+) -> Engine<NesDataPlane> {
     let switches = topo.switches().to_vec();
-    let dataplane = NesDataPlane::new(CompiledNes::compile(nes), switches, broadcast);
+    let dataplane = NesDataPlane::with_path(CompiledNes::compile(nes), switches, broadcast, path);
     Engine::new(topo, params, dataplane, hosts)
 }
 

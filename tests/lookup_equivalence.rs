@@ -1,0 +1,124 @@
+//! End-to-end lookup-engine regression: full simulations on the linear
+//! reference path and the compiled indexed path must be **byte-identical**
+//! — same `Stats` (deliveries, drops, counters) and the same recorded
+//! network trace — with equal seeds.
+//!
+//! Two scenarios from the paper's evaluation:
+//! * the Section 5.2 scalability ring, with the mid-run reroute trigger;
+//! * a fat-tree(k=4) hosting the generalized stateful firewall under a
+//!   seeded permutation workload, with the firewall's opening event fired
+//!   mid-run.
+
+use edn_apps::generated::firewall_nes;
+use edn_apps::ring::{host, Ring};
+use edn_core::NetworkTrace;
+use edn_topo::{fat_tree, synthesize, TierProfile, TrafficPattern, Workload};
+use nes_runtime::{nes_engine_with_path, verify_nes_run, StaticDataPlane};
+use netkat::LookupPath;
+use netsim::traffic::udp_packet;
+use netsim::{Engine, SimParams, SimTime, SinkHosts, Stats};
+
+const PATHS: [LookupPath; 2] = [LookupPath::Linear, LookupPath::Indexed];
+
+/// The Section 5.2 ring: every host sends to the diametrically opposite
+/// host, the reroute trigger fires mid-stream, then a second wave runs
+/// under the flipped configuration.
+fn ring_run(path: LookupPath) -> (NetworkTrace, Stats) {
+    let ring = Ring::new(4);
+    let n = ring.switch_count();
+    let topo = ring.sim_topology(SimTime::from_micros(50), None);
+    let mut engine = nes_engine_with_path(
+        ring.nes(),
+        topo,
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        path,
+    );
+    for i in 1..=n {
+        let opposite = (i + ring.diameter - 1) % n + 1;
+        for wave in 0..2u64 {
+            engine.inject_at(
+                SimTime::from_millis(1 + 20 * wave + i),
+                host(i),
+                udp_packet(host(i), host(opposite), i, wave),
+            );
+        }
+    }
+    engine.inject_at(SimTime::from_millis(10), ring.h1(), ring.trigger_packet());
+    let result = engine.run_until(SimTime::from_secs(5));
+    assert!(!result.stats.deliveries.is_empty(), "ring must deliver traffic");
+    verify_nes_run(&result).expect("ring run is event-driven consistent");
+    (result.trace, result.stats)
+}
+
+/// Fat-tree(k=4) firewall under the fig18 permutation workload, with the
+/// firewall-opening trigger mid-run.
+fn fat_tree_firewall_run(path: LookupPath) -> (NetworkTrace, Stats) {
+    let gen = fat_tree(4, TierProfile::default());
+    let workload = Workload {
+        pattern: TrafficPattern::Permutation,
+        seed: 7,
+        packets_per_flow: 4,
+        ..Workload::default()
+    };
+    let flows = synthesize(&gen, &workload);
+    let horizon =
+        flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
+    let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
+    let nes = firewall_nes(&gen, inside, outside);
+    let mut engine = nes_engine_with_path(
+        nes,
+        gen.sim().clone(),
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        path,
+    );
+    edn_topo::schedule(&mut engine, &flows);
+    engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
+    let result = engine.run_until(horizon);
+    assert!(!result.stats.deliveries.is_empty(), "fat-tree must deliver traffic");
+    (result.trace, result.stats)
+}
+
+/// The ring's static shortest-path reference plane (no events), both paths.
+fn ring_static_run(path: LookupPath) -> (NetworkTrace, Stats) {
+    let ring = Ring::new(4);
+    let n = ring.switch_count();
+    let topo = ring.sim_topology(SimTime::from_micros(50), None);
+    let dataplane = StaticDataPlane::with_path(ring.config(true), path);
+    let mut engine = Engine::new(topo, SimParams::default(), dataplane, Box::new(SinkHosts));
+    for i in 1..=n {
+        let opposite = (i + ring.diameter - 1) % n + 1;
+        engine.inject_at(
+            SimTime::from_millis(i),
+            host(i),
+            udp_packet(host(i), host(opposite), i, 0),
+        );
+    }
+    let result = engine.run_until(SimTime::from_secs(5));
+    assert!(!result.stats.deliveries.is_empty());
+    (result.trace, result.stats)
+}
+
+#[test]
+fn ring_runs_identically_on_both_lookup_paths() {
+    let [a, b] = PATHS.map(ring_run);
+    assert_eq!(a.1, b.1, "ring stats diverged between lookup paths");
+    assert_eq!(a.0, b.0, "ring traces diverged between lookup paths");
+}
+
+#[test]
+fn fat_tree_firewall_runs_identically_on_both_lookup_paths() {
+    let [a, b] = PATHS.map(fat_tree_firewall_run);
+    assert_eq!(a.1, b.1, "fat-tree stats diverged between lookup paths");
+    assert_eq!(a.0, b.0, "fat-tree traces diverged between lookup paths");
+}
+
+#[test]
+fn static_plane_runs_identically_on_both_lookup_paths() {
+    let [a, b] = PATHS.map(ring_static_run);
+    assert_eq!(a.1, b.1, "static stats diverged between lookup paths");
+    assert_eq!(a.0, b.0, "static traces diverged between lookup paths");
+}
