@@ -5,13 +5,16 @@
 //! Run with: `cargo run --release -p edn-bench --bin fig18_scale_sweep`
 //!
 //! Every sweep point runs on **both** flow-table lookup paths (the linear
-//! reference scan and the compiled index): the CSV on stdout reports the
-//! path selected by `EDN_LOOKUP` (default `indexed`), and a
-//! machine-readable perf-trajectory file (`BENCH_fig18.json` by default)
-//! records `(switches, events, wall, ns/event)` for both paths at every
-//! point. All CSV columns except `wall_us` are identical across paths by
-//! construction — CI runs the sweep once per path and `cmp`s the
-//! canonical CSVs.
+//! reference scan and the compiled index) and **both** trace modes (full
+//! recording and stats-only): the CSV on stdout reports the combination
+//! selected by `EDN_LOOKUP` (default `indexed`) and `EDN_TRACE` (default
+//! `full`), and a machine-readable perf-trajectory file
+//! (`BENCH_fig18.json` by default) records `(switches, events, wall,
+//! ns/event)` for every combination at every point. `wall_us` times the
+//! simulation event loop (`Engine::run`). All CSV columns except
+//! `wall_us` are identical across lookup paths, trace modes, queue
+//! implementations, and packet paths by construction — CI replays the
+//! sweep across them and `cmp`s the canonical CSVs.
 //!
 //! Environment overrides (CI smoke uses small values):
 //! * `FIG18_RING_SIZES` — comma-separated ring sizes (default
@@ -24,7 +27,10 @@
 //!   two runs with the same seed produce byte-identical CSV;
 //! * `FIG18_JSON` — where to write the perf trajectory (default
 //!   `BENCH_fig18.json`; empty string disables);
-//! * `EDN_LOOKUP` — `linear` or `indexed`: the path the CSV reports.
+//! * `EDN_LOOKUP` — `linear` or `indexed`: the path the CSV reports;
+//! * `EDN_TRACE` — `full` or `stats`: the trace mode the CSV reports;
+//! * `EDN_QUEUE` / `EDN_PACKETS` — event queue and packet representation
+//!   for the whole process (heap|calendar, owned|arena).
 
 use std::fmt::Write as _;
 
@@ -32,10 +38,13 @@ use edn_bench::scale::{run_point, Plane, SweepRow, CSV_HEADER};
 use edn_bench::{env_list, env_u64};
 use edn_topo::{fat_tree, ring, GenTopology, LinkProfile, TierProfile, TrafficPattern, Workload};
 use netkat::LookupPath;
+use netsim::TraceMode;
 
-/// One `(sweep point, lookup path)` record of the perf trajectory.
+/// One `(sweep point, lookup path, trace mode)` record of the perf
+/// trajectory.
 struct JsonRow {
     lookup: LookupPath,
+    mode: TraceMode,
     row: SweepRow,
 }
 
@@ -44,12 +53,13 @@ impl JsonRow {
         let r = &self.row;
         format!(
             "    {{\"topology\": \"{}\", \"param\": {}, \"plane\": \"{}\", \"lookup\": \"{}\", \
-             \"switches\": {}, \"rules\": {}, \"events\": {}, \"wall_us\": {}, \
-             \"ns_per_event\": {:.1}}}",
+             \"trace\": \"{}\", \"switches\": {}, \"rules\": {}, \"events\": {}, \
+             \"wall_us\": {}, \"ns_per_event\": {:.1}}}",
             r.topology,
             r.param,
             r.plane.label(),
             self.lookup.label(),
+            self.mode.label(),
             r.switches,
             r.rules,
             r.events,
@@ -81,6 +91,7 @@ fn main() {
     let canonical = env_u64("FIG18_CANONICAL", 0) == 1;
     let json_path = std::env::var("FIG18_JSON").unwrap_or_else(|_| "BENCH_fig18.json".to_string());
     let csv_lookup = LookupPath::from_env();
+    let csv_mode = TraceMode::from_env();
     let workload = Workload {
         pattern: TrafficPattern::Permutation,
         seed,
@@ -90,28 +101,32 @@ fn main() {
     println!("# Fig. 18: scale sweep — permutation traffic, seed {seed}");
     println!(
         "# rings {ring_sizes:?}, fat-trees {fat_tree_ks:?}, {packets_per_flow} pkts/flow, \
-         CSV lookup path: {}",
-        csv_lookup.label()
+         CSV lookup path: {}, CSV trace mode: {}",
+        csv_lookup.label(),
+        csv_mode.label()
     );
     println!("{CSV_HEADER}");
     let mut json_rows: Vec<JsonRow> = Vec::new();
     let mut sweep = |gen: &GenTopology, topology: &str, param: u64| {
         for plane in [Plane::Static, Plane::Nes] {
             for lookup in [LookupPath::Linear, LookupPath::Indexed] {
-                // The non-selected path's rows only feed the JSON
-                // trajectory; skip them when it is disabled.
-                if lookup != csv_lookup && json_path.is_empty() {
-                    continue;
-                }
-                let row = run_point(gen, topology, param, plane, &workload, lookup);
-                if lookup == csv_lookup {
-                    let mut csv_row = row.clone();
-                    if canonical {
-                        csv_row.wall_us = 0;
+                for mode in [TraceMode::Full, TraceMode::StatsOnly] {
+                    // Non-selected combinations only feed the JSON
+                    // trajectory; skip them when it is disabled.
+                    let selected = lookup == csv_lookup && mode == csv_mode;
+                    if !selected && json_path.is_empty() {
+                        continue;
                     }
-                    println!("{}", csv_row.csv());
+                    let row = run_point(gen, topology, param, plane, &workload, lookup, mode);
+                    if selected {
+                        let mut csv_row = row.clone();
+                        if canonical {
+                            csv_row.wall_us = 0;
+                        }
+                        println!("{}", csv_row.csv());
+                    }
+                    json_rows.push(JsonRow { lookup, mode, row });
                 }
-                json_rows.push(JsonRow { lookup, row });
             }
         }
     };

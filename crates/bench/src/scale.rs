@@ -13,7 +13,7 @@ use edn_topo::{shortest_path_config, synthesize, GenTopology, Workload};
 use nes_runtime::{nes_engine_with_path, StaticDataPlane};
 use netkat::LookupPath;
 use netsim::traffic::udp_packet;
-use netsim::{Engine, SimParams, SimTime, SinkHosts, Stats};
+use netsim::{Engine, SimParams, SimTime, SinkHosts, Stats, TraceMode};
 
 /// Which data plane a sweep point exercises.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,8 +64,10 @@ pub struct SweepRow {
     pub deliveries: usize,
     /// Packets dropped.
     pub drops: usize,
-    /// Wall-clock time of the run in microseconds — the only
-    /// non-deterministic column; zero it for byte-identical CSVs.
+    /// Wall-clock time of the simulation event loop in microseconds (the
+    /// `Engine::run` phase; trace materialization is not included — run
+    /// measurement sweeps under `EDN_TRACE=stats` to also skip recording).
+    /// The only non-deterministic column; zero it for byte-identical CSVs.
     pub wall_us: u64,
 }
 
@@ -105,11 +107,14 @@ impl SweepRow {
 }
 
 /// Runs one sweep point: `workload` over `gen` on the chosen plane,
-/// dispatching table lookups through `path`.
+/// dispatching table lookups through `path` and recording (or not) the
+/// trace per `mode`.
 ///
-/// Every column except `wall_us` is independent of `path` — that is the
-/// equivalence the lookup engine's differential tests (and the CI
-/// per-path CSV comparison) pin down.
+/// Every column except `wall_us` is independent of `path` and `mode` —
+/// that is the equivalence the plumbing/lookup differential tests (and
+/// the CI per-path, per-mode CSV comparisons) pin down. The event queue
+/// implementation and packet path come from the environment (`EDN_QUEUE`,
+/// `EDN_PACKETS`), which CI also sweeps.
 ///
 /// The run horizon is the last synthesized flow's end plus ten simulated
 /// seconds of drain time, so the event queue always empties — whatever
@@ -121,6 +126,7 @@ pub fn run_point(
     plane: Plane,
     workload: &Workload,
     path: LookupPath,
+    mode: TraceMode,
 ) -> SweepRow {
     let flows = synthesize(gen, workload);
     let last_end = flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO);
@@ -134,11 +140,13 @@ pub fn run_point(
                 SimParams::default(),
                 StaticDataPlane::with_path(config, path),
                 Box::new(SinkHosts),
-            );
+            )
+            .with_trace_mode(mode);
             let datagrams = edn_topo::schedule(&mut engine, &flows);
             let started = Instant::now();
-            let result = engine.run_until(horizon);
+            engine.run(horizon);
             let wall_us = started.elapsed().as_micros() as u64;
+            let result = engine.finish();
             (rules, datagrams, result.stats, wall_us)
         }
         Plane::Nes => {
@@ -151,7 +159,8 @@ pub fn run_point(
                 false,
                 Box::new(SinkHosts),
                 path,
-            );
+            )
+            .with_trace_mode(mode);
             let datagrams = edn_topo::schedule(&mut engine, &flows);
             // A trigger datagram from `inside` fires the firewall's event
             // mid-run, so the sweep exercises an actual configuration
@@ -162,8 +171,9 @@ pub fn run_point(
                 udp_packet(inside, outside, u64::MAX, 0),
             );
             let started = Instant::now();
-            let result = engine.run_until(horizon);
+            engine.run(horizon);
             let wall_us = started.elapsed().as_micros() as u64;
+            let result = engine.finish();
             let rules = result.dataplane.compiled().rule_breakdown().total();
             (rules, datagrams + 1, result.stats, wall_us)
         }
@@ -204,8 +214,10 @@ mod tests {
         let gen = ring(8, LinkProfile::default());
         for plane in [Plane::Static, Plane::Nes] {
             for path in [LookupPath::Linear, LookupPath::Indexed] {
-                let mut a = run_point(&gen, "ring", 8, plane, &small_workload(), path);
-                let mut b = run_point(&gen, "ring", 8, plane, &small_workload(), path);
+                let mut a =
+                    run_point(&gen, "ring", 8, plane, &small_workload(), path, TraceMode::Full);
+                let mut b =
+                    run_point(&gen, "ring", 8, plane, &small_workload(), path, TraceMode::Full);
                 a.wall_us = 0;
                 b.wall_us = 0;
                 assert_eq!(a, b, "{} rows differ", plane.label());
@@ -215,28 +227,61 @@ mod tests {
     }
 
     #[test]
-    fn lookup_paths_produce_identical_rows() {
+    fn lookup_paths_and_trace_modes_produce_identical_rows() {
         let gen = ring(8, LinkProfile::default());
         for plane in [Plane::Static, Plane::Nes] {
-            let mut a = run_point(&gen, "ring", 8, plane, &small_workload(), LookupPath::Linear);
-            let mut b = run_point(&gen, "ring", 8, plane, &small_workload(), LookupPath::Indexed);
-            a.wall_us = 0;
-            b.wall_us = 0;
-            assert_eq!(a, b, "{} rows differ across lookup paths", plane.label());
+            let mut reference = run_point(
+                &gen,
+                "ring",
+                8,
+                plane,
+                &small_workload(),
+                LookupPath::Linear,
+                TraceMode::Full,
+            );
+            reference.wall_us = 0;
+            for path in [LookupPath::Linear, LookupPath::Indexed] {
+                for mode in [TraceMode::Full, TraceMode::StatsOnly] {
+                    let mut row = run_point(&gen, "ring", 8, plane, &small_workload(), path, mode);
+                    row.wall_us = 0;
+                    assert_eq!(
+                        row,
+                        reference,
+                        "{} rows differ on {}/{}",
+                        plane.label(),
+                        path.label(),
+                        mode.label()
+                    );
+                }
+            }
         }
     }
 
     #[test]
     fn fat_tree_point_delivers_traffic_on_both_planes() {
         let gen = fat_tree(4, TierProfile::default());
-        let stat =
-            run_point(&gen, "fat-tree", 4, Plane::Static, &small_workload(), LookupPath::Indexed);
+        let stat = run_point(
+            &gen,
+            "fat-tree",
+            4,
+            Plane::Static,
+            &small_workload(),
+            LookupPath::Indexed,
+            TraceMode::Full,
+        );
         assert_eq!(stat.switches, 20);
         assert_eq!(stat.rules, 20 * 16);
         assert_eq!(stat.flows, 16);
         assert!(stat.deliveries > 0 && stat.events > stat.datagrams);
-        let nes =
-            run_point(&gen, "fat-tree", 4, Plane::Nes, &small_workload(), LookupPath::Indexed);
+        let nes = run_point(
+            &gen,
+            "fat-tree",
+            4,
+            Plane::Nes,
+            &small_workload(),
+            LookupPath::Indexed,
+            TraceMode::Full,
+        );
         assert!(nes.deliveries > 0);
         assert!(nes.rules > stat.rules, "tagged configs outweigh one static config");
     }
@@ -244,7 +289,15 @@ mod tests {
     #[test]
     fn csv_row_shape_matches_header() {
         let gen = ring(4, LinkProfile::default());
-        let row = run_point(&gen, "ring", 4, Plane::Static, &small_workload(), LookupPath::Linear);
+        let row = run_point(
+            &gen,
+            "ring",
+            4,
+            Plane::Static,
+            &small_workload(),
+            LookupPath::Linear,
+            TraceMode::Full,
+        );
         assert_eq!(row.csv().split(',').count(), CSV_HEADER.split(',').count());
         assert!(row.ns_per_event() > 0.0);
     }

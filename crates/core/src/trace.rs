@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use netkat::{Loc, Packet};
+use netkat::{Loc, Packet, PacketArena, PacketId};
 
 /// A located packet `(pkt, sw, pt)`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -231,11 +231,62 @@ impl fmt::Display for NetworkTrace {
     }
 }
 
+/// How much a [`TraceBuilder`] records.
+///
+/// Measurement-only sweeps don't read the trace at all, and recording it —
+/// one `(id, loc)` pair plus forest bookkeeping per processing step — is
+/// pure overhead there. In [`StatsOnly`](TraceMode::StatsOnly) the builder
+/// degenerates to an index counter: pushes return the same indices they
+/// would in [`Full`](TraceMode::Full) mode (so callers' causal bookkeeping
+/// is unchanged), but nothing is stored and `build` yields an empty trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceMode {
+    /// Record every processing step (the default): `build` yields the
+    /// Section 2 network trace.
+    #[default]
+    Full,
+    /// Record nothing; only run statistics survive. `build` yields an
+    /// empty trace.
+    StatsOnly,
+}
+
+impl TraceMode {
+    /// Reads the mode from the `EDN_TRACE` environment variable (`full` or
+    /// `stats`); unset means [`TraceMode::Full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `EDN_TRACE` is set to anything else.
+    pub fn from_env() -> TraceMode {
+        match std::env::var("EDN_TRACE") {
+            Ok(v) if v == "full" => TraceMode::Full,
+            Ok(v) if v == "stats" => TraceMode::StatsOnly,
+            Ok(v) => panic!("EDN_TRACE must be `full` or `stats`, got {v:?}"),
+            Err(_) => TraceMode::Full,
+        }
+    }
+
+    /// The label used in benchmark output (`full` / `stats`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceMode::Full => "full",
+            TraceMode::StatsOnly => "stats",
+        }
+    }
+}
+
 /// Incremental construction of a [`NetworkTrace`] as a forest.
 ///
 /// The simulator appends one located packet per processing step, linking it
 /// to the located packet it came from; root-to-leaf paths become the packet
 /// traces.
+///
+/// Packets are interned in a [`PacketArena`] owned by the builder, and each
+/// step stores only a `(PacketId, Loc)` pair — recording a hop never clones
+/// a packet. The simulator shares the same arena for its in-flight packets
+/// (see [`arena_mut`](TraceBuilder::arena_mut)); ids resolve back to
+/// [`Packet`]s only at [`build`](TraceBuilder::build) /
+/// [`recorded`](TraceBuilder::recorded) time.
 ///
 /// # Examples
 ///
@@ -252,17 +303,47 @@ impl fmt::Display for NetworkTrace {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct TraceBuilder {
-    packets: Vec<LocatedPacket>,
+    arena: PacketArena,
+    /// The recorded steps (empty in [`TraceMode::StatsOnly`]).
+    records: Vec<(PacketId, Loc)>,
+    /// Per record: the parent index (leaf/child structure is derived from
+    /// this at build time, keeping the recording path to two appends).
     parents: Vec<Option<usize>>,
-    has_child: Vec<bool>,
     terminated: BTreeSet<usize>,
     extra_edges: Vec<(usize, usize)>,
+    mode: TraceMode,
+    /// Indices handed out in [`TraceMode::StatsOnly`] (where `records`
+    /// stays empty).
+    virtual_len: usize,
 }
 
 impl TraceBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder recording everything.
     pub fn new() -> TraceBuilder {
         TraceBuilder::default()
+    }
+
+    /// Creates an empty builder with the given recording mode.
+    pub fn with_mode(mode: TraceMode) -> TraceBuilder {
+        TraceBuilder { mode, ..TraceBuilder::default() }
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// The packet arena ids passed to [`push_id`](TraceBuilder::push_id)
+    /// must come from.
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// Mutable access to the arena — the simulator interns its in-flight
+    /// packets here, so trace records and event payloads share one id
+    /// space.
+    pub fn arena_mut(&mut self) -> &mut PacketArena {
+        &mut self.arena
     }
 
     /// Appends a located packet; `parent` is the global index of the located
@@ -274,37 +355,63 @@ impl TraceBuilder {
     ///
     /// Panics if `parent` is not an earlier index.
     pub fn push(&mut self, packet: Packet, loc: Loc, parent: Option<usize>) -> usize {
-        let idx = self.packets.len();
+        let id = self.arena.intern(packet);
+        self.push_id(id, loc, parent)
+    }
+
+    /// [`push`](TraceBuilder::push) for a packet already interned in this
+    /// builder's [`arena`](TraceBuilder::arena) — the simulator's zero-copy
+    /// recording path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an earlier index.
+    pub fn push_id(&mut self, id: PacketId, loc: Loc, parent: Option<usize>) -> usize {
+        let idx = self.len();
         if let Some(p) = parent {
             assert!(p < idx, "parent {p} must precede child {idx}");
-            self.has_child[p] = true;
         }
-        self.packets.push(LocatedPacket::new(packet, loc));
+        if self.mode == TraceMode::StatsOnly {
+            self.virtual_len += 1;
+            return idx;
+        }
+        self.records.push((id, loc));
         self.parents.push(parent);
-        self.has_child.push(false);
         idx
     }
 
-    /// Number of packets recorded so far.
+    /// Number of packets recorded (in [`TraceMode::StatsOnly`]: counted) so
+    /// far.
     pub fn len(&self) -> usize {
-        self.packets.len()
+        match self.mode {
+            TraceMode::Full => self.records.len(),
+            TraceMode::StatsOnly => self.virtual_len,
+        }
     }
 
-    /// The located packet recorded at global index `i` (lets the simulator
-    /// recover a packet it moved elsewhere, e.g. for a drop record, without
-    /// keeping its own copy).
-    pub fn recorded(&self, i: usize) -> &LocatedPacket {
-        &self.packets[i]
+    /// The located packet recorded at global index `i`, resolved from the
+    /// arena (lets the simulator recover a packet it moved elsewhere, e.g.
+    /// for a drop record, without keeping its own copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range — in particular for *every* index in
+    /// [`TraceMode::StatsOnly`], where nothing is recorded.
+    pub fn recorded(&self, i: usize) -> LocatedPacket {
+        let (id, loc) = self.records[i];
+        LocatedPacket::new(self.arena.get(id).clone(), loc)
     }
 
-    /// Returns `true` if nothing has been recorded.
+    /// Returns `true` if nothing has been recorded or counted.
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty()
+        self.len() == 0
     }
 
     /// Marks a recorded packet as dropped (its journey ends at `i`).
     pub fn mark_terminated(&mut self, i: usize) {
-        self.terminated.insert(i);
+        if self.mode == TraceMode::Full {
+            self.terminated.insert(i);
+        }
     }
 
     /// Records an out-of-band causal edge (see
@@ -314,12 +421,16 @@ impl TraceBuilder {
     ///
     /// Panics unless `from < to` and both are recorded indices.
     pub fn add_causal_edge(&mut self, from: usize, to: usize) {
-        assert!(from < to && to < self.packets.len(), "causal edges point forward");
-        self.extra_edges.push((from, to));
+        assert!(from < to && to < self.len(), "causal edges point forward");
+        if self.mode == TraceMode::Full {
+            self.extra_edges.push((from, to));
+        }
     }
 
     /// Finalizes into a [`NetworkTrace`]: each leaf yields the packet trace
-    /// running from its root.
+    /// running from its root. Packet ids resolve to owned [`Packet`]s here
+    /// — the only point the builder clones packets. In
+    /// [`TraceMode::StatsOnly`] the result is empty.
     ///
     /// The structural conditions of Section 2 hold *by construction* for
     /// forests built through [`push`](TraceBuilder::push) — every index
@@ -335,11 +446,12 @@ impl TraceBuilder {
     /// Infallible for forests built via [`push`](TraceBuilder::push); the
     /// `Result` is kept for API stability.
     pub fn build(self) -> Result<NetworkTrace, TraceStructureError> {
+        let mut has_child = vec![false; self.records.len()];
+        for p in self.parents.iter().flatten() {
+            has_child[*p] = true;
+        }
         let mut traces = Vec::new();
-        for leaf in 0..self.packets.len() {
-            if self.has_child[leaf] {
-                continue;
-            }
+        for (leaf, _) in has_child.iter().enumerate().filter(|&(_, &c)| !c) {
             let mut path = vec![leaf];
             let mut cur = leaf;
             while let Some(p) = self.parents[cur] {
@@ -349,14 +461,15 @@ impl TraceBuilder {
             path.reverse();
             traces.push(path);
         }
-        let len = self.packets.len();
+        let len = self.records.len();
         let terminated = self.terminated.into_iter().filter(|&i| i < len).collect();
-        Ok(NetworkTrace {
-            packets: self.packets,
-            traces,
-            terminated,
-            extra_edges: self.extra_edges,
-        })
+        let arena = self.arena;
+        let packets = self
+            .records
+            .into_iter()
+            .map(|(id, loc)| LocatedPacket::new(arena.get(id).clone(), loc))
+            .collect();
+        Ok(NetworkTrace { packets, traces, terminated, extra_edges: self.extra_edges })
     }
 }
 
@@ -465,6 +578,59 @@ mod tests {
         // Traces [0,2,3] and [1,2,3] share a *suffix*, not a prefix.
         let err = NetworkTrace::new(pkts, vec![vec![0, 2, 3], vec![1, 2, 3]]).unwrap_err();
         assert_eq!(err, TraceStructureError::NotATree { a: 0, b: 1 });
+    }
+
+    #[test]
+    fn stats_only_counts_without_recording() {
+        // Drive the same forest through both modes: StatsOnly must hand
+        // out the same indices (the simulator's causal bookkeeping depends
+        // on them) while storing nothing.
+        let mut full = TraceBuilder::new();
+        let mut stats = TraceBuilder::with_mode(TraceMode::StatsOnly);
+        assert_eq!(stats.mode(), TraceMode::StatsOnly);
+        for b in [&mut full, &mut stats] {
+            let r = b.push(Packet::new(), Loc::new(100, 0), None);
+            let m = b.push(Packet::new(), Loc::new(1, 1), Some(r));
+            let f = b.push(Packet::new(), Loc::new(1, 2), Some(m));
+            assert_eq!((r, m, f), (0, 1, 2));
+            b.mark_terminated(f);
+            b.add_causal_edge(r, f);
+        }
+        assert_eq!(stats.len(), full.len());
+        assert!(!stats.is_empty());
+        let ntr = stats.build().unwrap();
+        assert!(ntr.is_empty());
+        assert!(ntr.traces().is_empty());
+        assert!(ntr.extra_edges().is_empty());
+        assert_eq!(full.build().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn push_id_shares_the_arena_and_resolves_on_build() {
+        let mut b = TraceBuilder::new();
+        let pk = Packet::new().with(netkat::Field::IpDst, 9);
+        let id = b.arena_mut().intern(pk.clone());
+        let root = b.push_id(id, Loc::new(100, 0), None);
+        b.push_id(id, Loc::new(1, 1), Some(root));
+        assert_eq!(b.arena().len(), 1);
+        assert_eq!(b.recorded(root).packet, pk);
+        let ntr = b.build().unwrap();
+        assert_eq!(ntr.len(), 2);
+        assert_eq!(ntr.packet(1).packet, pk);
+        assert_eq!(ntr.packet(1).loc, Loc::new(1, 1));
+    }
+
+    #[test]
+    fn trace_mode_labels_and_default() {
+        assert_eq!(TraceMode::default(), TraceMode::Full);
+        assert_eq!(TraceMode::Full.label(), "full");
+        assert_eq!(TraceMode::StatsOnly.label(), "stats");
+        // The suite is replayed under explicit EDN_TRACE settings in CI;
+        // only pin the default when the variable is unset.
+        match std::env::var("EDN_TRACE") {
+            Err(_) => assert_eq!(TraceMode::from_env(), TraceMode::Full),
+            Ok(v) => assert_eq!(TraceMode::from_env().label(), v),
+        }
     }
 
     #[test]

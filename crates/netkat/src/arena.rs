@@ -1,0 +1,352 @@
+//! Hash-consed packet interning: an arena mapping every distinct packet to
+//! a dense [`PacketId`].
+//!
+//! The simulator's hot path used to move owned [`Packet`]s — three clones
+//! per hop (trace ingress record, trace egress record, the in-flight copy)
+//! — and the per-hop header churn is tiny: a packet crossing a network
+//! keeps the same headers at almost every step, and steady-state traffic
+//! repeats the same handful of header combinations millions of times. A
+//! [`PacketArena`] exploits that redundancy:
+//!
+//! * every distinct packet is stored **once**; an id is a `u32` index, so
+//!   "cloning" a packet is a register copy;
+//! * interning an already-seen packet is one fingerprint probe — no
+//!   allocation;
+//! * the per-hop mutations ([`set_loc`](PacketArena::set_loc),
+//!   [`with`](PacketArena::with), [`take_loc`](PacketArena::take_loc)) run
+//!   through a reused scratch buffer (the *splice-intern* fast path): the
+//!   candidate packet is built in place and only cloned into the arena the
+//!   first time it is ever seen.
+//!
+//! Ids are only meaningful relative to the arena that issued them, and an
+//! id, once issued, permanently resolves to the same packet value —
+//! interning is append-only, so recorded ids (e.g. in a trace) stay valid
+//! for the lifetime of the arena.
+//!
+//! # Examples
+//!
+//! ```
+//! use netkat::{Field, Loc, Packet, PacketArena};
+//! let mut arena = PacketArena::new();
+//! let a = arena.intern(Packet::new().with(Field::IpDst, 4));
+//! let b = arena.intern(Packet::new().with(Field::IpDst, 4));
+//! assert_eq!(a, b); // hash-consed: one slot
+//! let moved = arena.set_loc(a, Loc::new(7, 1));
+//! assert_eq!(arena.get(moved).loc(), Some(Loc::new(7, 1)));
+//! assert_eq!(arena.get(a).loc(), None); // the original id is untouched
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::BuildHasherDefault;
+
+use crate::field::{Field, Value};
+use crate::flowindex::{fp_mix, IdentityHasher, FP_SEED};
+use crate::packet::{Loc, Packet};
+
+/// A handle to an interned [`Packet`] — a dense index into the
+/// [`PacketArena`] that issued it. Copying an id *is* cloning the packet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(u32);
+
+impl PacketId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The content fingerprint of a packet: every `(field, value)` pair, in the
+/// record's canonical sorted order, chained through the SplitMix-style
+/// mixer. Two structurally equal packets always fingerprint identically
+/// regardless of the insertion order that built them, because [`Packet`]
+/// keeps its record sorted.
+fn fingerprint(pk: &Packet) -> u64 {
+    let mut h = FP_SEED;
+    for (f, v) in pk.iter() {
+        h = fp_mix(h, f.code());
+        h = fp_mix(h, v);
+    }
+    h
+}
+
+/// A hash-consing packet arena (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct PacketArena {
+    /// The interned packets; a [`PacketId`] indexes this.
+    slots: Vec<Packet>,
+    /// `fingerprint → first slot carrying it`. A flat map (no per-entry
+    /// candidate list) keeps the steady-state probe one lookup and one
+    /// content compare; packets whose fingerprint collides with a
+    /// *different* packet's go to `collisions` instead.
+    index: HashMap<u64, u32, BuildHasherDefault<IdentityHasher>>,
+    /// Slots displaced by a genuine 64-bit fingerprint collision —
+    /// statistically never populated; linear-scanned for correctness.
+    collisions: Vec<u32>,
+    /// Reused buffer for building mutation candidates without allocating.
+    scratch: Packet,
+}
+
+/// Outcome of a content probe.
+enum Probe {
+    /// Already interned here.
+    Hit(PacketId),
+    /// Absent; its fingerprint is unclaimed.
+    Vacant,
+    /// Absent; a different packet owns the fingerprint's index entry.
+    Collision,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> PacketArena {
+        PacketArena::default()
+    }
+
+    /// Creates an empty arena with room for `capacity` distinct packets.
+    ///
+    /// The arena grows past this freely; the capacity only pre-sizes the
+    /// slot vector and the fingerprint map.
+    pub fn with_capacity(capacity: usize) -> PacketArena {
+        PacketArena {
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+            collisions: Vec::new(),
+            scratch: Packet::new(),
+        }
+    }
+
+    /// Number of distinct packets interned.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resolves an id to its packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this arena.
+    pub fn get(&self, id: PacketId) -> &Packet {
+        &self.slots[id.index()]
+    }
+
+    /// Content probe for `pk` under fingerprint `fp`.
+    ///
+    /// Equal content always implies an equal fingerprint, so a packet
+    /// absent from both the index entry and the collision list is absent
+    /// from the arena.
+    fn probe(&self, fp: u64, pk: &Packet) -> Probe {
+        match self.index.get(&fp) {
+            None => Probe::Vacant,
+            Some(&i) if self.slots[i as usize] == *pk => Probe::Hit(PacketId(i)),
+            Some(_) => {
+                for &i in &self.collisions {
+                    if self.slots[i as usize] == *pk {
+                        return Probe::Hit(PacketId(i));
+                    }
+                }
+                Probe::Collision
+            }
+        }
+    }
+
+    /// Appends `pk` (already known absent) under fingerprint `fp`.
+    fn insert(&mut self, fp: u64, pk: Packet, probe: Probe) -> PacketId {
+        let i = u32::try_from(self.slots.len()).expect("arena holds at most 2^32 packets");
+        self.slots.push(pk);
+        match probe {
+            Probe::Vacant => {
+                self.index.insert(fp, i);
+            }
+            Probe::Collision => self.collisions.push(i),
+            Probe::Hit(_) => unreachable!("insert is only reached on a miss"),
+        }
+        PacketId(i)
+    }
+
+    /// Interns an owned packet, returning the id of its unique slot.
+    pub fn intern(&mut self, pk: Packet) -> PacketId {
+        let fp = fingerprint(&pk);
+        match self.probe(fp, &pk) {
+            Probe::Hit(id) => id,
+            miss => self.insert(fp, pk, miss),
+        }
+    }
+
+    /// Interns by reference: the packet is only cloned the first time it is
+    /// seen.
+    pub fn intern_ref(&mut self, pk: &Packet) -> PacketId {
+        let fp = fingerprint(pk);
+        match self.probe(fp, pk) {
+            Probe::Hit(id) => id,
+            miss => self.insert(fp, pk.clone(), miss),
+        }
+    }
+
+    /// Interns the scratch buffer, cloning it only on a miss.
+    fn intern_scratch(&mut self) -> PacketId {
+        let fp = fingerprint(&self.scratch);
+        match self.probe(fp, &self.scratch) {
+            Probe::Hit(id) => id,
+            miss => {
+                let pk = self.scratch.clone();
+                self.insert(fp, pk, miss)
+            }
+        }
+    }
+
+    /// Returns the id of `get(id)` moved to `loc` (the paper's
+    /// `pkt[sw:pt ← loc]`). The original id still resolves to the original
+    /// packet.
+    ///
+    /// This is the splice-intern fast path: the candidate is built in the
+    /// reused scratch buffer via [`Packet::set_loc`]'s front-splice, so the
+    /// steady-state cost (candidate already interned) is one copy into
+    /// scratch plus one fingerprint probe — no allocation.
+    pub fn set_loc(&mut self, id: PacketId, loc: Loc) -> PacketId {
+        self.scratch.clone_from(&self.slots[id.index()]);
+        self.scratch.set_loc(loc);
+        self.intern_scratch()
+    }
+
+    /// Returns the id of `get(id)` with `field` set to `value`; the
+    /// original id is untouched. Same scratch-buffer fast path as
+    /// [`set_loc`](PacketArena::set_loc).
+    pub fn with(&mut self, id: PacketId, field: Field, value: Value) -> PacketId {
+        self.scratch.clone_from(&self.slots[id.index()]);
+        self.scratch.set(field, value);
+        self.intern_scratch()
+    }
+
+    /// Returns the id of `get(id)` with both location fields removed, plus
+    /// the removed `(switch, port)` values — the per-hop inverse of
+    /// [`set_loc`](PacketArena::set_loc). The original id is untouched.
+    pub fn take_loc(&mut self, id: PacketId) -> (PacketId, Option<Value>, Option<Value>) {
+        self.scratch.clone_from(&self.slots[id.index()]);
+        let (sw, pt) = self.scratch.take_loc();
+        (self.intern_scratch(), sw, pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_ids_resolve() {
+        let mut arena = PacketArena::new();
+        let a = arena.intern(Packet::new().with(Field::IpDst, 1));
+        let b = arena.intern(Packet::new().with(Field::IpDst, 2));
+        let c = arena.intern(Packet::new().with(Field::IpDst, 1));
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a).get(Field::IpDst), Some(1));
+        assert_eq!(arena.get(b).get(Field::IpDst), Some(2));
+        // By-reference interning agrees with by-value interning.
+        assert_eq!(arena.intern_ref(&Packet::new().with(Field::IpDst, 2)), b);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn field_order_canonicalization() {
+        // The same record built in different insertion orders interns to
+        // one id: packets keep their fields sorted, and the fingerprint
+        // walks the sorted record.
+        let mut arena = PacketArena::new();
+        let a = arena.intern(Packet::new().with(Field::IpDst, 4).with(Field::Vlan, 2));
+        let b = arena.intern(Packet::new().with(Field::Vlan, 2).with(Field::IpDst, 4));
+        let c = arena.intern([(Field::Vlan, 2), (Field::IpDst, 4)].into_iter().collect::<Packet>());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn set_loc_splice_intern() {
+        let mut arena = PacketArena::new();
+        let base = arena.intern(Packet::new().with(Field::IpDst, 9));
+        let at1 = arena.set_loc(base, Loc::new(1, 1));
+        assert_eq!(arena.get(at1).loc(), Some(Loc::new(1, 1)));
+        assert_eq!(arena.get(at1).get(Field::IpDst), Some(9));
+        // Original id untouched; re-splicing the same location is a hit.
+        assert_eq!(arena.get(base).loc(), None);
+        assert_eq!(arena.set_loc(base, Loc::new(1, 1)), at1);
+        assert_eq!(arena.len(), 2);
+        // Moving an already-located packet replaces, not accumulates.
+        let at2 = arena.set_loc(at1, Loc::new(2, 3));
+        assert_eq!(arena.get(at2).loc(), Some(Loc::new(2, 3)));
+        assert_eq!(arena.get(at2).len(), 3);
+        // And interning the equivalent owned packet lands on the same slot.
+        let owned = Packet::new().with(Field::IpDst, 9);
+        let mut located = owned.clone();
+        located.set_loc(Loc::new(2, 3));
+        assert_eq!(arena.intern(located), at2);
+    }
+
+    #[test]
+    fn with_writes_one_field() {
+        let mut arena = PacketArena::new();
+        let a = arena.intern(Packet::new().with(Field::Vlan, 1));
+        let b = arena.with(a, Field::Vlan, 2);
+        let c = arena.with(a, Field::IpSrc, 5);
+        assert_eq!(arena.get(b).get(Field::Vlan), Some(2));
+        assert_eq!(arena.get(c).get(Field::Vlan), Some(1));
+        assert_eq!(arena.get(c).get(Field::IpSrc), Some(5));
+        // Overwriting with the current value is the identity.
+        assert_eq!(arena.with(a, Field::Vlan, 1), a);
+    }
+
+    #[test]
+    fn ids_stable_across_take_loc() {
+        let mut arena = PacketArena::new();
+        let located = arena.intern(Packet::at(Loc::new(4, 7)).with(Field::IpDst, 2));
+        let (bare, sw, pt) = arena.take_loc(located);
+        assert_eq!((sw, pt), (Some(4), Some(7)));
+        assert_eq!(arena.get(bare).loc(), None);
+        assert_eq!(arena.get(bare).get(Field::IpDst), Some(2));
+        // The located id still resolves to the located packet, and the
+        // round trip lands back on it.
+        assert_eq!(arena.get(located).loc(), Some(Loc::new(4, 7)));
+        assert_eq!(arena.set_loc(bare, Loc::new(4, 7)), located);
+        // take_loc on an unlocated packet is the identity.
+        assert_eq!(arena.take_loc(bare), (bare, None, None));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn growth_past_initial_capacity() {
+        let mut arena = PacketArena::with_capacity(2);
+        let ids: Vec<PacketId> =
+            (0..300).map(|v| arena.intern(Packet::new().with(Field::IpDst, v))).collect();
+        assert_eq!(arena.len(), 300);
+        // Every id issued before the growth still resolves correctly, and
+        // re-interning is a hit everywhere.
+        for (v, &id) in ids.iter().enumerate() {
+            assert_eq!(arena.get(id).get(Field::IpDst), Some(v as u64));
+            assert_eq!(arena.intern(Packet::new().with(Field::IpDst, v as u64)), id);
+        }
+        assert_eq!(arena.len(), 300);
+    }
+
+    #[test]
+    fn empty_packet_interns() {
+        let mut arena = PacketArena::new();
+        assert!(arena.is_empty());
+        let a = arena.intern(Packet::new());
+        assert_eq!(arena.intern(Packet::new()), a);
+        assert!(arena.get(a).is_empty());
+        assert!(!arena.is_empty());
+    }
+}

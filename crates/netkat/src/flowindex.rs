@@ -41,7 +41,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::field::{Field, Value};
 use crate::flowtable::{FlowTable, Rule};
-use crate::packet::Packet;
+use crate::packet::{FieldReader, Packet};
 
 /// Which lookup implementation a data plane dispatches through.
 ///
@@ -127,8 +127,9 @@ type FingerprintMap = HashMap<u64, u32, BuildHasherDefault<IdentityHasher>>;
 
 /// A hasher that passes 8-byte keys through unchanged — sound here because
 /// every key is a [`fp_mix`] output (avalanched), never attacker-chosen.
+/// Shared with the packet arena's fingerprint map.
 #[derive(Clone, Debug, Default)]
-struct IdentityHasher(u64);
+pub(crate) struct IdentityHasher(u64);
 
 impl Hasher for IdentityHasher {
     fn finish(&self) -> u64 {
@@ -151,19 +152,19 @@ impl HashSegment {
     /// The fingerprint of the packet's values on this segment's signature,
     /// or `None` if the packet lacks one of the fields (in which case no
     /// rule in the run can match: each tests that field).
-    fn fingerprint_of(&self, pk: &Packet) -> Option<u64> {
+    fn fingerprint_of<R: FieldReader>(&self, pk: &R) -> Option<u64> {
         let mut h = FP_SEED;
         for &f in &self.fields {
-            h = fp_mix(h, pk.get(f)?);
+            h = fp_mix(h, pk.read(f)?);
         }
         Some(h)
     }
 }
 
-const FP_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const FP_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// One round of a SplitMix64-style mixer, chaining `value` into `h`.
-fn fp_mix(h: u64, value: Value) -> u64 {
+pub(crate) fn fp_mix(h: u64, value: Value) -> u64 {
     let mut z = h ^ value.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = z.wrapping_add(FP_SEED);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -228,6 +229,13 @@ impl CompiledTable {
     /// The index of the first matching rule for `pk`, exactly as
     /// [`FlowTable::lookup_index`] computes it.
     pub fn lookup_index(&self, pk: &Packet) -> Option<usize> {
+        self.lookup_index_on(pk)
+    }
+
+    /// [`lookup_index`](CompiledTable::lookup_index) against any field
+    /// source — e.g. the simulator's zero-copy
+    /// [`LocatedView`](crate::LocatedView).
+    pub fn lookup_index_on<R: FieldReader>(&self, pk: &R) -> Option<usize> {
         for segment in &self.segments {
             match segment {
                 Segment::Scan { start, end } => {
@@ -238,7 +246,7 @@ impl CompiledTable {
                 Segment::Hash(seg) => {
                     let Some(fp) = seg.fingerprint_of(pk) else { continue };
                     let Some(&candidate) = seg.map.get(&fp) else { continue };
-                    if self.rules[candidate as usize].pattern.matches(pk) {
+                    if self.rules[candidate as usize].pattern.matches_on(pk) {
                         return Some(candidate as usize);
                     }
                     // Fingerprint collision: the run still decides by scan.
@@ -251,16 +259,21 @@ impl CompiledTable {
         None
     }
 
-    fn scan(&self, start: u32, end: u32, pk: &Packet) -> Option<usize> {
+    fn scan<R: FieldReader>(&self, start: u32, end: u32, pk: &R) -> Option<usize> {
         self.rules[start as usize..end as usize]
             .iter()
-            .position(|r| r.pattern.matches(pk))
+            .position(|r| r.pattern.matches_on(pk))
             .map(|i| start as usize + i)
     }
 
     /// The first matching rule for `pk` (the indexed [`FlowTable::lookup`]).
     pub fn lookup(&self, pk: &Packet) -> Option<&Rule> {
         self.lookup_index(pk).map(|i| &self.rules[i])
+    }
+
+    /// [`lookup`](CompiledTable::lookup) against any field source.
+    pub fn lookup_on<R: FieldReader>(&self, pk: &R) -> Option<&Rule> {
+        self.lookup_index_on(pk).map(|i| &self.rules[i])
     }
 
     /// Applies the table through the index: the output packets of the

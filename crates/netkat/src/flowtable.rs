@@ -11,7 +11,7 @@ use std::fmt;
 use crate::action::ActionSet;
 use crate::fdd::{FddBuilder, NodeId};
 use crate::field::{Field, Value};
-use crate::packet::Packet;
+use crate::packet::{FieldReader, Packet};
 
 /// An exact-match pattern: a conjunction of `field = value` constraints.
 ///
@@ -61,7 +61,13 @@ impl Match {
 
     /// Returns `true` if the packet satisfies every constraint.
     pub fn matches(&self, pk: &Packet) -> bool {
-        self.tests.iter().all(|(&f, &v)| pk.get(f) == Some(v))
+        self.matches_on(pk)
+    }
+
+    /// [`matches`](Match::matches) against any field source — e.g. the
+    /// simulator's zero-copy [`LocatedView`](crate::LocatedView).
+    pub fn matches_on<R: FieldReader>(&self, pk: &R) -> bool {
+        self.tests.iter().all(|(&f, &v)| pk.read(f) == Some(v))
     }
 
     /// Number of constrained fields.
@@ -175,7 +181,13 @@ impl FlowTable {
 
     /// Returns the first matching rule for `pk`.
     pub fn lookup(&self, pk: &Packet) -> Option<&Rule> {
-        self.rules.iter().find(|r| r.pattern.matches(pk))
+        self.lookup_on(pk)
+    }
+
+    /// [`lookup`](FlowTable::lookup) against any field source — e.g. the
+    /// simulator's zero-copy [`LocatedView`](crate::LocatedView).
+    pub fn lookup_on<R: FieldReader>(&self, pk: &R) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.pattern.matches_on(pk))
     }
 
     /// Returns the priority index of the first matching rule for `pk`.
@@ -185,6 +197,16 @@ impl FlowTable {
     /// packet (enforced by differential property tests).
     pub fn lookup_index(&self, pk: &Packet) -> Option<usize> {
         self.rules.iter().position(|r| r.pattern.matches(pk))
+    }
+
+    /// The rule at priority index `i` (as returned by
+    /// [`lookup_index`](FlowTable::lookup_index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn rule(&self, i: usize) -> &Rule {
+        &self.rules[i]
     }
 
     /// Applies the table: the output packets of the first matching rule, or

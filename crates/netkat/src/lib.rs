@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod action;
+mod arena;
 mod error;
 mod fdd;
 mod field;
 mod flowindex;
 mod flowtable;
 mod global;
+mod hash;
 mod local;
 mod packet;
 mod policy;
@@ -44,14 +46,16 @@ mod pred;
 mod semantics;
 
 pub use action::{Action, ActionSet};
+pub use arena::{PacketArena, PacketId};
 pub use error::NetkatError;
 pub use fdd::{FddBuilder, FddPath, NodeId};
 pub use field::{Field, Value};
 pub use flowindex::{CompiledTable, LookupPath};
 pub use flowtable::{FlowTable, Match, Rule};
 pub use global::{compile_global, path_clauses, Hop, PathClause, SwitchTables, TestConj};
+pub use hash::{FxBuildHasher, FxHasher};
 pub use local::{compile_fdd, compile_local};
-pub use packet::{Loc, Packet};
+pub use packet::{FieldReader, Loc, LocatedView, Packet};
 pub use policy::Policy;
 pub use pred::Pred;
 pub use semantics::{equivalent_on, eval, eval_set};

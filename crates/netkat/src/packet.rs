@@ -34,6 +34,44 @@ impl fmt::Display for Loc {
     }
 }
 
+/// Read access to packet header fields — the interface flow-table lookup
+/// actually needs.
+///
+/// Implemented by [`Packet`] itself and by [`LocatedView`], the
+/// simulator's zero-copy lookup view (a packet with its location and tag
+/// overridden in place). Lookup paths are generic over this trait, so a
+/// per-hop table lookup never has to materialize a relocated copy of the
+/// packet.
+pub trait FieldReader {
+    /// The value of `field`, or `None` if unset.
+    fn read(&self, field: Field) -> Option<Value>;
+}
+
+/// A packet with its location — and, optionally, its tag — overridden
+/// without being materialized: reads of [`Field::Switch`] /
+/// [`Field::Port`] (and [`Field::Tag`] when overridden) come from the
+/// overlay, everything else from the base packet.
+#[derive(Clone, Copy, Debug)]
+pub struct LocatedView<'a> {
+    /// The underlying packet.
+    pub base: &'a Packet,
+    /// The overriding location.
+    pub loc: Loc,
+    /// The overriding tag, if any.
+    pub tag: Option<Value>,
+}
+
+impl FieldReader for LocatedView<'_> {
+    fn read(&self, field: Field) -> Option<Value> {
+        match field {
+            Field::Switch => Some(self.loc.sw),
+            Field::Port => Some(self.loc.pt),
+            Field::Tag if self.tag.is_some() => self.tag,
+            _ => self.base.get(field),
+        }
+    }
+}
+
 /// A packet: a record of numeric header fields.
 ///
 /// Fields that are absent behave as *wildcards have no value*: a test on an
@@ -57,9 +95,21 @@ impl fmt::Display for Loc {
 /// assert_eq!(pk.get(Field::IpDst), Some(4));
 /// assert_eq!(pk.get(Field::IpSrc), None);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Packet {
     fields: Vec<(Field, Value)>,
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Packet {
+        Packet { fields: self.fields.clone() }
+    }
+
+    /// Reuses the destination's allocation — the packet arena's scratch
+    /// buffer leans on this to stay allocation-free in steady state.
+    fn clone_from(&mut self, source: &Packet) {
+        self.fields.clone_from(&source.fields);
+    }
 }
 
 impl Packet {
@@ -73,8 +123,21 @@ impl Packet {
         Packet::new().with(Field::Switch, loc.sw).with(Field::Port, loc.pt)
     }
 
+    /// Locates `field` in the sorted record. A packet holds at most a
+    /// dozen fields, so a forward scan with a sorted early exit beats
+    /// binary search's unpredictable branches — and the simulator's
+    /// hottest reads ([`Field::Switch`], [`Field::Port`]) sort first, so
+    /// they resolve on the first compare.
     fn position(&self, field: Field) -> Result<usize, usize> {
-        self.fields.binary_search_by_key(&field, |&(f, _)| f)
+        for (i, &(f, _)) in self.fields.iter().enumerate() {
+            if f == field {
+                return Ok(i);
+            }
+            if f > field {
+                return Err(i);
+            }
+        }
+        Err(self.fields.len())
     }
 
     /// Returns the value of `field`, or `None` if unset.
@@ -181,6 +244,12 @@ impl Packet {
     /// Returns `true` if no fields are set.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
+    }
+}
+
+impl FieldReader for Packet {
+    fn read(&self, field: Field) -> Option<Value> {
+        self.get(field)
     }
 }
 

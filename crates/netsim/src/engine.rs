@@ -10,13 +10,13 @@
 //! [`TraceBuilder`], so a finished run yields the network trace needed by
 //! the correctness checker.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
-use edn_core::{NetworkTrace, TraceBuilder};
-use netkat::{Loc, Packet};
+use edn_core::{NetworkTrace, TraceBuilder, TraceMode};
+use netkat::{Loc, Packet, PacketId};
 
-use crate::logic::{CtrlMsg, DataPlane, HostLogic};
+use crate::logic::{CtrlMsg, DataPlane, HostLogic, PacketPath, StepResultId};
+use crate::queue::{EventQueue, QueueKind};
 use crate::stats::{Delivery, Drop, DropReason, Stats};
 use crate::time::SimTime;
 use crate::topology::{SimParams, SimTopology};
@@ -24,12 +24,15 @@ use crate::topology::{SimParams, SimTopology};
 /// Default payload size for injected packets (an Ethernet-ish frame).
 pub const DEFAULT_PACKET_SIZE: u32 = 1_500;
 
+/// Pending events carry [`PacketId`]s into the run's shared arena, never
+/// owned packets: forking an event (multicast) or recording it into the
+/// trace copies four bytes.
 #[derive(Clone, Debug)]
 enum EventKind {
     /// A host pushes a packet onto its attachment link.
-    Inject { host: u64, packet: Packet, size: u32 },
+    Inject { host: u64, packet: PacketId, size: u32 },
     /// A packet arrives at a location (switch ingress or host).
-    Arrive { loc: Loc, packet: Packet, size: u32, parent: Option<usize>, from_host: bool },
+    Arrive { loc: Loc, packet: PacketId, size: u32, parent: Option<usize>, from_host: bool },
     /// A switch-to-controller message arrives at the controller; `cause` is
     /// the trace index of the packet processing step that produced it.
     Notify { msg: CtrlMsg, cause: usize },
@@ -37,13 +40,21 @@ enum EventKind {
     Deliver { sw: u64, msg: CtrlMsg },
 }
 
-/// A queue entry: fire time, insertion sequence (the deterministic
-/// tie-break), and the slab slot holding the event payload.
-///
-/// Keeping the payload out of the heap keeps sift operations moving
-/// 24-byte keys instead of full [`EventKind`]s — the heap is the single
-/// hottest structure in the simulator.
-type QueuedKey = (SimTime, u64, u32);
+/// What sits on the far side of an egress location — resolved once at
+/// construction, so the per-hop path pays **one** map probe instead of the
+/// former host-map probe plus link-map probe.
+#[derive(Clone, Copy, Debug)]
+enum Egress {
+    /// A host is attached here.
+    Host(u64),
+    /// An inter-switch link (index into `topo.links()`) starts here.
+    Link(u32),
+}
+
+/// The egress map probes once per output; [`Loc`]'s derived `Hash` feeds
+/// two `u64` writes straight through [`netkat::FxHasher`], skipping
+/// SipHash's per-byte setup.
+type EgressMap = HashMap<Loc, Egress, netkat::FxBuildHasher>;
 
 /// The result of a finished run.
 #[derive(Debug)]
@@ -66,21 +77,23 @@ pub struct Engine<D: DataPlane> {
     params: SimParams,
     dataplane: D,
     hosts: Box<dyn HostLogic>,
-    queue: BinaryHeap<Reverse<QueuedKey>>,
+    queue: EventQueue,
     /// Slab of pending event payloads, indexed by the keys in `queue`.
     slots: Vec<Option<EventKind>>,
     /// Recycled slab slots.
     free_slots: Vec<u32>,
     seq: u64,
     now: SimTime,
+    /// The run's trace recorder; it owns the [`PacketArena`] every
+    /// in-flight packet of this run is interned in.
     trace: TraceBuilder,
+    /// Which packet representation the data plane is driven through.
+    packet_path: PacketPath,
     stats: Stats,
-    /// The out-link leaving each source location, as an index into
-    /// `topo.links()`. Resolved once at construction (the topology is
-    /// immutable), so the hot path never scans the link list.
-    out_link: HashMap<Loc, u32>,
-    /// The host (if any) attached at each switch-side location.
-    host_at: HashMap<Loc, u64>,
+    /// What each egress location leads to (host or link), resolved once at
+    /// construction (the topology is immutable), so the hot path never
+    /// scans the link list or probes two maps.
+    egress: EgressMap,
     /// Per-link transmission backlog, indexed like `topo.links()`: when the
     /// link is next free.
     link_free: Vec<SimTime>,
@@ -100,6 +113,12 @@ pub struct Engine<D: DataPlane> {
 
 impl<D: DataPlane> Engine<D> {
     /// Creates an engine.
+    ///
+    /// The event-queue implementation, trace mode, and packet path default
+    /// from the environment (`EDN_QUEUE`, `EDN_TRACE`, `EDN_PACKETS`); pin
+    /// them with [`with_queue`](Engine::with_queue),
+    /// [`with_trace_mode`](Engine::with_trace_mode), and
+    /// [`with_packet_path`](Engine::with_packet_path).
     pub fn new(
         topo: SimTopology,
         params: SimParams,
@@ -108,30 +127,79 @@ impl<D: DataPlane> Engine<D> {
     ) -> Engine<D> {
         // Dense per-link state, resolved once: the topology never changes
         // after construction, so packet forwarding can index links instead
-        // of hashing `(Loc, Loc)` tuples or scanning the link list.
-        let out_link = topo.links().iter().enumerate().map(|(i, l)| (l.src, i as u32)).collect();
-        let host_at = topo.hosts().map(|(h, loc)| (loc, h)).collect();
+        // of hashing `(Loc, Loc)` tuples or scanning the link list. Hosts
+        // are inserted after links so a host attachment shadows a link
+        // sharing its switch-side location (matching the old probe order:
+        // host first).
+        let mut egress = EgressMap::default();
+        for (i, l) in topo.links().iter().enumerate() {
+            egress.insert(l.src, Egress::Link(i as u32));
+        }
+        for (h, loc) in topo.hosts() {
+            egress.insert(loc, Egress::Host(h));
+        }
         let n_links = topo.links().len();
         Engine {
             topo,
             params,
             dataplane,
             hosts,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(QueueKind::from_env()),
             slots: Vec::new(),
             free_slots: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
-            trace: TraceBuilder::new(),
+            trace: TraceBuilder::with_mode(TraceMode::from_env()),
+            packet_path: PacketPath::from_env(),
             stats: Stats::default(),
-            out_link,
-            host_at,
+            egress,
             link_free: vec![SimTime::ZERO; n_links],
             ctrl_causes: Vec::new(),
             ctrl_delivered: HashMap::new(),
             ctrl_linked: HashMap::new(),
             fail_at: vec![None; n_links],
         }
+    }
+
+    /// Replaces the event-queue implementation, migrating any pending
+    /// events (pop order is a total order on the key, so the carrier never
+    /// affects a run).
+    pub fn with_queue(mut self, kind: QueueKind) -> Engine<D> {
+        self.queue.change_kind(kind);
+        self
+    }
+
+    /// Sets the trace recording mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has already been scheduled (the mode governs a
+    /// whole run).
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Engine<D> {
+        assert!(self.seq == 0, "set the trace mode before scheduling events");
+        self.trace = TraceBuilder::with_mode(mode);
+        self
+    }
+
+    /// Sets the packet representation driven through the data plane.
+    pub fn with_packet_path(mut self, path: PacketPath) -> Engine<D> {
+        self.packet_path = path;
+        self
+    }
+
+    /// The event-queue implementation in use.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// The trace recording mode in use.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace.mode()
+    }
+
+    /// The packet representation in use.
+    pub fn packet_path(&self) -> PacketPath {
+        self.packet_path
     }
 
     /// Injects a failure: the directed link `src → dst` drops every packet
@@ -167,7 +235,39 @@ impl<D: DataPlane> Engine<D> {
     /// Panics if `host` is not a host of the topology.
     pub fn inject_sized(&mut self, time: SimTime, host: u64, packet: Packet, size: u32) {
         assert!(self.topo.is_host(host), "node {host} is not a host");
+        let packet = self.trace.arena_mut().intern(packet);
         self.push(time, EventKind::Inject { host, packet, size });
+    }
+
+    /// Pre-sizes the event slab and queue for `extra` upcoming events —
+    /// call before streaming a bulk injection whose iterator cannot report
+    /// its length (e.g. a `flat_map` over flows).
+    pub fn reserve_events(&mut self, extra: usize) {
+        self.queue.reserve(extra);
+        self.slots.reserve(extra.saturating_sub(self.free_slots.len()));
+    }
+
+    /// Schedules a whole batch of host injections `(time, host, packet,
+    /// size)` in one queue fill: the slab and queue are pre-sized once
+    /// (from the iterator's size hint — use
+    /// [`reserve_events`](Engine::reserve_events) first when the hint is
+    /// useless) and repeated packets intern to one arena slot, so bulk
+    /// workload setup (thousands of datagrams) avoids per-call growth
+    /// churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduled node is not a host of the topology.
+    pub fn inject_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (SimTime, u64, Packet, u32)>,
+    {
+        let batch = batch.into_iter();
+        let (expected, _) = batch.size_hint();
+        self.reserve_events(expected);
+        for (time, host, packet, size) in batch {
+            self.inject_sized(time, host, packet, size);
+        }
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind) {
@@ -183,14 +283,23 @@ impl<D: DataPlane> Engine<D> {
                 (self.slots.len() - 1) as u32
             }
         };
-        self.queue.push(Reverse((time, seq, slot)));
+        self.queue.push((time, seq, slot));
     }
 
-    /// Runs until the event queue empties or `deadline` passes, then returns
-    /// the trace, statistics, and data plane.
-    pub fn run_until(mut self, deadline: SimTime) -> RunResult<D> {
-        while let Some(Reverse((time, _, slot))) = self.queue.pop() {
+    /// Runs the event loop until the queue empties or `deadline` passes.
+    ///
+    /// This is the simulation proper — the phase scale measurements time.
+    /// Turning the recorded run into a [`RunResult`] (which materializes
+    /// the network trace from the arena) is the separate
+    /// [`finish`](Engine::finish) step; [`run_until`](Engine::run_until)
+    /// does both.
+    pub fn run(&mut self, deadline: SimTime) {
+        while let Some(key) = self.queue.pop() {
+            let (time, _, slot) = key;
             if time > deadline {
+                // Past the horizon: keep the event pending (same key, so
+                // the order is unchanged) for a later `run` call.
+                self.queue.push(key);
                 break;
             }
             let kind = self.slots[slot as usize].take().expect("queued slots are filled");
@@ -198,11 +307,24 @@ impl<D: DataPlane> Engine<D> {
             self.now = time;
             self.dispatch(kind);
         }
+    }
+
+    /// Finalizes a run: resolves the recorded trace (empty under
+    /// [`TraceMode::StatsOnly`]) and hands back statistics and the data
+    /// plane.
+    pub fn finish(self) -> RunResult<D> {
         RunResult {
             trace: self.trace.build().expect("engine-built traces are structurally valid"),
             stats: self.stats,
             dataplane: self.dataplane,
         }
+    }
+
+    /// Runs until the event queue empties or `deadline` passes, then returns
+    /// the trace, statistics, and data plane.
+    pub fn run_until(mut self, deadline: SimTime) -> RunResult<D> {
+        self.run(deadline);
+        self.finish()
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -211,7 +333,7 @@ impl<D: DataPlane> Engine<D> {
             EventKind::Inject { host, packet, size } => {
                 let Some(attach) = self.topo.attachment(host) else { return };
                 self.stats.injected += 1;
-                let idx = self.trace.push(packet.clone(), Loc::new(host, 0), None);
+                let idx = self.trace.push_id(packet, Loc::new(host, 0), None);
                 // Host attachment links are uncontended.
                 let arrival = self.now + self.topo.host_latency;
                 self.push(
@@ -227,16 +349,19 @@ impl<D: DataPlane> Engine<D> {
             }
             EventKind::Arrive { loc, packet, size, parent, from_host } => {
                 if self.topo.is_host(loc.sw) {
-                    self.trace.push(packet.clone(), loc, parent);
+                    self.trace.push_id(packet, loc, parent);
+                    let pk = self.trace.arena().get(packet);
                     self.stats.deliveries.push(Delivery {
                         time: self.now,
                         host: loc.sw,
-                        packet: packet.clone(),
+                        packet: pk.clone(),
                         size,
                     });
                     let host = loc.sw;
-                    for (delay, reply, rsize) in self.hosts.on_receive(host, &packet, self.now) {
+                    let replies = self.hosts.on_receive(host, pk, self.now);
+                    for (delay, reply, rsize) in replies {
                         let t = self.now + delay;
+                        let reply = self.trace.arena_mut().intern(reply);
                         self.push(t, EventKind::Inject { host, packet: reply, size: rsize });
                     }
                     return;
@@ -264,12 +389,12 @@ impl<D: DataPlane> Engine<D> {
     fn switch_step(
         &mut self,
         loc: Loc,
-        packet: Packet,
+        packet: PacketId,
         size: u32,
         parent: Option<usize>,
         from_host: bool,
     ) {
-        let ingress_idx = self.trace.push(packet.clone(), loc, parent);
+        let ingress_idx = self.trace.push_id(packet, loc, parent);
         // Knowledge delivered by the controller happens-before this step.
         let delivered = self.ctrl_delivered.get(&loc.sw).copied().unwrap_or(0);
         let linked = self.ctrl_linked.entry(loc.sw).or_insert(0);
@@ -279,9 +404,27 @@ impl<D: DataPlane> Engine<D> {
             }
         }
         *linked = (*linked).max(delivered);
-        // The packet moves into the data plane; the drop path below
-        // recovers it from the trace record instead of keeping a copy.
-        let result = self.dataplane.process(loc.sw, loc.pt, packet, from_host, self.now);
+        // The data plane sees either the interned id (arena path) or an
+        // owned resolution of it (the reference path); both end in ids.
+        let result: StepResultId = match self.packet_path {
+            PacketPath::Arena => self.dataplane.process_arena(
+                loc.sw,
+                loc.pt,
+                packet,
+                from_host,
+                self.now,
+                self.trace.arena_mut(),
+            ),
+            PacketPath::Owned => {
+                let owned = self.trace.arena().get(packet).clone();
+                let r = self.dataplane.process(loc.sw, loc.pt, owned, from_host, self.now);
+                let arena = self.trace.arena_mut();
+                StepResultId {
+                    outputs: r.outputs.into_iter().map(|(pt, pk)| (pt, arena.intern(pk))).collect(),
+                    notifications: r.notifications,
+                }
+            }
+        };
         for msg in result.notifications {
             self.push(
                 self.now + self.params.controller_latency,
@@ -293,7 +436,7 @@ impl<D: DataPlane> Engine<D> {
             self.stats.drops.push(Drop {
                 time: self.now,
                 switch: loc.sw,
-                packet: self.trace.recorded(ingress_idx).packet.clone(),
+                packet: self.trace.arena().get(packet).clone(),
                 reason: DropReason::NoRule,
             });
             return;
@@ -301,32 +444,36 @@ impl<D: DataPlane> Engine<D> {
         let depart = self.now + self.params.switch_delay;
         for (out_pt, out_pkt) in result.outputs {
             let out_loc = Loc::new(loc.sw, out_pt);
-            let egress_idx = self.trace.push(out_pkt.clone(), out_loc, Some(ingress_idx));
-            // Host delivery?
-            if let Some(&host) = self.host_at.get(&out_loc) {
-                let t = depart + self.topo.host_latency;
-                self.push(
-                    t,
-                    EventKind::Arrive {
-                        loc: Loc::new(host, 0),
-                        packet: out_pkt,
-                        size,
-                        parent: Some(egress_idx),
-                        from_host: false,
-                    },
-                );
-                continue;
-            }
-            // Inter-switch link?
-            let Some(link_idx) = self.out_link.get(&out_loc).map(|&i| i as usize) else {
-                self.trace.mark_terminated(egress_idx);
-                self.stats.drops.push(Drop {
-                    time: depart,
-                    switch: loc.sw,
-                    packet: out_pkt,
-                    reason: DropReason::DeadEnd,
-                });
-                continue;
+            let egress_idx = self.trace.push_id(out_pkt, out_loc, Some(ingress_idx));
+            let link_idx = match self.egress.get(&out_loc) {
+                // Host delivery?
+                Some(&Egress::Host(host)) => {
+                    let t = depart + self.topo.host_latency;
+                    self.push(
+                        t,
+                        EventKind::Arrive {
+                            loc: Loc::new(host, 0),
+                            packet: out_pkt,
+                            size,
+                            parent: Some(egress_idx),
+                            from_host: false,
+                        },
+                    );
+                    continue;
+                }
+                // Inter-switch link.
+                Some(&Egress::Link(i)) => i as usize,
+                // Nothing attached here.
+                None => {
+                    self.trace.mark_terminated(egress_idx);
+                    self.stats.drops.push(Drop {
+                        time: depart,
+                        switch: loc.sw,
+                        packet: self.trace.arena().get(out_pkt).clone(),
+                        reason: DropReason::DeadEnd,
+                    });
+                    continue;
+                }
             };
             let link = self.topo.links()[link_idx];
             // Injected failure? Like queue losses, failure drops are left
@@ -336,7 +483,7 @@ impl<D: DataPlane> Engine<D> {
                 self.stats.drops.push(Drop {
                     time: depart,
                     switch: loc.sw,
-                    packet: out_pkt,
+                    packet: self.trace.arena().get(out_pkt).clone(),
                     reason: DropReason::LinkDown,
                 });
                 continue;
@@ -355,7 +502,7 @@ impl<D: DataPlane> Engine<D> {
                         self.stats.drops.push(Drop {
                             time: depart,
                             switch: loc.sw,
-                            packet: out_pkt,
+                            packet: self.trace.arena().get(out_pkt).clone(),
                             reason: DropReason::QueueFull,
                         });
                         continue;
@@ -536,6 +683,88 @@ mod tests {
         let (t2, s2) = run();
         assert_eq!(t1, t2);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn run_can_resume_without_losing_the_deadline_crossing_event() {
+        // `run` pops the first event past the deadline to notice it is
+        // past the horizon; it must put it back so a later `run` call
+        // still fires it.
+        let split = |d1: u64| {
+            let mut e =
+                Engine::new(topo(), SimParams::default(), ToHostPort(2), Box::new(SinkHosts));
+            for i in 0..10 {
+                e.inject_at(SimTime::from_millis(i), 100, Packet::new().with(Field::Vlan, i));
+            }
+            e.run(SimTime::from_millis(d1));
+            e.run(SimTime::from_secs(1));
+            let r = e.finish();
+            (r.trace, r.stats)
+        };
+        let whole = split(1_000_000); // first run covers everything
+        for d1 in [0, 3, 5] {
+            assert_eq!(split(d1), whole, "resumed run diverged at split {d1}ms");
+        }
+    }
+
+    #[test]
+    fn inject_batch_equals_one_at_a_time() {
+        let run = |batched: bool| {
+            let mut e =
+                Engine::new(topo(), SimParams::default(), ToHostPort(2), Box::new(SinkHosts));
+            let items: Vec<_> = (0..10u64)
+                .map(|i| {
+                    (SimTime::from_millis(i), 100u64, Packet::new().with(Field::Vlan, i), 64u32)
+                })
+                .collect();
+            if batched {
+                e.inject_batch(items);
+            } else {
+                for (t, h, pk, s) in items {
+                    e.inject_sized(t, h, pk, s);
+                }
+            }
+            let r = e.run_until(SimTime::from_secs(1));
+            (r.trace, r.stats)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn engine_knobs_replay_identically() {
+        // The same scenario on every {queue, trace mode, packet path}
+        // combination: Stats must be identical everywhere, traces
+        // identical in Full mode and empty in StatsOnly.
+        let run = |queue: QueueKind, mode: TraceMode, path: PacketPath| {
+            let mut e =
+                Engine::new(topo(), SimParams::default(), ToHostPort(2), Box::new(SinkHosts))
+                    .with_queue(queue)
+                    .with_trace_mode(mode)
+                    .with_packet_path(path);
+            assert_eq!(e.queue_kind(), queue);
+            assert_eq!(e.trace_mode(), mode);
+            assert_eq!(e.packet_path(), path);
+            for i in 0..10 {
+                e.inject_at(SimTime::from_millis(i), 100, Packet::new().with(Field::Vlan, i));
+            }
+            let r = e.run_until(SimTime::from_secs(1));
+            (r.trace, r.stats)
+        };
+        let (reference_trace, reference_stats) =
+            run(QueueKind::Heap, TraceMode::Full, PacketPath::Owned);
+        assert!(!reference_trace.is_empty());
+        for queue in [QueueKind::Heap, QueueKind::Calendar] {
+            for mode in [TraceMode::Full, TraceMode::StatsOnly] {
+                for path in [PacketPath::Owned, PacketPath::Arena] {
+                    let (trace, stats) = run(queue, mode, path);
+                    assert_eq!(stats, reference_stats, "{queue:?}/{mode:?}/{path:?}");
+                    match mode {
+                        TraceMode::Full => assert_eq!(trace, reference_trace),
+                        TraceMode::StatsOnly => assert!(trace.is_empty()),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

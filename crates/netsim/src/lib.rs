@@ -41,13 +41,19 @@
 
 mod engine;
 mod logic;
+mod queue;
 mod stats;
 mod time;
 mod topology;
 pub mod traffic;
 
+pub use edn_core::TraceMode;
 pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
-pub use logic::{table_outputs, CtrlMsg, DataPlane, HostLogic, SinkHosts, StepResult};
+pub use logic::{
+    table_outputs, CtrlMsg, DataPlane, HostLogic, PacketPath, SinkHosts, StepResult, StepResultId,
+};
+pub use netkat::{PacketArena, PacketId};
+pub use queue::QueueKind;
 pub use stats::{Delivery, Drop, DropReason, Stats};
 pub use time::SimTime;
 pub use topology::{LinkSpec, SimParams, SimTopology};

@@ -1,8 +1,50 @@
 //! Pluggable behaviour: data planes (switches + controller) and host logic.
 
-use netkat::Packet;
+use netkat::{Packet, PacketArena, PacketId};
 
 use crate::time::SimTime;
+
+/// Which packet representation the engine moves through the data plane.
+///
+/// The arena path is the default; the owned path is the reference
+/// semantics — every packet resolved to an owned [`Packet`] and fed through
+/// [`DataPlane::process`] — kept selectable (env var `EDN_PACKETS`) so any
+/// simulation can be replayed on both paths and diffed — speed must never
+/// silently change meaning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PacketPath {
+    /// The reference path: owned packets through [`DataPlane::process`].
+    Owned,
+    /// The interned path: [`PacketId`]s through
+    /// [`DataPlane::process_arena`].
+    #[default]
+    Arena,
+}
+
+impl PacketPath {
+    /// Reads the path from the `EDN_PACKETS` environment variable (`owned`
+    /// or `arena`); unset means [`PacketPath::Arena`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `EDN_PACKETS` is set to anything else.
+    pub fn from_env() -> PacketPath {
+        match std::env::var("EDN_PACKETS") {
+            Ok(v) if v == "owned" => PacketPath::Owned,
+            Ok(v) if v == "arena" => PacketPath::Arena,
+            Ok(v) => panic!("EDN_PACKETS must be `owned` or `arena`, got {v:?}"),
+            Err(_) => PacketPath::Arena,
+        }
+    }
+
+    /// The label used in benchmark output (`owned` / `arena`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PacketPath::Owned => "owned",
+            PacketPath::Arena => "arena",
+        }
+    }
+}
 
 /// A message between a switch and the controller.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,6 +76,18 @@ impl StepResult {
     pub fn forward(port: u64, packet: Packet) -> StepResult {
         StepResult { outputs: vec![(port, packet)], notifications: Vec::new() }
     }
+}
+
+/// What one switch processing step produced, in interned form: the
+/// arena-path sibling of [`StepResult`], carrying [`PacketId`]s instead of
+/// owned packets.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StepResultId {
+    /// Output packets: `(out port, interned packet)`. Empty means the
+    /// packet was dropped.
+    pub outputs: Vec<(u64, PacketId)>,
+    /// Messages to the controller.
+    pub notifications: Vec<CtrlMsg>,
 }
 
 /// Converts a flow-table application result into switch outputs — the
@@ -69,6 +123,38 @@ pub trait DataPlane {
         from_host: bool,
         now: SimTime,
     ) -> StepResult;
+
+    /// [`process`](DataPlane::process) on an interned packet: the engine's
+    /// arena hot path.
+    ///
+    /// The default implementation bridges through
+    /// [`process`](DataPlane::process) — resolve, process owned, intern the
+    /// outputs — so every data plane works on the arena path unchanged.
+    /// Hot planes override this with a native implementation that avoids
+    /// the owned round trip; the overrides must be observationally
+    /// identical to the bridge (the plumbing-equivalence differential
+    /// tests replay whole simulations on both paths and diff them).
+    ///
+    /// `packet` must have been interned in `arena` by the caller; ids
+    /// returned in the [`StepResultId`] must come from the same arena. A
+    /// plane instance is only ever driven against one arena (overrides may
+    /// cache ids).
+    fn process_arena(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+    ) -> StepResultId {
+        let owned = arena.get(packet).clone();
+        let StepResult { outputs, notifications } = self.process(sw, pt, owned, from_host, now);
+        StepResultId {
+            outputs: outputs.into_iter().map(|(pt, pk)| (pt, arena.intern(pk))).collect(),
+            notifications,
+        }
+    }
 
     /// The controller received `msg`; returns commands to deliver to
     /// switches as `(extra delay, switch, message)`.

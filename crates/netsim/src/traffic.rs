@@ -124,6 +124,28 @@ pub struct UdpFlowSpec {
     pub size: u32,
 }
 
+impl UdpFlowSpec {
+    /// Number of datagrams the flow schedules (`⌈(end − start) /
+    /// interval⌉`, clamped at zero for empty windows).
+    pub fn datagram_count(&self) -> u64 {
+        if self.start >= self.end || self.interval == SimTime::ZERO {
+            return if self.start < self.end { 1 } else { 0 };
+        }
+        let span = (self.end - self.start).as_micros();
+        span.div_ceil(self.interval.as_micros())
+    }
+}
+
+/// The injection schedule of a UDP flow, in [`Engine::inject_batch`] item
+/// form — lets callers splice many flows into **one** batched queue fill.
+pub fn udp_flow_datagrams(spec: &UdpFlowSpec) -> impl Iterator<Item = (SimTime, u64, Packet, u32)> {
+    let spec = *spec;
+    (0..spec.datagram_count()).map(move |seq| {
+        let t = spec.start + SimTime::from_micros(seq * spec.interval.as_micros());
+        (t, spec.src, udp_packet(spec.src, spec.dst, spec.flow, seq), spec.size)
+    })
+}
+
 #[derive(Clone, Debug)]
 struct TcpFlowState {
     spec: TcpFlowSpec,
@@ -218,9 +240,8 @@ impl HostLogic for ScenarioHosts {
 
 /// Schedules a batch of pings.
 pub fn schedule_pings<D: DataPlane>(engine: &mut Engine<D>, pings: &[Ping]) {
-    for p in pings {
-        engine.inject_sized(p.time, p.src, ping_request(p.src, p.dst, p.id), 100);
-    }
+    engine
+        .inject_batch(pings.iter().map(|p| (p.time, p.src, ping_request(p.src, p.dst, p.id), 100)));
 }
 
 /// Evaluates ping outcomes against a finished run's statistics.
@@ -246,14 +267,9 @@ pub fn ping_outcomes(pings: &[Ping], stats: &Stats) -> Vec<PingOutcome> {
 
 /// Schedules a constant-rate UDP stream; returns the number of datagrams.
 pub fn schedule_udp_flow<D: DataPlane>(engine: &mut Engine<D>, spec: &UdpFlowSpec) -> u64 {
-    let mut t = spec.start;
-    let mut seq = 0;
-    while t < spec.end {
-        engine.inject_sized(t, spec.src, udp_packet(spec.src, spec.dst, spec.flow, seq), spec.size);
-        seq += 1;
-        t += spec.interval;
-    }
-    seq
+    let n = spec.datagram_count();
+    engine.inject_batch(udp_flow_datagrams(spec));
+    n
 }
 
 /// Schedules the initial window of a TCP-like flow (the rest is ack-clocked

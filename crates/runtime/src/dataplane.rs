@@ -11,11 +11,11 @@
 //!   (optionally, as the paper's optimization) broadcasts its view to all
 //!   switches.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use edn_core::{EventId, EventSet};
-use netkat::{Field, Loc, LookupPath, Packet};
-use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult};
+use netkat::{Field, FxBuildHasher, Loc, LocatedView, LookupPath, Packet, PacketArena, PacketId};
+use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult, StepResultId};
 
 use crate::compile::CompiledNes;
 use crate::program::SwitchProgram;
@@ -32,8 +32,13 @@ pub struct NesDataPlane {
     programs: BTreeMap<u64, SwitchProgram>,
     /// Which lookup implementation forwarding dispatches through.
     path: LookupPath,
-    /// Per-switch known events (`E` in Fig. 7).
-    local: BTreeMap<u64, EventSet>,
+    /// Per-switch known events (`E` in Fig. 7), dense: `local[slot]` with
+    /// slots assigned by `switch_slot`. The switch step reads and writes
+    /// this two or three times per packet, so it must not walk a tree.
+    local: Vec<EventSet>,
+    /// `switch id → slot in local`, grown on demand for switches outside
+    /// the deployment list (mirroring the old map's `entry` semantics).
+    switch_slot: HashMap<u64, u32, FxBuildHasher>,
     /// Controller's accumulated events (`R` in Fig. 7).
     controller: EventSet,
     /// Whether the controller broadcasts its view to all switches
@@ -51,6 +56,13 @@ pub struct NesDataPlane {
     /// grows at (rare) event learns, so the per-packet hot path reduces to
     /// one map probe.
     effective_cache: BTreeMap<EventSet, (EventSet, u64)>,
+    /// Reused arena-path buffers: the lookup packet and the (single-cast)
+    /// output packet are built here instead of being allocated per hop —
+    /// only the finished output is interned, and in steady state (content
+    /// already seen) that interning is a fingerprint probe, so a hop
+    /// allocates nothing.
+    lookup_buf: Packet,
+    out_buf: Packet,
 }
 
 impl NesDataPlane {
@@ -67,19 +79,24 @@ impl NesDataPlane {
         broadcast: bool,
         path: LookupPath,
     ) -> NesDataPlane {
-        let local = switches.iter().map(|&s| (s, EventSet::empty())).collect();
+        let switch_slot =
+            switches.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect::<HashMap<_, _, _>>();
+        let local = vec![EventSet::empty(); switches.len()];
         let programs = compiled.switch_programs().into_iter().map(|p| (p.switch, p)).collect();
         NesDataPlane {
             compiled,
             programs,
             path,
             local,
+            switch_slot,
             controller: EventSet::empty(),
             broadcast,
             switches,
             discovery: BTreeMap::new(),
             fired_log: Vec::new(),
             effective_cache: BTreeMap::new(),
+            lookup_buf: Packet::new(),
+            out_buf: Packet::new(),
         }
     }
 
@@ -106,7 +123,7 @@ impl NesDataPlane {
 
     /// A switch's current known event-set.
     pub fn local_events(&self, sw: u64) -> EventSet {
-        self.local.get(&sw).copied().unwrap_or(EventSet::empty())
+        self.switch_slot.get(&sw).map(|&i| self.local[i as usize]).unwrap_or_else(EventSet::empty)
     }
 
     /// When `sw` first learned `event`, if it has.
@@ -125,9 +142,33 @@ impl NesDataPlane {
         &self.fired_log
     }
 
+    /// The dense-state slot for `sw`, assigned on first contact.
+    fn slot_of(&mut self, sw: u64) -> usize {
+        match self.switch_slot.get(&sw) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.local.len() as u32;
+                self.switch_slot.insert(sw, i);
+                self.local.push(EventSet::empty());
+                i as usize
+            }
+        }
+    }
+
     fn learn(&mut self, sw: u64, events: EventSet, now: SimTime) {
-        let known = self.local.entry(sw).or_insert(EventSet::empty());
+        let slot = self.slot_of(sw);
+        self.learn_at(slot, sw, events, now);
+    }
+
+    /// [`learn`](NesDataPlane::learn) with the slot already resolved — the
+    /// per-packet path, which learns something new only at (rare) event
+    /// firings and digest fronts.
+    fn learn_at(&mut self, slot: usize, sw: u64, events: EventSet, now: SimTime) {
+        let known = &mut self.local[slot];
         let fresh = events.difference(*known);
+        if fresh.is_empty() {
+            return;
+        }
         *known = known.union(events);
         for e in fresh.iter() {
             self.discovery.entry((sw, e)).or_insert(now);
@@ -197,6 +238,125 @@ impl DataPlane for NesDataPlane {
             out.set(Field::Tag, tag);
         }
         StepResult { outputs, notifications }
+    }
+
+    /// The native arena path: identical, observable step for observable
+    /// step, to [`process`](DataPlane::process) — IN stamp, trigger,
+    /// per-tag forwarding, digest stamp — but with the table consulted
+    /// through a zero-copy [`LocatedView`] and an identity fast path for
+    /// hops that leave the packet's content unchanged (the steady state:
+    /// clone-free and allocation-free). The plumbing-equivalence
+    /// differential tests replay full runs through both paths and diff
+    /// Stats and traces byte for byte.
+    fn process_arena(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+    ) -> StepResultId {
+        // SWITCH step 1: union the packet's digest into local state.
+        let slot = self.slot_of(sw);
+        let digest = EventSet::from_bits(arena.get(packet).get(Field::Digest).unwrap_or(0));
+        self.learn_at(slot, sw, digest, now);
+        let known = self.local[slot];
+
+        // IN: stamp host-entering packets with the current tag.
+        let effective = self.effective_of(known);
+        let stamped = if from_host { arena.with(packet, Field::Tag, effective.1) } else { packet };
+
+        // SWITCH step 2: fire enabled events this arrival matches.
+        let effective = effective.0;
+        let fired = self.compiled.triggered(effective, arena.get(stamped), Loc::new(sw, pt));
+        let mut notifications = Vec::new();
+        if !fired.is_empty() {
+            self.learn_at(slot, sw, fired, now);
+            for e in fired.iter() {
+                self.fired_log.push((now, e));
+            }
+            notifications.push(CtrlMsg::Events(fired.bits()));
+        }
+        let known = self.local[slot];
+
+        // SWITCH steps 3+4: forward under the stamped tag and stamp the
+        // outgoing digest. The table is consulted through a zero-copy
+        // [`LocatedView`] (packet + location + tag overlay), and when every
+        // effect of the hop is idempotent on the packet's content — the
+        // steady state: location fields are stripped from outputs anyway,
+        // the digest already carries everything this switch knows, the tag
+        // is unchanged — the output *is* the input id. Only
+        // content-changing hops materialize packets (in reused buffers,
+        // interned by reference).
+        let tag = match arena.get(stamped).get(Field::Tag) {
+            Some(tag) => tag,
+            None => self.effective_of(known).1,
+        };
+        let loc = Loc::new(sw, pt);
+        let out_digest = digest.union(known).bits();
+        let mut outputs = Vec::new();
+        if let Some(program) = self.programs.get(&sw) {
+            let base = arena.get(stamped);
+            let view = LocatedView { base, loc, tag: Some(tag) };
+            let rule = match self.path {
+                LookupPath::Linear => program.table.lookup_on(&view),
+                LookupPath::Indexed => program.compiled.lookup_on(&view),
+            };
+            if let Some(rule) = rule {
+                if rule.actions.len() == 1 {
+                    let action = rule.actions.iter().next().expect("len 1");
+                    let mut out_pt = pt;
+                    let mut identity =
+                        base.get(Field::Switch).is_none() && base.get(Field::Port).is_none();
+                    for (f, v) in action.writes() {
+                        match f {
+                            // Location writes are stripped from outputs;
+                            // a port write only picks the egress port.
+                            Field::Switch => {}
+                            Field::Port => out_pt = v,
+                            f if base.get(f) != Some(v) => identity = false,
+                            _ => {}
+                        }
+                    }
+                    if identity
+                        && base.get(Field::Digest) == Some(out_digest)
+                        && base.get(Field::Tag) == Some(tag)
+                    {
+                        outputs.push((out_pt, stamped));
+                    } else {
+                        let mut out = std::mem::take(&mut self.out_buf);
+                        out.clone_from(base);
+                        out.take_loc();
+                        for (f, v) in action.writes() {
+                            if !f.is_location() {
+                                out.set(f, v);
+                            }
+                        }
+                        out.set(Field::Digest, out_digest);
+                        out.set(Field::Tag, tag);
+                        outputs.push((out_pt, arena.intern_ref(&out)));
+                        self.out_buf = out;
+                    }
+                } else if !rule.actions.is_empty() {
+                    // Multicast (rare): materialize the lookup packet and
+                    // the same sorted, deduplicated output set
+                    // `ActionSet::apply` defines.
+                    let mut lookup = std::mem::take(&mut self.lookup_buf);
+                    lookup.clone_from(base);
+                    lookup.set_loc(loc);
+                    lookup.set(Field::Tag, tag);
+                    for mut out in rule.actions.apply(&lookup) {
+                        let (_, out_pt) = out.take_loc();
+                        out.set(Field::Digest, out_digest);
+                        out.set(Field::Tag, tag);
+                        outputs.push((out_pt.unwrap_or(pt), arena.intern(out)));
+                    }
+                    self.lookup_buf = lookup;
+                }
+            }
+        }
+        StepResultId { outputs, notifications }
     }
 
     fn on_notify(&mut self, msg: CtrlMsg, _now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {

@@ -8,8 +8,8 @@
 use std::collections::BTreeMap;
 
 use edn_core::Config;
-use netkat::{CompiledTable, Loc, LookupPath, Packet};
-use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult};
+use netkat::{CompiledTable, Field, Loc, LocatedView, LookupPath, Packet, PacketArena, PacketId};
+use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult, StepResultId};
 
 /// A data plane that forwards under a single fixed [`Config`].
 #[derive(Clone, Debug)]
@@ -18,6 +18,10 @@ pub struct StaticDataPlane {
     /// Per-switch compiled tables, built once at deployment.
     index: BTreeMap<u64, CompiledTable>,
     path: LookupPath,
+    /// Reused arena-path buffers (see `NesDataPlane`): lookup and output
+    /// packets are built here; a steady-state hop allocates nothing.
+    lookup_buf: Packet,
+    out_buf: Packet,
 }
 
 impl StaticDataPlane {
@@ -33,7 +37,7 @@ impl StaticDataPlane {
             .switches()
             .filter_map(|sw| config.table(sw).map(|t| (sw, t.compile())))
             .collect();
-        StaticDataPlane { config, index, path }
+        StaticDataPlane { config, index, path, lookup_buf: Packet::new(), out_buf: Packet::new() }
     }
 
     /// The deployed configuration.
@@ -63,6 +67,74 @@ impl DataPlane for StaticDataPlane {
             }
         }
         StepResult { outputs: table_outputs(pt, out), notifications: Vec::new() }
+    }
+
+    /// The native arena path: a zero-copy [`LocatedView`] table lookup
+    /// (on the plane's selected lookup path) plus the identity-hop fast
+    /// path — a hop whose writes change nothing forwards the input id
+    /// without materializing or interning anything.
+    fn process_arena(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        _from_host: bool,
+        _now: SimTime,
+        arena: &mut PacketArena,
+    ) -> StepResultId {
+        // Same structure as `NesDataPlane::process_arena`, minus events:
+        // zero-copy view lookup, identity fast path, reused buffers for
+        // content-changing hops.
+        let loc = Loc::new(sw, pt);
+        let base = arena.get(packet);
+        let view = LocatedView { base, loc, tag: None };
+        let rule = match self.path {
+            LookupPath::Linear => self.config.table(sw).and_then(|t| t.lookup_on(&view)),
+            LookupPath::Indexed => self.index.get(&sw).and_then(|t| t.lookup_on(&view)),
+        };
+        let mut outputs = Vec::new();
+        if let Some(rule) = rule {
+            if rule.actions.len() == 1 {
+                let action = rule.actions.iter().next().expect("len 1");
+                let mut out_pt = pt;
+                let mut identity =
+                    base.get(Field::Switch).is_none() && base.get(Field::Port).is_none();
+                for (f, v) in action.writes() {
+                    match f {
+                        Field::Switch => {}
+                        Field::Port => out_pt = v,
+                        f if base.get(f) != Some(v) => identity = false,
+                        _ => {}
+                    }
+                }
+                if identity {
+                    outputs.push((out_pt, packet));
+                } else {
+                    let mut out = std::mem::take(&mut self.out_buf);
+                    out.clone_from(base);
+                    out.take_loc();
+                    for (f, v) in action.writes() {
+                        if !f.is_location() {
+                            out.set(f, v);
+                        }
+                    }
+                    outputs.push((out_pt, arena.intern_ref(&out)));
+                    self.out_buf = out;
+                }
+            } else if !rule.actions.is_empty() {
+                // Multicast (rare): materialize the lookup packet and
+                // `ActionSet::apply`'s sorted output set.
+                let mut lookup = std::mem::take(&mut self.lookup_buf);
+                lookup.clone_from(base);
+                lookup.set_loc(loc);
+                for mut out in rule.actions.apply(&lookup) {
+                    let (_, out_pt) = out.take_loc();
+                    outputs.push((out_pt.unwrap_or(pt), arena.intern(out)));
+                }
+                self.lookup_buf = lookup;
+            }
+        }
+        StepResultId { outputs, notifications: Vec::new() }
     }
 
     fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {

@@ -6,7 +6,7 @@
 //! and [`schedule`] injects them into an engine. All sampling comes from the
 //! vendored deterministic RNG, so equal seeds give byte-identical traffic.
 
-use netsim::traffic::{schedule_udp_flow, UdpFlowSpec};
+use netsim::traffic::{udp_flow_datagrams, UdpFlowSpec};
 use netsim::{DataPlane, Engine, SimTime};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -148,10 +148,15 @@ pub fn synthesize(gen: &GenTopology, w: &Workload) -> Vec<UdpFlowSpec> {
         .collect()
 }
 
-/// Schedules synthesized flows on an engine; returns the total datagram
-/// count.
+/// Schedules synthesized flows on an engine in **one** batched queue fill:
+/// the event slab and queue are pre-sized for the whole workload up front,
+/// and the datagrams stream straight from the flow specs (never
+/// materialized as a side buffer). Returns the total datagram count.
 pub fn schedule<D: DataPlane>(engine: &mut Engine<D>, flows: &[UdpFlowSpec]) -> u64 {
-    flows.iter().map(|spec| schedule_udp_flow(engine, spec)).sum()
+    let total: u64 = flows.iter().map(UdpFlowSpec::datagram_count).sum();
+    engine.reserve_events(total as usize);
+    engine.inject_batch(flows.iter().flat_map(udp_flow_datagrams));
+    total
 }
 
 #[cfg(test)]

@@ -1,0 +1,216 @@
+//! End-to-end packet-plumbing regression, extending
+//! `lookup_equivalence.rs` to the engine knobs this repo's arena/queue
+//! rework introduced: full simulations replayed across every
+//! `{event queue} × {trace mode} × {packet path}` combination must agree —
+//! byte-identical `Stats` everywhere, byte-identical traces wherever a
+//! trace is recorded.
+//!
+//! Two pinned scenarios from the paper's evaluation (the Section 5.2 ring
+//! and a fat-tree(4) stateful firewall), plus a 256-case differential
+//! proptest over seeded generated topologies and workloads.
+
+use edn_apps::generated::firewall_nes;
+use edn_apps::ring::{host, Ring};
+use edn_core::{NetworkTrace, TraceMode};
+use edn_topo::{fat_tree, ring, synthesize, LinkProfile, TierProfile, TrafficPattern, Workload};
+use nes_runtime::{nes_engine_with_path, verify_nes_run, NesDataPlane};
+use netkat::LookupPath;
+use netsim::traffic::udp_packet;
+use netsim::{Engine, PacketPath, QueueKind, SimParams, SimTime, SinkHosts, Stats};
+use proptest::prelude::*;
+
+/// One engine-knob combination under test.
+#[derive(Clone, Copy, Debug)]
+struct Knobs {
+    queue: QueueKind,
+    mode: TraceMode,
+    path: PacketPath,
+}
+
+/// The reference corner: binary heap, full trace, owned packets — the
+/// pre-rework engine, kept runnable exactly so everything new can be
+/// diffed against it.
+const REFERENCE: Knobs =
+    Knobs { queue: QueueKind::Heap, mode: TraceMode::Full, path: PacketPath::Owned };
+
+fn all_knobs() -> impl Iterator<Item = Knobs> {
+    [QueueKind::Heap, QueueKind::Calendar].into_iter().flat_map(|queue| {
+        [TraceMode::Full, TraceMode::StatsOnly].into_iter().flat_map(move |mode| {
+            [PacketPath::Owned, PacketPath::Arena].into_iter().map(move |path| Knobs {
+                queue,
+                mode,
+                path,
+            })
+        })
+    })
+}
+
+fn configure(engine: Engine<NesDataPlane>, knobs: Knobs) -> Engine<NesDataPlane> {
+    engine.with_queue(knobs.queue).with_trace_mode(knobs.mode).with_packet_path(knobs.path)
+}
+
+/// Asserts that a scenario produces identical observable results on every
+/// knob combination: `Stats` agree field for field everywhere (including
+/// `StatsOnly` runs), and `Full`-mode traces are byte-identical.
+fn assert_plumbing_invariant(scenario: &str, run: impl Fn(Knobs) -> (NetworkTrace, Stats)) {
+    let (reference_trace, reference_stats) = run(REFERENCE);
+    assert!(!reference_stats.deliveries.is_empty(), "{scenario}: reference must deliver");
+    for knobs in all_knobs() {
+        let (trace, stats) = run(knobs);
+        assert_eq!(stats, reference_stats, "{scenario}: stats diverged on {knobs:?}");
+        match knobs.mode {
+            TraceMode::Full => {
+                assert_eq!(trace, reference_trace, "{scenario}: traces diverged on {knobs:?}");
+            }
+            TraceMode::StatsOnly => {
+                assert!(trace.is_empty(), "{scenario}: StatsOnly must not record");
+            }
+        }
+    }
+}
+
+/// The Section 5.2 ring: every host sends to the diametrically opposite
+/// host in two waves, with the reroute trigger firing between them.
+fn ring_run(knobs: Knobs) -> (NetworkTrace, Stats) {
+    let ring = Ring::new(4);
+    let n = ring.switch_count();
+    let topo = ring.sim_topology(SimTime::from_micros(50), None);
+    let engine = nes_engine_with_path(
+        ring.nes(),
+        topo,
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        LookupPath::Indexed,
+    );
+    let mut engine = configure(engine, knobs);
+    for i in 1..=n {
+        let opposite = (i + ring.diameter - 1) % n + 1;
+        for wave in 0..2u64 {
+            engine.inject_at(
+                SimTime::from_millis(1 + 20 * wave + i),
+                host(i),
+                udp_packet(host(i), host(opposite), i, wave),
+            );
+        }
+    }
+    engine.inject_at(SimTime::from_millis(10), ring.h1(), ring.trigger_packet());
+    let result = engine.run_until(SimTime::from_secs(5));
+    if knobs.mode == TraceMode::Full {
+        verify_nes_run(&result).expect("ring run is event-driven consistent");
+    }
+    (result.trace, result.stats)
+}
+
+/// Fat-tree(4) firewall under the fig18 permutation workload, with the
+/// firewall-opening trigger mid-run.
+fn fat_tree_firewall_run(knobs: Knobs) -> (NetworkTrace, Stats) {
+    let gen = fat_tree(4, TierProfile::default());
+    let workload = Workload {
+        pattern: TrafficPattern::Permutation,
+        seed: 7,
+        packets_per_flow: 4,
+        ..Workload::default()
+    };
+    let flows = synthesize(&gen, &workload);
+    let horizon =
+        flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
+    let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
+    let nes = firewall_nes(&gen, inside, outside);
+    let engine = nes_engine_with_path(
+        nes,
+        gen.sim().clone(),
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        LookupPath::Indexed,
+    );
+    let mut engine = configure(engine, knobs);
+    edn_topo::schedule(&mut engine, &flows);
+    engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
+    let result = engine.run_until(horizon);
+    (result.trace, result.stats)
+}
+
+#[test]
+fn ring_replays_identically_across_all_engine_knobs() {
+    assert_plumbing_invariant("ring", ring_run);
+}
+
+#[test]
+fn fat_tree_firewall_replays_identically_across_all_engine_knobs() {
+    assert_plumbing_invariant("fat-tree firewall", fat_tree_firewall_run);
+}
+
+/// One seeded generated-ring firewall run on explicit knobs — the
+/// proptest's unit of comparison.
+fn seeded_run(n: u64, workload: &Workload, knobs: Knobs) -> (NetworkTrace, Stats) {
+    let gen = ring(n, LinkProfile::default());
+    let flows = synthesize(&gen, workload);
+    let horizon =
+        flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
+    let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
+    let nes = firewall_nes(&gen, inside, outside);
+    let engine = nes_engine_with_path(
+        nes,
+        gen.sim().clone(),
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        LookupPath::Indexed,
+    );
+    let mut engine = configure(engine, knobs);
+    edn_topo::schedule(&mut engine, &flows);
+    // The trigger opens the firewall mid-run so the sweep crosses a real
+    // configuration update.
+    engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
+    let result = engine.run_until(horizon);
+    (result.trace, result.stats)
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let pattern = prop_oneof![
+        Just(TrafficPattern::Uniform),
+        Just(TrafficPattern::Permutation),
+        Just(TrafficPattern::Hotspot { hotspots: 1, bias_pct: 75 }),
+    ];
+    (pattern, 0u64..1_000, 1u64..4, 1usize..9).prop_map(|(pattern, seed, packets, flows)| {
+        Workload {
+            pattern,
+            seed,
+            flows,
+            packets_per_flow: packets,
+            interval: SimTime::from_millis(1),
+            ..Workload::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Differential equivalence over seeded topologies and workloads:
+    /// calendar ≡ heap (including timestamp-tied pops) and arena ≡ owned
+    /// packets, observed through complete simulations — byte-identical
+    /// `Stats` and traces, with `StatsOnly` agreeing on every `Stats`
+    /// field.
+    #[test]
+    fn seeded_topologies_agree_across_queue_and_packet_paths(
+        n in 3u64..7,
+        workload in arb_workload(),
+    ) {
+        let (reference_trace, reference_stats) = seeded_run(n, &workload, REFERENCE);
+        let calendar_arena = Knobs {
+            queue: QueueKind::Calendar,
+            mode: TraceMode::Full,
+            path: PacketPath::Arena,
+        };
+        let (trace, stats) = seeded_run(n, &workload, calendar_arena);
+        prop_assert_eq!(&stats, &reference_stats, "calendar+arena stats diverged");
+        prop_assert_eq!(&trace, &reference_trace, "calendar+arena trace diverged");
+        let stats_only = Knobs { mode: TraceMode::StatsOnly, ..calendar_arena };
+        let (empty, stats) = seeded_run(n, &workload, stats_only);
+        prop_assert_eq!(&stats, &reference_stats, "StatsOnly stats diverged");
+        prop_assert!(empty.is_empty(), "StatsOnly must not record a trace");
+    }
+}
