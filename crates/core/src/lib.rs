@@ -57,7 +57,9 @@ pub use event::{Event, EventId, EventSet};
 pub use happens::HappensBefore;
 pub use locality::{locally_determined, minimally_inconsistent};
 pub use nes::{NesError, NetworkEventStructure};
-pub use trace::{LocatedPacket, NetworkTrace, TraceBuilder, TraceMode, TraceStructureError};
+pub use trace::{
+    LocatedPacket, NetworkTrace, TraceBuilder, TraceMode, TraceParts, TraceStructureError,
+};
 pub use update::{
     check_update, first_occurrences, LiteralOccurrences, OccurrenceSemantics, UpdateSequence,
     UpdateViolation,

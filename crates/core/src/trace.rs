@@ -217,6 +217,49 @@ impl NetworkTrace {
     pub fn packet_trace(&self, t: usize) -> Vec<LocatedPacket> {
         self.traces[t].iter().map(|&i| self.packets[i].clone()).collect()
     }
+
+    /// Assembles a network trace from a parent forest: each leaf yields the
+    /// packet trace running from its root. The caller promises `parents`
+    /// describes a forest with every parent index strictly preceding its
+    /// child — which holds by construction for simulator-recorded runs
+    /// (including sharded runs merged back into one global sequence), so
+    /// the quadratic revalidation of [`NetworkTrace::new`] is skipped.
+    ///
+    /// `terminated` indices outside the record range are ignored;
+    /// `extra_edges` must point forward (`from < to < len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a parent does not precede its child.
+    pub fn from_forest(
+        packets: Vec<LocatedPacket>,
+        parents: &[Option<usize>],
+        terminated: BTreeSet<usize>,
+        extra_edges: Vec<(usize, usize)>,
+    ) -> NetworkTrace {
+        debug_assert_eq!(packets.len(), parents.len());
+        let mut has_child = vec![false; parents.len()];
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                debug_assert!(*p < i, "parent {p} must precede child {i}");
+                has_child[*p] = true;
+            }
+        }
+        let mut traces = Vec::new();
+        for (leaf, _) in has_child.iter().enumerate().filter(|&(_, &c)| !c) {
+            let mut path = vec![leaf];
+            let mut cur = leaf;
+            while let Some(p) = parents[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            traces.push(path);
+        }
+        let len = packets.len();
+        let terminated = terminated.into_iter().filter(|&i| i < len).collect();
+        NetworkTrace { packets, traces, terminated, extra_edges }
+    }
 }
 
 impl fmt::Display for NetworkTrace {
@@ -436,8 +479,9 @@ impl TraceBuilder {
     /// forests built through [`push`](TraceBuilder::push) — every index
     /// lies on its leaf's root path, parents strictly precede children,
     /// and two root-to-leaf paths of a forest share exactly a common
-    /// prefix — so the trace is assembled directly instead of going
-    /// through [`NetworkTrace::new`]'s quadratic revalidation (which, at
+    /// prefix — so the trace is assembled directly (via
+    /// [`NetworkTrace::from_forest`]) instead of going through
+    /// [`NetworkTrace::new`]'s quadratic revalidation (which, at
     /// thousands of packet traces, used to dominate entire simulation
     /// runs).
     ///
@@ -446,31 +490,48 @@ impl TraceBuilder {
     /// Infallible for forests built via [`push`](TraceBuilder::push); the
     /// `Result` is kept for API stability.
     pub fn build(self) -> Result<NetworkTrace, TraceStructureError> {
-        let mut has_child = vec![false; self.records.len()];
-        for p in self.parents.iter().flatten() {
-            has_child[*p] = true;
-        }
-        let mut traces = Vec::new();
-        for (leaf, _) in has_child.iter().enumerate().filter(|&(_, &c)| !c) {
-            let mut path = vec![leaf];
-            let mut cur = leaf;
-            while let Some(p) = self.parents[cur] {
-                path.push(p);
-                cur = p;
-            }
-            path.reverse();
-            traces.push(path);
-        }
-        let len = self.records.len();
-        let terminated = self.terminated.into_iter().filter(|&i| i < len).collect();
         let arena = self.arena;
         let packets = self
             .records
             .into_iter()
             .map(|(id, loc)| LocatedPacket::new(arena.get(id).clone(), loc))
             .collect();
-        Ok(NetworkTrace { packets, traces, terminated, extra_edges: self.extra_edges })
+        Ok(NetworkTrace::from_forest(packets, &self.parents, self.terminated, self.extra_edges))
     }
+
+    /// Decomposes the builder into its raw recording state — the entry
+    /// point for the sharded simulator's trace merge, which interleaves
+    /// several builders' records back into one global sequence before
+    /// assembling with [`NetworkTrace::from_forest`].
+    pub fn into_parts(self) -> TraceParts {
+        TraceParts {
+            arena: self.arena,
+            records: self.records,
+            parents: self.parents,
+            terminated: self.terminated,
+            extra_edges: self.extra_edges,
+            mode: self.mode,
+        }
+    }
+}
+
+/// The raw recording state of a [`TraceBuilder`] (see
+/// [`TraceBuilder::into_parts`]): one shard's contribution to a merged
+/// network trace.
+#[derive(Clone, Debug)]
+pub struct TraceParts {
+    /// The arena the records' packet ids resolve in.
+    pub arena: PacketArena,
+    /// The recorded `(packet, location)` steps, in dispatch order.
+    pub records: Vec<(PacketId, Loc)>,
+    /// Per record: the index of the record it descends from.
+    pub parents: Vec<Option<usize>>,
+    /// Records marked as definitive ends-of-journey (drops).
+    pub terminated: BTreeSet<usize>,
+    /// Out-of-band causal edges.
+    pub extra_edges: Vec<(usize, usize)>,
+    /// The recording mode the builder ran under.
+    pub mode: TraceMode,
 }
 
 #[cfg(test)]

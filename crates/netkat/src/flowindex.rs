@@ -111,6 +111,9 @@ struct HashSegment {
     /// The signature: the fields every rule in the run constrains, in
     /// field order.
     fields: Vec<Field>,
+    /// For each signature field: its slot in the table's prefetch cache
+    /// (see [`CompiledTable::prefetch`]), in the same order as `fields`.
+    slots: Vec<u16>,
     /// First rule index of the run.
     start: u32,
     /// One past the last rule index of the run.
@@ -159,7 +162,24 @@ impl HashSegment {
         }
         Some(h)
     }
+
+    /// [`fingerprint_of`](HashSegment::fingerprint_of) against the
+    /// table-wide prefetch cache instead of the packet: the values were
+    /// read once up front, so a multi-segment walk never re-reads a
+    /// field.
+    fn fingerprint_cached(&self, cache: &[Option<Value>; PREFETCH_CAP]) -> Option<u64> {
+        let mut h = FP_SEED;
+        for &slot in &self.slots {
+            h = fp_mix(h, cache[slot as usize]?);
+        }
+        Some(h)
+    }
 }
+
+/// Capacity of the stack-allocated prefetch cache. Tables whose hash
+/// segments together constrain more distinct fields than this (only
+/// possible with many `Custom` fields) fall back to per-segment reads.
+const PREFETCH_CAP: usize = 16;
 
 pub(crate) const FP_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
@@ -181,14 +201,25 @@ pub(crate) fn fp_mix(h: u64, value: Value) -> u64 {
 pub struct CompiledTable {
     rules: Vec<Rule>,
     segments: Vec<Segment>,
+    /// The union of every hash segment's signature, deduplicated in field
+    /// order. When two or more hash segments exist (the NES tables'
+    /// shape: one run per tag block, all constraining `tag, ip_dst`), a
+    /// lookup reads each of these fields **once** into a stack cache and
+    /// fingerprints every segment from it, instead of re-reading the
+    /// packet per segment.
+    prefetch: Vec<Field>,
+    /// Use the prefetch cache? (≥ 2 hash segments and the union fits
+    /// [`PREFETCH_CAP`]; otherwise per-segment reads are cheaper.)
+    prefetched: bool,
 }
 
 impl CompiledTable {
-    /// Compiles a table: splits it into signature runs and hashes the long
-    /// ones.
+    /// Compiles a table: splits it into signature runs, hashes the long
+    /// ones, and derives the cross-segment field prefetch.
     pub fn compile(table: &FlowTable) -> CompiledTable {
         let rules: Vec<Rule> = table.iter().cloned().collect();
         let mut segments: Vec<Segment> = Vec::new();
+        let mut prefetch_set: BTreeSet<Field> = BTreeSet::new();
         let mut i = 0;
         while i < rules.len() {
             let sig: Vec<Field> = rules[i].pattern.iter().map(|(f, _)| f).collect();
@@ -208,8 +239,10 @@ impl CompiledTable {
                     // highest-priority rule.
                     map.entry(h).or_insert(k as u32);
                 }
+                prefetch_set.extend(sig.iter().copied());
                 segments.push(Segment::Hash(HashSegment {
                     fields: sig,
+                    slots: Vec::new(),
                     start: i as u32,
                     end: j as u32,
                     map,
@@ -223,7 +256,23 @@ impl CompiledTable {
             }
             i = j;
         }
-        CompiledTable { rules, segments }
+        let prefetch: Vec<Field> = prefetch_set.into_iter().collect();
+        let hash_segments = segments.iter().filter(|s| matches!(s, Segment::Hash(_))).count();
+        let prefetched = hash_segments >= 2 && prefetch.len() <= PREFETCH_CAP;
+        if prefetched {
+            for segment in &mut segments {
+                if let Segment::Hash(seg) = segment {
+                    seg.slots = seg
+                        .fields
+                        .iter()
+                        .map(|f| {
+                            prefetch.iter().position(|p| p == f).expect("field in union") as u16
+                        })
+                        .collect();
+                }
+            }
+        }
+        CompiledTable { rules, segments, prefetch, prefetched }
     }
 
     /// The index of the first matching rule for `pk`, exactly as
@@ -234,8 +283,30 @@ impl CompiledTable {
 
     /// [`lookup_index`](CompiledTable::lookup_index) against any field
     /// source — e.g. the simulator's zero-copy
-    /// [`LocatedView`](crate::LocatedView).
+    /// [`LocatedView`](crate::LocatedView). With the prefetch active,
+    /// every field any hash segment needs is read exactly once.
     pub fn lookup_index_on<R: FieldReader>(&self, pk: &R) -> Option<usize> {
+        // The cache (and its initialization cost) exists only on the
+        // prefetched path; single-segment tables go straight to
+        // per-segment reads.
+        if self.prefetched {
+            let mut cache = [None::<Value>; PREFETCH_CAP];
+            for (slot, &f) in self.prefetch.iter().enumerate() {
+                cache[slot] = pk.read(f);
+            }
+            self.walk_segments(pk, |seg| seg.fingerprint_cached(&cache))
+        } else {
+            self.walk_segments(pk, |seg| seg.fingerprint_of(pk))
+        }
+    }
+
+    /// The segment walk, generic over where hash fingerprints come from
+    /// (the prefetch cache or direct packet reads).
+    fn walk_segments<R: FieldReader>(
+        &self,
+        pk: &R,
+        fingerprint: impl Fn(&HashSegment) -> Option<u64>,
+    ) -> Option<usize> {
         for segment in &self.segments {
             match segment {
                 Segment::Scan { start, end } => {
@@ -244,7 +315,7 @@ impl CompiledTable {
                     }
                 }
                 Segment::Hash(seg) => {
-                    let Some(fp) = seg.fingerprint_of(pk) else { continue };
+                    let Some(fp) = fingerprint(seg) else { continue };
                     let Some(&candidate) = seg.map.get(&fp) else { continue };
                     if self.rules[candidate as usize].pattern.matches_on(pk) {
                         return Some(candidate as usize);
@@ -445,6 +516,31 @@ mod tests {
         let pk = Packet::new().with(Field::IpDst, 3);
         assert_eq!(table.compile().lookup_index(&pk), Some(8));
         assert_equivalent(&table, &pk);
+    }
+
+    #[test]
+    fn prefetch_activates_on_multi_segment_tables_and_agrees() {
+        // Two hash runs over different signatures plus a trailing
+        // wildcard: the prefetch union is {Vlan, IpDst}; packets hitting
+        // either run, missing one union field, or missing both must all
+        // resolve exactly as the linear reference does.
+        let mut rules: Vec<Rule> = (0..8).map(|h| exact(Field::IpDst, h, h)).collect();
+        rules.extend((0..8).map(|v| exact(Field::Vlan, v, v)));
+        rules.push(Rule::new(Match::new(), ActionSet::single(Action::assign(Field::Port, 9))));
+        let table = FlowTable::from_rules(rules);
+        for pk in [
+            Packet::new().with(Field::IpDst, 3),
+            Packet::new().with(Field::Vlan, 5),
+            Packet::new().with(Field::IpDst, 3).with(Field::Vlan, 5),
+            Packet::new().with(Field::TcpSrc, 1),
+            Packet::new(),
+        ] {
+            assert_equivalent(&table, &pk);
+        }
+        // Single-run tables skip the cache (nothing to share across
+        // segments) and still agree.
+        let single = FlowTable::from_rules((0..8).map(|h| exact(Field::IpDst, h, h)));
+        assert_equivalent(&single, &Packet::new().with(Field::IpDst, 2));
     }
 
     #[test]

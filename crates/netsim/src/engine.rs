@@ -1,22 +1,48 @@
 //! The discrete-event simulation engine.
 //!
-//! A single-threaded, fully deterministic event loop: events fire in
-//! `(time, insertion sequence)` order, so identical inputs give identical
-//! runs. The engine implements the *mechanics* of Fig. 7 — queues, links,
-//! host injection, controller message transport — and delegates all
-//! *behaviour* (forwarding, tagging, state) to a [`DataPlane`].
+//! A fully deterministic event loop: events fire in `(time, sequence)`
+//! order, so identical inputs give identical runs. The engine implements
+//! the *mechanics* of Fig. 7 — queues, links, host injection, controller
+//! message transport — and delegates all *behaviour* (forwarding, tagging,
+//! state) to a [`DataPlane`].
 //!
 //! Every processing step is recorded into an `edn-core`
 //! [`TraceBuilder`], so a finished run yields the network trace needed by
 //! the correctness checker.
+//!
+//! # The sequence key
+//!
+//! Timestamp ties are broken by a *per-entity* sequence: every event
+//! carries a 64-bit key packing `(creating entity, that entity's creation
+//! counter)`, where an entity is a switch, a host, the controller, or the
+//! pre-run environment (initial injections). The key is assigned when the
+//! event is created, from state local to the creating entity — which is
+//! what lets a sharded run (see [`crate::shard`]) compute the *same* keys
+//! on any number of threads and stay byte-identical to the
+//! single-threaded engine: an entity lives on exactly one shard, and each
+//! entity's dispatch sequence is independent of the sharding (induction
+//! over the global key order).
+//!
+//! # Sharding
+//!
+//! [`Engine::with_shards`] splits the topology into `K` shards (greedy
+//! BFS edge-cut, [`crate::shard::Partition`]), each with its own event
+//! queue, data-plane clone, packet arena, and trace recorder, run on `K`
+//! threads under conservative lookahead synchronization: shards advance
+//! through shared time windows no wider than the smallest cut-link
+//! latency (and the controller latency), so a cross-shard packet always
+//! lands in a strictly later window and no shard ever receives an event
+//! "in its past". [`Engine::finish`] merges the per-shard records back
+//! into the exact single-threaded global order.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use edn_core::{NetworkTrace, TraceBuilder, TraceMode};
 use netkat::{Loc, Packet, PacketId};
 
-use crate::logic::{CtrlMsg, DataPlane, HostLogic, PacketPath, StepResultId};
+use crate::logic::{BoxedHosts, CtrlMsg, DataPlane, PacketPath, StepResultId};
 use crate::queue::{EventQueue, QueueKind};
+use crate::shard::{self, Partition, Remote};
 use crate::stats::{Delivery, Drop, DropReason, Stats};
 use crate::time::SimTime;
 use crate::topology::{SimParams, SimTopology};
@@ -24,31 +50,114 @@ use crate::topology::{SimParams, SimTopology};
 /// Default payload size for injected packets (an Ethernet-ish frame).
 pub const DEFAULT_PACKET_SIZE: u32 = 1_500;
 
-/// Pending events carry [`PacketId`]s into the run's shared arena, never
+/// The dense entity id of the pre-run environment (initial injections).
+pub(crate) const ENV_ENTITY: u32 = 0;
+/// The dense entity id of the controller.
+pub(crate) const CTRL_ENTITY: u32 = 1;
+/// Bits of the packed sequence key reserved for the per-entity counter.
+const SEQ_SHIFT: u32 = 40;
+
+/// Packs `(entity, counter)` into the queue's 64-bit tie-break key.
+pub(crate) fn pack_seq(sender: u32, counter: u64) -> u64 {
+    debug_assert!(counter < 1 << SEQ_SHIFT, "per-entity event counter overflow");
+    ((sender as u64) << SEQ_SHIFT) | counter
+}
+
+/// An event's full ordering key: fire time plus the packed sequence.
+pub(crate) type EventKey = (SimTime, u64);
+
+/// Dense entity numbering: 0 = environment, 1 = controller, then every
+/// switch, then every host, in topology order — identical however the
+/// topology is later partitioned.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EntityMap {
+    map: HashMap<u64, u32, netkat::FxBuildHasher>,
+}
+
+impl EntityMap {
+    fn build(topo: &SimTopology) -> EntityMap {
+        let mut map: HashMap<u64, u32, netkat::FxBuildHasher> = HashMap::default();
+        let mut next = CTRL_ENTITY + 1;
+        // First occurrence wins: `SimTopology::new` tolerates duplicate
+        // switch entries, and the numbering must stay dense (counters are
+        // indexed by it) and identical across shard counts.
+        for &sw in topo.switches() {
+            map.entry(sw).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+        }
+        for (h, _) in topo.hosts() {
+            map.insert(h, next);
+            next += 1;
+        }
+        EntityMap { map }
+    }
+
+    /// The dense id of a switch or host.
+    pub(crate) fn dense(&self, node: u64) -> u32 {
+        self.map.get(&node).copied().expect("node is part of the topology")
+    }
+
+    /// Total entity count (environment and controller included).
+    fn len(&self) -> usize {
+        self.map.len() + 2
+    }
+}
+
+/// The trace parent of an arriving packet: a record of this shard, or a
+/// record of another shard (the egress record on the far side of a cut
+/// link).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Parent {
+    /// A record of this shard's trace.
+    Local(usize),
+    /// `(shard, local index)` of a record on another shard.
+    Remote(u32, u32),
+}
+
+impl Parent {
+    fn local(self) -> Option<usize> {
+        match self {
+            Parent::Local(i) => Some(i),
+            Parent::Remote(..) => None,
+        }
+    }
+}
+
+/// Pending events carry [`PacketId`]s into the owning shard's arena, never
 /// owned packets: forking an event (multicast) or recording it into the
 /// trace copies four bytes.
 #[derive(Clone, Debug)]
 enum EventKind {
-    /// A host pushes a packet onto its attachment link.
-    Inject { host: u64, packet: PacketId, size: u32 },
-    /// A packet arrives at a location (switch ingress or host).
-    Arrive { loc: Loc, packet: PacketId, size: u32, parent: Option<usize>, from_host: bool },
-    /// A switch-to-controller message arrives at the controller; `cause` is
-    /// the trace index of the packet processing step that produced it.
-    Notify { msg: CtrlMsg, cause: usize },
+    /// A host pushes a packet onto its attachment link. `sender` is the
+    /// host's dense entity id (events this dispatch creates are its);
+    /// `attach_sender` is the attachment switch's (stamped onto the
+    /// resulting arrival).
+    Inject { host: u64, packet: PacketId, size: u32, sender: u32, attach_sender: u32 },
+    /// A packet arrives at a location (switch ingress or host). `sender`
+    /// is the dense entity id of `loc.sw` (or of the host).
+    Arrive { loc: Loc, packet: PacketId, size: u32, parent: Parent, from_host: bool, sender: u32 },
+    /// A switch-to-controller message arrives at the controller; `cause`
+    /// is the `(shard, local trace index)` of the packet processing step
+    /// that produced it.
+    Notify { msg: CtrlMsg, cause: (u32, u32) },
     /// A controller command arrives at a switch.
     Deliver { sw: u64, msg: CtrlMsg },
 }
 
 /// What sits on the far side of an egress location — resolved once at
 /// construction, so the per-hop path pays **one** map probe instead of the
-/// former host-map probe plus link-map probe.
+/// former host-map probe plus link-map probe. Carries the destination
+/// entity's dense id so per-hop key assignment needs no further lookup.
 #[derive(Clone, Copy, Debug)]
 enum Egress {
-    /// A host is attached here.
-    Host(u64),
-    /// An inter-switch link (index into `topo.links()`) starts here.
-    Link(u32),
+    /// A host is attached here (`id`, dense entity).
+    Host(u64, u32),
+    /// An inter-switch link (index into `topo.links()`) starts here;
+    /// second field is the destination switch's dense entity.
+    Link(u32, u32),
 }
 
 /// The egress map probes once per output; [`Loc`]'s derived `Hash` feeds
@@ -63,8 +172,590 @@ pub struct RunResult<D> {
     pub trace: NetworkTrace,
     /// Deliveries, drops, and counters.
     pub stats: Stats,
-    /// The data plane, with whatever internal state it accumulated.
+    /// The data plane, with whatever internal state it accumulated. After
+    /// a sharded run this is the shard-0 instance with the other shards'
+    /// state folded back in via [`DataPlane::absorb_shard`].
     pub dataplane: D,
+}
+
+/// One shard's complete simulation state: the event queue, the data-plane
+/// instance covering its switches, its arena-backed trace recorder, and —
+/// in multi-shard mode — the key-tagged logs the final merge interleaves.
+/// A single-threaded engine is exactly one `Core` with `multi == false`.
+pub(crate) struct Core<D: DataPlane> {
+    pub(crate) me: u32,
+    multi: bool,
+    /// Record event keys for the trace merge? (`multi` and full tracing.)
+    record_full: bool,
+    pub(crate) topo: SimTopology,
+    params: SimParams,
+    pub(crate) dataplane: D,
+    hosts: BoxedHosts,
+    queue: EventQueue,
+    /// Slab of pending event payloads, indexed by the keys in `queue`.
+    slots: Vec<Option<EventKind>>,
+    /// Recycled slab slots.
+    free_slots: Vec<u32>,
+    now: SimTime,
+    /// The shard's trace recorder; it owns the [`PacketArena`]
+    /// (`netkat::PacketArena`) every in-flight packet of this shard is
+    /// interned in.
+    pub(crate) trace: TraceBuilder,
+    /// Which packet representation the data plane is driven through.
+    packet_path: PacketPath,
+    pub(crate) stats: Stats,
+    /// What each egress location leads to (host or link), resolved once at
+    /// construction.
+    egress: EgressMap,
+    /// Per-link transmission backlog, indexed like `topo.links()`: when the
+    /// link is next free. Only this shard's links advance.
+    link_free: Vec<SimTime>,
+    /// Injected failures, indexed like `topo.links()`.
+    pub(crate) fail_at: Vec<Option<SimTime>>,
+    /// Dense entity numbering (identical on every shard).
+    entities: EntityMap,
+    /// Per-entity creation counters; only entities owned by this shard
+    /// ever advance.
+    counters: Vec<u64>,
+    /// Reused per-hop step buffer (see
+    /// [`DataPlane::process_arena_into`]).
+    step_buf: StepResultId,
+    /// Trace indices whose processing sent something to the controller
+    /// (single-shard mode only; sharded runs log and replay instead).
+    ctrl_causes: Vec<usize>,
+    /// Per switch: how many of `ctrl_causes` have been delivered to it.
+    ctrl_delivered: HashMap<u64, usize>,
+    /// Per switch: how many of `ctrl_causes` are already linked.
+    ctrl_linked: HashMap<u64, usize>,
+    /// Shard ownership of switches and hosts (multi-shard mode).
+    owners: Option<Partition>,
+    /// Cross-shard events created this window, per target shard.
+    pub(crate) outbox: Vec<Vec<Remote>>,
+    /// Per dispatched event that recorded anything: `(key, record count)`.
+    /// The merge replays these to rebuild the global record order.
+    pub(crate) record_runs: Vec<(EventKey, u32)>,
+    /// Records whose trace parent lives on another shard.
+    pub(crate) remote_parents: Vec<(u32, (u32, u32))>,
+    /// The key of every delivery in `stats.deliveries`, for the merge.
+    pub(crate) delivery_keys: Vec<EventKey>,
+    /// The key of every drop in `stats.drops`, for the merge.
+    pub(crate) drop_keys: Vec<EventKey>,
+    /// Controller-shard log of Notify dispatches: `(key, cause)`.
+    pub(crate) notify_log: Vec<(EventKey, (u32, u32))>,
+    /// Log of Deliver dispatches: `(key, switch)`.
+    pub(crate) deliver_log: Vec<(EventKey, u64)>,
+    /// First switch step after one or more delivers: `(key, switch,
+    /// local ingress index)` — where causal linking happens.
+    pub(crate) link_markers: Vec<(EventKey, u64, u32)>,
+    /// Switches with a dispatched-but-unlinked controller delivery.
+    pending_deliver: HashSet<u64, netkat::FxBuildHasher>,
+}
+
+impl<D: DataPlane> Core<D> {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        topo: SimTopology,
+        params: SimParams,
+        dataplane: D,
+        hosts: BoxedHosts,
+        queue: QueueKind,
+        mode: TraceMode,
+        packet_path: PacketPath,
+        me: u32,
+        shards: u32,
+        owners: Option<Partition>,
+    ) -> Core<D> {
+        let entities = EntityMap::build(&topo);
+        let mut egress = EgressMap::default();
+        for (i, l) in topo.links().iter().enumerate() {
+            egress.insert(l.src, Egress::Link(i as u32, entities.dense(l.dst.sw)));
+        }
+        for (h, loc) in topo.hosts() {
+            egress.insert(loc, Egress::Host(h, entities.dense(h)));
+        }
+        let n_links = topo.links().len();
+        let n_entities = entities.len();
+        let multi = shards > 1;
+        Core {
+            me,
+            multi,
+            record_full: multi && mode == TraceMode::Full,
+            topo,
+            params,
+            dataplane,
+            hosts,
+            queue: EventQueue::new(queue),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            now: SimTime::ZERO,
+            trace: TraceBuilder::with_mode(mode),
+            packet_path,
+            stats: Stats::default(),
+            egress,
+            link_free: vec![SimTime::ZERO; n_links],
+            fail_at: vec![None; n_links],
+            entities,
+            counters: vec![0; n_entities],
+            step_buf: StepResultId::default(),
+            ctrl_causes: Vec::new(),
+            ctrl_delivered: HashMap::new(),
+            ctrl_linked: HashMap::new(),
+            owners,
+            outbox: vec![Vec::new(); shards as usize],
+            record_runs: Vec::new(),
+            remote_parents: Vec::new(),
+            delivery_keys: Vec::new(),
+            drop_keys: Vec::new(),
+            notify_log: Vec::new(),
+            deliver_log: Vec::new(),
+            link_markers: Vec::new(),
+            pending_deliver: HashSet::default(),
+        }
+    }
+
+    fn next_seq(&mut self, sender: u32) -> u64 {
+        let counter = &mut self.counters[sender as usize];
+        let seq = pack_seq(sender, *counter);
+        *counter += 1;
+        seq
+    }
+
+    fn push_keyed(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                self.slots.push(Some(kind));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.queue.push((time, seq, slot));
+    }
+
+    /// The shard owning `node`, defaulting to shard 0 for nodes outside
+    /// the topology (which never receive packets).
+    fn owner_of(&self, node: u64) -> u32 {
+        match &self.owners {
+            Some(p) => p.owner_of(node).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// The earliest pending fire time in microseconds (`u64::MAX` when
+    /// idle) — the windowed scheduler's per-round report.
+    pub(crate) fn next_time_us(&mut self) -> u64 {
+        match self.queue.pop() {
+            Some(key) => {
+                let t = key.0.as_micros();
+                self.queue.push(key);
+                t
+            }
+            None => u64::MAX,
+        }
+    }
+
+    /// Accepts a cross-shard event into the local queue (between windows).
+    pub(crate) fn receive(&mut self, msg: Remote) {
+        match msg {
+            Remote::Arrive { time, seq, loc, packet, size, parent, sender } => {
+                let packet = self.trace.arena_mut().intern(packet);
+                self.push_keyed(
+                    time,
+                    seq,
+                    EventKind::Arrive {
+                        loc,
+                        packet,
+                        size,
+                        parent: Parent::Remote(parent.0, parent.1),
+                        from_host: false,
+                        sender,
+                    },
+                );
+            }
+            Remote::Notify { time, seq, msg, cause } => {
+                self.push_keyed(time, seq, EventKind::Notify { msg, cause });
+            }
+            Remote::Deliver { time, seq, sw, msg } => {
+                self.push_keyed(time, seq, EventKind::Deliver { sw, msg });
+            }
+        }
+    }
+
+    /// Hands this window's cross-shard events to the target inboxes.
+    pub(crate) fn flush_outbox(&mut self, inboxes: &[std::sync::Mutex<Vec<Remote>>]) {
+        for (target, pending) in self.outbox.iter_mut().enumerate() {
+            if !pending.is_empty() {
+                inboxes[target].lock().expect("inbox lock poisoned").append(pending);
+            }
+        }
+    }
+
+    /// Runs the solo event loop until the queue empties or `deadline`
+    /// passes (inclusive).
+    fn run_solo(&mut self, deadline: SimTime) {
+        while let Some(key) = self.queue.pop() {
+            let (time, seq, slot) = key;
+            if time > deadline {
+                // Past the horizon: keep the event pending (same key, so
+                // the order is unchanged) for a later `run` call.
+                self.queue.push(key);
+                break;
+            }
+            let kind = self.slots[slot as usize].take().expect("queued slots are filled");
+            self.free_slots.push(slot);
+            self.now = time;
+            self.dispatch((time, seq), kind);
+        }
+    }
+
+    /// Runs local events with fire time strictly below `horizon_us` — one
+    /// conservative synchronization window.
+    pub(crate) fn run_window(&mut self, horizon_us: u64) {
+        while let Some(key) = self.queue.pop() {
+            let (time, seq, slot) = key;
+            if time.as_micros() >= horizon_us {
+                self.queue.push(key);
+                break;
+            }
+            let kind = self.slots[slot as usize].take().expect("queued slots are filled");
+            self.free_slots.push(slot);
+            self.now = time;
+            self.dispatch((time, seq), kind);
+        }
+    }
+
+    fn dispatch(&mut self, key: EventKey, kind: EventKind) {
+        self.stats.events_processed += 1;
+        let before = self.trace.len();
+        self.dispatch_inner(key, kind);
+        if self.record_full {
+            let n = self.trace.len() - before;
+            if n > 0 {
+                self.record_runs.push((key, n as u32));
+            }
+        }
+    }
+
+    /// Appends a trace record, routing a cross-shard parent into the
+    /// merge-time side list.
+    fn push_record(&mut self, packet: PacketId, loc: Loc, parent: Parent) -> usize {
+        let idx = self.trace.push_id(packet, loc, parent.local());
+        if let Parent::Remote(s, i) = parent {
+            if self.record_full {
+                self.remote_parents.push((idx as u32, (s, i)));
+            }
+        }
+        idx
+    }
+
+    fn push_drop(&mut self, key: EventKey, drop: Drop) {
+        self.stats.drops.push(drop);
+        if self.multi {
+            self.drop_keys.push(key);
+        }
+    }
+
+    fn dispatch_inner(&mut self, key: EventKey, kind: EventKind) {
+        match kind {
+            EventKind::Inject { host, packet, size, sender, attach_sender } => {
+                let Some(attach) = self.topo.attachment(host) else { return };
+                self.stats.injected += 1;
+                let idx = self.trace.push_id(packet, Loc::new(host, 0), None);
+                // Host attachment links are uncontended.
+                let arrival = self.now + self.topo.host_latency;
+                let seq = self.next_seq(sender);
+                self.push_keyed(
+                    arrival,
+                    seq,
+                    EventKind::Arrive {
+                        loc: attach,
+                        packet,
+                        size,
+                        parent: Parent::Local(idx),
+                        from_host: true,
+                        sender: attach_sender,
+                    },
+                );
+            }
+            EventKind::Arrive { loc, packet, size, parent, from_host, sender } => {
+                if self.topo.is_host(loc.sw) {
+                    self.push_record(packet, loc, parent);
+                    let pk = self.trace.arena().get(packet);
+                    self.stats.deliveries.push(Delivery {
+                        time: self.now,
+                        host: loc.sw,
+                        packet: pk.clone(),
+                        size,
+                    });
+                    if self.multi {
+                        self.delivery_keys.push(key);
+                    }
+                    let host = loc.sw;
+                    let replies = self.hosts.on_receive(host, pk, self.now);
+                    if !replies.is_empty() {
+                        let attach =
+                            self.topo.attachment(host).expect("delivered hosts are attached");
+                        let attach_sender = self.entities.dense(attach.sw);
+                        for (delay, reply, rsize) in replies {
+                            let t = self.now + delay;
+                            let reply = self.trace.arena_mut().intern(reply);
+                            let seq = self.next_seq(sender);
+                            self.push_keyed(
+                                t,
+                                seq,
+                                EventKind::Inject {
+                                    host,
+                                    packet: reply,
+                                    size: rsize,
+                                    sender,
+                                    attach_sender,
+                                },
+                            );
+                        }
+                    }
+                    return;
+                }
+                self.switch_step(key, loc, packet, size, parent, from_host, sender);
+            }
+            EventKind::Notify { msg, cause } => {
+                // Controller knowledge is cumulative: record the cause
+                // before computing deliveries. Sharded runs log the
+                // dispatch for the merge-time causality replay instead.
+                if self.multi {
+                    if self.record_full {
+                        self.notify_log.push((key, cause));
+                    }
+                } else {
+                    self.ctrl_causes.push(cause.1 as usize);
+                }
+                for (delay, sw, out) in self.dataplane.on_notify(msg, self.now) {
+                    let t = self.now + self.params.controller_latency + delay;
+                    let seq = self.next_seq(CTRL_ENTITY);
+                    let target = self.owner_of(sw);
+                    if target == self.me {
+                        self.push_keyed(t, seq, EventKind::Deliver { sw, msg: out });
+                    } else {
+                        self.outbox[target as usize].push(Remote::Deliver {
+                            time: t,
+                            seq,
+                            sw,
+                            msg: out,
+                        });
+                    }
+                }
+            }
+            EventKind::Deliver { sw, msg } => {
+                // Everything the controller has heard up to now becomes a
+                // causal ancestor of this switch's subsequent processing.
+                if self.multi {
+                    if self.record_full {
+                        self.deliver_log.push((key, sw));
+                        self.pending_deliver.insert(sw);
+                    }
+                } else {
+                    self.ctrl_delivered.insert(sw, self.ctrl_causes.len());
+                }
+                self.dataplane.deliver(sw, msg, self.now);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn switch_step(
+        &mut self,
+        key: EventKey,
+        loc: Loc,
+        packet: PacketId,
+        size: u32,
+        parent: Parent,
+        from_host: bool,
+        sender: u32,
+    ) {
+        let ingress_idx = self.push_record(packet, loc, parent);
+        // Knowledge delivered by the controller happens-before this step.
+        if self.multi {
+            if self.record_full && self.pending_deliver.remove(&loc.sw) {
+                self.link_markers.push((key, loc.sw, ingress_idx as u32));
+            }
+        } else {
+            let delivered = self.ctrl_delivered.get(&loc.sw).copied().unwrap_or(0);
+            let linked = self.ctrl_linked.entry(loc.sw).or_insert(0);
+            for &cause in &self.ctrl_causes[*linked..delivered] {
+                if cause < ingress_idx {
+                    self.trace.add_causal_edge(cause, ingress_idx);
+                }
+            }
+            *linked = (*linked).max(delivered);
+        }
+        // The data plane sees either the interned id (arena path) or an
+        // owned resolution of it (the reference path); both end in ids,
+        // written into the engine's reused step buffer.
+        let mut out = std::mem::take(&mut self.step_buf);
+        match self.packet_path {
+            PacketPath::Arena => {
+                self.dataplane.process_arena_into(
+                    loc.sw,
+                    loc.pt,
+                    packet,
+                    from_host,
+                    self.now,
+                    self.trace.arena_mut(),
+                    &mut out,
+                );
+            }
+            PacketPath::Owned => {
+                let owned = self.trace.arena().get(packet).clone();
+                let r = self.dataplane.process(loc.sw, loc.pt, owned, from_host, self.now);
+                let arena = self.trace.arena_mut();
+                out.clear();
+                out.outputs.extend(r.outputs.into_iter().map(|(pt, pk)| (pt, arena.intern(pk))));
+                out.notifications.extend(r.notifications);
+            }
+        }
+        for msg in out.notifications.drain(..) {
+            let t = self.now + self.params.controller_latency;
+            let seq = self.next_seq(sender);
+            let cause = (self.me, ingress_idx as u32);
+            // The controller lives on shard 0.
+            if self.me == 0 {
+                self.push_keyed(t, seq, EventKind::Notify { msg, cause });
+            } else {
+                self.outbox[0].push(Remote::Notify { time: t, seq, msg, cause });
+            }
+        }
+        if out.outputs.is_empty() {
+            self.trace.mark_terminated(ingress_idx);
+            self.push_drop(
+                key,
+                Drop {
+                    time: self.now,
+                    switch: loc.sw,
+                    packet: self.trace.arena().get(packet).clone(),
+                    reason: DropReason::NoRule,
+                },
+            );
+            self.step_buf = out;
+            return;
+        }
+        let depart = self.now + self.params.switch_delay;
+        for i in 0..out.outputs.len() {
+            let (out_pt, out_pkt) = out.outputs[i];
+            let out_loc = Loc::new(loc.sw, out_pt);
+            let egress_idx = self.push_record(out_pkt, out_loc, Parent::Local(ingress_idx));
+            let (link_idx, dst_dense) = match self.egress.get(&out_loc) {
+                // Host delivery?
+                Some(&Egress::Host(host, host_dense)) => {
+                    let t = depart + self.topo.host_latency;
+                    let seq = self.next_seq(sender);
+                    self.push_keyed(
+                        t,
+                        seq,
+                        EventKind::Arrive {
+                            loc: Loc::new(host, 0),
+                            packet: out_pkt,
+                            size,
+                            parent: Parent::Local(egress_idx),
+                            from_host: false,
+                            sender: host_dense,
+                        },
+                    );
+                    continue;
+                }
+                // Inter-switch link.
+                Some(&Egress::Link(i, dense)) => (i as usize, dense),
+                // Nothing attached here.
+                None => {
+                    self.trace.mark_terminated(egress_idx);
+                    self.push_drop(
+                        key,
+                        Drop {
+                            time: depart,
+                            switch: loc.sw,
+                            packet: self.trace.arena().get(out_pkt).clone(),
+                            reason: DropReason::DeadEnd,
+                        },
+                    );
+                    continue;
+                }
+            };
+            let link = self.topo.links()[link_idx];
+            // Injected failure? Like queue losses, failure drops are left
+            // unterminated in the trace: the abstract configuration has no
+            // notion of a dead link, so the packet reads as in flight.
+            if self.fail_at[link_idx].is_some_and(|t| depart >= t) {
+                self.push_drop(
+                    key,
+                    Drop {
+                        time: depart,
+                        switch: loc.sw,
+                        packet: self.trace.arena().get(out_pkt).clone(),
+                        reason: DropReason::LinkDown,
+                    },
+                );
+                continue;
+            }
+            let arrival = match link.capacity {
+                None => depart + link.latency,
+                Some(bps) => {
+                    let free = &mut self.link_free[link_idx];
+                    let start = (*free).max(depart);
+                    // Tail drop when the backlog exceeds the queue bound.
+                    // Queue losses are *not* marked terminated in the trace:
+                    // the abstract configuration relation has lossless
+                    // links, so a queue drop reads as a packet forever in
+                    // flight (a prefix), not as forwarding misbehaviour.
+                    if start.saturating_sub(depart) > self.params.max_queue_delay {
+                        self.push_drop(
+                            key,
+                            Drop {
+                                time: depart,
+                                switch: loc.sw,
+                                packet: self.trace.arena().get(out_pkt).clone(),
+                                reason: DropReason::QueueFull,
+                            },
+                        );
+                        continue;
+                    }
+                    let wire = size as u64 + self.params.header_overhead as u64;
+                    let tx = SimTime::from_micros((wire * 1_000_000).div_ceil(bps));
+                    *free = start + tx;
+                    start + tx + link.latency
+                }
+            };
+            let seq = self.next_seq(sender);
+            let target = self.owner_of(link.dst.sw);
+            if target == self.me {
+                self.push_keyed(
+                    arrival,
+                    seq,
+                    EventKind::Arrive {
+                        loc: link.dst,
+                        packet: out_pkt,
+                        size,
+                        parent: Parent::Local(egress_idx),
+                        from_host: false,
+                        sender: dst_dense,
+                    },
+                );
+            } else {
+                // Crossing a cut link: the packet itself travels (the
+                // receiving shard re-interns it into its own arena).
+                self.outbox[target as usize].push(Remote::Arrive {
+                    time: arrival,
+                    seq,
+                    loc: link.dst,
+                    packet: self.trace.arena().get(out_pkt).clone(),
+                    size,
+                    parent: (self.me, egress_idx as u32),
+                    sender: dst_dense,
+                });
+            }
+        }
+        out.clear();
+        self.step_buf = out;
+    }
 }
 
 /// The discrete-event simulator.
@@ -73,42 +764,17 @@ pub struct RunResult<D> {
 ///
 /// See the crate-level documentation for a complete run.
 pub struct Engine<D: DataPlane> {
-    topo: SimTopology,
-    params: SimParams,
-    dataplane: D,
-    hosts: Box<dyn HostLogic>,
-    queue: EventQueue,
-    /// Slab of pending event payloads, indexed by the keys in `queue`.
-    slots: Vec<Option<EventKind>>,
-    /// Recycled slab slots.
-    free_slots: Vec<u32>,
-    seq: u64,
-    now: SimTime,
-    /// The run's trace recorder; it owns the [`PacketArena`] every
-    /// in-flight packet of this run is interned in.
-    trace: TraceBuilder,
-    /// Which packet representation the data plane is driven through.
-    packet_path: PacketPath,
-    stats: Stats,
-    /// What each egress location leads to (host or link), resolved once at
-    /// construction (the topology is immutable), so the hot path never
-    /// scans the link list or probes two maps.
-    egress: EgressMap,
-    /// Per-link transmission backlog, indexed like `topo.links()`: when the
-    /// link is next free.
-    link_free: Vec<SimTime>,
-    /// Trace indices whose processing sent something to the controller.
-    /// Controller knowledge is cumulative, so a controller→switch delivery
-    /// causally descends from all of them.
-    ctrl_causes: Vec<usize>,
-    /// Per switch: how many of `ctrl_causes` have been delivered to it
-    /// (pending happens-before linkage at its next processing step).
-    ctrl_delivered: HashMap<u64, usize>,
-    /// Per switch: how many of `ctrl_causes` are already linked.
-    ctrl_linked: HashMap<u64, usize>,
-    /// Injected failures, indexed like `topo.links()`: the instant from
-    /// which the link drops everything (`None` = healthy forever).
-    fail_at: Vec<Option<SimTime>>,
+    pub(crate) cores: Vec<Core<D>>,
+    entities: EntityMap,
+    /// Creation counter of the environment entity (initial injections).
+    env_seq: u64,
+    /// Has `run` been called yet? Sharding is resolved at the first run.
+    started: bool,
+    /// Per-shard data-plane clones and host forks prepared by
+    /// [`with_shards`](Engine::with_shards), consumed at the first run.
+    prepared: Option<Vec<(D, BoxedHosts)>>,
+    pub(crate) partition: Option<Partition>,
+    lookahead: SimTime,
 }
 
 impl<D: DataPlane> Engine<D> {
@@ -118,46 +784,30 @@ impl<D: DataPlane> Engine<D> {
     /// from the environment (`EDN_QUEUE`, `EDN_TRACE`, `EDN_PACKETS`); pin
     /// them with [`with_queue`](Engine::with_queue),
     /// [`with_trace_mode`](Engine::with_trace_mode), and
-    /// [`with_packet_path`](Engine::with_packet_path).
-    pub fn new(
-        topo: SimTopology,
-        params: SimParams,
-        dataplane: D,
-        hosts: Box<dyn HostLogic>,
-    ) -> Engine<D> {
-        // Dense per-link state, resolved once: the topology never changes
-        // after construction, so packet forwarding can index links instead
-        // of hashing `(Loc, Loc)` tuples or scanning the link list. Hosts
-        // are inserted after links so a host attachment shadows a link
-        // sharing its switch-side location (matching the old probe order:
-        // host first).
-        let mut egress = EgressMap::default();
-        for (i, l) in topo.links().iter().enumerate() {
-            egress.insert(l.src, Egress::Link(i as u32));
-        }
-        for (h, loc) in topo.hosts() {
-            egress.insert(loc, Egress::Host(h));
-        }
-        let n_links = topo.links().len();
-        Engine {
+    /// [`with_packet_path`](Engine::with_packet_path). The engine starts
+    /// single-threaded; see [`with_shards`](Engine::with_shards).
+    pub fn new(topo: SimTopology, params: SimParams, dataplane: D, hosts: BoxedHosts) -> Engine<D> {
+        let entities = EntityMap::build(&topo);
+        let core = Core::build(
             topo,
             params,
             dataplane,
             hosts,
-            queue: EventQueue::new(QueueKind::from_env()),
-            slots: Vec::new(),
-            free_slots: Vec::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-            trace: TraceBuilder::with_mode(TraceMode::from_env()),
-            packet_path: PacketPath::from_env(),
-            stats: Stats::default(),
-            egress,
-            link_free: vec![SimTime::ZERO; n_links],
-            ctrl_causes: Vec::new(),
-            ctrl_delivered: HashMap::new(),
-            ctrl_linked: HashMap::new(),
-            fail_at: vec![None; n_links],
+            QueueKind::from_env(),
+            TraceMode::from_env(),
+            PacketPath::from_env(),
+            0,
+            1,
+            None,
+        );
+        Engine {
+            cores: vec![core],
+            entities,
+            env_seq: 0,
+            started: false,
+            prepared: None,
+            partition: None,
+            lookahead: SimTime::ZERO,
         }
     }
 
@@ -165,7 +815,9 @@ impl<D: DataPlane> Engine<D> {
     /// events (pop order is a total order on the key, so the carrier never
     /// affects a run).
     pub fn with_queue(mut self, kind: QueueKind) -> Engine<D> {
-        self.queue.change_kind(kind);
+        for core in &mut self.cores {
+            core.queue.change_kind(kind);
+        }
         self
     }
 
@@ -176,30 +828,85 @@ impl<D: DataPlane> Engine<D> {
     /// Panics if any event has already been scheduled (the mode governs a
     /// whole run).
     pub fn with_trace_mode(mut self, mode: TraceMode) -> Engine<D> {
-        assert!(self.seq == 0, "set the trace mode before scheduling events");
-        self.trace = TraceBuilder::with_mode(mode);
+        assert!(self.env_seq == 0, "set the trace mode before scheduling events");
+        for core in &mut self.cores {
+            core.trace = TraceBuilder::with_mode(mode);
+            core.record_full = core.multi && mode == TraceMode::Full;
+        }
         self
     }
 
     /// Sets the packet representation driven through the data plane.
     pub fn with_packet_path(mut self, path: PacketPath) -> Engine<D> {
-        self.packet_path = path;
+        for core in &mut self.cores {
+            core.packet_path = path;
+        }
         self
+    }
+
+    /// Requests a sharded run: the topology is partitioned into `k`
+    /// shards ([`Partition`]), each with its own event queue, data-plane
+    /// clone, arena, and trace recorder, executed on `k` threads under
+    /// conservative lookahead synchronization. Results — `Stats` and
+    /// traces — are **byte-identical** to the single-threaded engine (the
+    /// plumbing-equivalence differential suite pins this).
+    ///
+    /// `k` is clamped to the switch count. The engine silently falls back
+    /// to single-threaded execution when the host logic cannot be forked
+    /// ([`HostLogic::fork`](crate::HostLogic::fork) returns `None`) or
+    /// the partition admits no positive lookahead (a zero-latency cut
+    /// link with a zero controller latency); results are identical either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started.
+    pub fn with_shards(mut self, k: u32) -> Engine<D>
+    where
+        D: Clone + Send,
+    {
+        assert!(!self.started, "set the shard count before running");
+        let max = self.cores[0].topo.switches().len().max(1) as u32;
+        let k = k.clamp(1, max);
+        self.prepared = None;
+        if k <= 1 {
+            return self;
+        }
+        let mut extras = Vec::with_capacity(k as usize - 1);
+        for _ in 1..k {
+            let Some(hosts) = self.cores[0].hosts.fork() else {
+                return self; // unforkable hosts: stay single-threaded
+            };
+            extras.push((self.cores[0].dataplane.clone(), hosts));
+        }
+        self.prepared = Some(extras);
+        self
+    }
+
+    /// The number of shards this engine will run with (after clamping;
+    /// before the first run this is the requested count, which may still
+    /// fall back to 1 if the partition admits no lookahead).
+    pub fn shards(&self) -> u32 {
+        if self.cores.len() > 1 {
+            self.cores.len() as u32
+        } else {
+            self.prepared.as_ref().map_or(1, |e| e.len() as u32 + 1)
+        }
     }
 
     /// The event-queue implementation in use.
     pub fn queue_kind(&self) -> QueueKind {
-        self.queue.kind()
+        self.cores[0].queue.kind()
     }
 
     /// The trace recording mode in use.
     pub fn trace_mode(&self) -> TraceMode {
-        self.trace.mode()
+        self.cores[0].trace.mode()
     }
 
     /// The packet representation in use.
     pub fn packet_path(&self) -> PacketPath {
-        self.packet_path
+        self.cores[0].packet_path
     }
 
     /// Injects a failure: the directed link `src → dst` drops every packet
@@ -207,9 +914,11 @@ impl<D: DataPlane> Engine<D> {
     /// scenarios and robustness tests). Failing a link the topology does not
     /// have is a no-op (no packet can ever traverse it).
     pub fn fail_link_at(&mut self, time: SimTime, src: Loc, dst: Loc) {
-        let Some(i) = self.topo.link_index(src, dst) else { return };
-        let at = self.fail_at[i].get_or_insert(time);
-        *at = (*at).min(time);
+        let Some(i) = self.cores[0].topo.link_index(src, dst) else { return };
+        for core in &mut self.cores {
+            let at = core.fail_at[i].get_or_insert(time);
+            *at = (*at).min(time);
+        }
     }
 
     /// Injects a bidirectional failure at `time`.
@@ -218,9 +927,9 @@ impl<D: DataPlane> Engine<D> {
         self.fail_link_at(time, b, a);
     }
 
-    /// The current simulated time.
+    /// The current simulated time (the maximum over shards).
     pub fn now(&self) -> SimTime {
-        self.now
+        self.cores.iter().map(|c| c.now).max().unwrap_or(SimTime::ZERO)
     }
 
     /// Schedules a host to inject a packet of the default size at `time`.
@@ -234,17 +943,29 @@ impl<D: DataPlane> Engine<D> {
     ///
     /// Panics if `host` is not a host of the topology.
     pub fn inject_sized(&mut self, time: SimTime, host: u64, packet: Packet, size: u32) {
-        assert!(self.topo.is_host(host), "node {host} is not a host");
-        let packet = self.trace.arena_mut().intern(packet);
-        self.push(time, EventKind::Inject { host, packet, size });
+        assert!(self.cores[0].topo.is_host(host), "node {host} is not a host");
+        let sender = self.entities.dense(host);
+        let attach = self.cores[0].topo.attachment(host).expect("hosts are attached");
+        let attach_sender = self.entities.dense(attach.sw);
+        let idx = if self.cores.len() > 1 {
+            self.partition.as_ref().and_then(|p| p.owner_of(host)).unwrap_or(0) as usize
+        } else {
+            0
+        };
+        let seq = pack_seq(ENV_ENTITY, self.env_seq);
+        self.env_seq += 1;
+        let core = &mut self.cores[idx];
+        let packet = core.trace.arena_mut().intern(packet);
+        core.push_keyed(time, seq, EventKind::Inject { host, packet, size, sender, attach_sender });
     }
 
     /// Pre-sizes the event slab and queue for `extra` upcoming events —
     /// call before streaming a bulk injection whose iterator cannot report
     /// its length (e.g. a `flat_map` over flows).
     pub fn reserve_events(&mut self, extra: usize) {
-        self.queue.reserve(extra);
-        self.slots.reserve(extra.saturating_sub(self.free_slots.len()));
+        let core = &mut self.cores[0];
+        core.queue.reserve(extra);
+        core.slots.reserve(extra.saturating_sub(core.free_slots.len()));
     }
 
     /// Schedules a whole batch of host injections `(time, host, packet,
@@ -270,20 +991,72 @@ impl<D: DataPlane> Engine<D> {
         }
     }
 
-    fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        let slot = match self.free_slots.pop() {
-            Some(slot) => {
-                self.slots[slot as usize] = Some(kind);
-                slot
-            }
-            None => {
-                self.slots.push(Some(kind));
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.queue.push((time, seq, slot));
+    /// Resolves a pending [`with_shards`](Engine::with_shards) request:
+    /// partitions the topology, builds the extra cores, and redistributes
+    /// the already-scheduled injections to their owning shards.
+    fn ensure_sharded(&mut self) {
+        if self.started {
+            return;
+        }
+        let Some(extras) = self.prepared.take() else { return };
+        let requested = extras.len() as u32 + 1;
+        let part = Partition::compute(&self.cores[0].topo, requested);
+        let lookahead = part.lookahead(&self.cores[0].topo, &self.cores[0].params);
+        let k = part.shard_count();
+        if k <= 1 || lookahead == SimTime::ZERO {
+            return; // no usable partition: stay single-threaded
+        }
+        self.lookahead = lookahead;
+        let queue = self.cores[0].queue.kind();
+        let mode = self.cores[0].trace.mode();
+        let path = self.cores[0].packet_path;
+        let fail_at = self.cores[0].fail_at.clone();
+        for (i, (dataplane, hosts)) in extras.into_iter().take(k as usize - 1).enumerate() {
+            let mut core = Core::build(
+                self.cores[0].topo.clone(),
+                self.cores[0].params,
+                dataplane,
+                hosts,
+                queue,
+                mode,
+                path,
+                i as u32 + 1,
+                k,
+                Some(part.clone()),
+            );
+            core.fail_at.clone_from(&fail_at);
+            self.cores.push(core);
+        }
+        {
+            let core0 = &mut self.cores[0];
+            core0.multi = true;
+            core0.record_full = mode == TraceMode::Full;
+            core0.owners = Some(part.clone());
+            core0.outbox = vec![Vec::new(); k as usize];
+        }
+        // Redistribute the pending injections to their owning shards,
+        // keeping their keys (and therefore the global order) intact.
+        let mut moved = Vec::new();
+        while let Some((time, seq, slot)) = self.cores[0].queue.pop() {
+            let kind = self.cores[0].slots[slot as usize].take().expect("queued slots are filled");
+            self.cores[0].free_slots.push(slot);
+            moved.push((time, seq, kind));
+        }
+        for (time, seq, kind) in moved {
+            let EventKind::Inject { host, packet, size, sender, attach_sender } = kind else {
+                unreachable!("only injections are scheduled before a run")
+            };
+            let owner = part.owner_of(host).unwrap_or(0) as usize;
+            let pk = self.cores[0].trace.arena().get(packet).clone();
+            let core = &mut self.cores[owner];
+            let packet = core.trace.arena_mut().intern(pk);
+            core.push_keyed(
+                time,
+                seq,
+                EventKind::Inject { host, packet, size, sender, attach_sender },
+            );
+        }
+        self.partition = Some(part);
     }
 
     /// Runs the event loop until the queue empties or `deadline` passes.
@@ -293,237 +1066,45 @@ impl<D: DataPlane> Engine<D> {
     /// the network trace from the arena) is the separate
     /// [`finish`](Engine::finish) step; [`run_until`](Engine::run_until)
     /// does both.
-    pub fn run(&mut self, deadline: SimTime) {
-        while let Some(key) = self.queue.pop() {
-            let (time, _, slot) = key;
-            if time > deadline {
-                // Past the horizon: keep the event pending (same key, so
-                // the order is unchanged) for a later `run` call.
-                self.queue.push(key);
-                break;
-            }
-            let kind = self.slots[slot as usize].take().expect("queued slots are filled");
-            self.free_slots.push(slot);
-            self.now = time;
-            self.dispatch(kind);
+    pub fn run(&mut self, deadline: SimTime)
+    where
+        D: Send,
+    {
+        self.ensure_sharded();
+        self.started = true;
+        if self.cores.len() == 1 {
+            self.cores[0].run_solo(deadline);
+        } else {
+            shard::run_multi(&mut self.cores, self.lookahead, deadline);
         }
     }
 
     /// Finalizes a run: resolves the recorded trace (empty under
     /// [`TraceMode::StatsOnly`]) and hands back statistics and the data
-    /// plane.
-    pub fn finish(self) -> RunResult<D> {
-        RunResult {
-            trace: self.trace.build().expect("engine-built traces are structurally valid"),
-            stats: self.stats,
-            dataplane: self.dataplane,
+    /// plane. Sharded runs merge the per-shard records back into the
+    /// exact single-threaded global order here.
+    pub fn finish(mut self) -> RunResult<D> {
+        if self.cores.len() == 1 {
+            let core = self.cores.pop().expect("engines have a core");
+            RunResult {
+                trace: core.trace.build().expect("engine-built traces are structurally valid"),
+                stats: core.stats,
+                dataplane: core.dataplane,
+            }
+        } else {
+            let part = self.partition.as_ref().expect("sharded engines have a partition");
+            shard::merge(self.cores, part)
         }
     }
 
     /// Runs until the event queue empties or `deadline` passes, then returns
     /// the trace, statistics, and data plane.
-    pub fn run_until(mut self, deadline: SimTime) -> RunResult<D> {
+    pub fn run_until(mut self, deadline: SimTime) -> RunResult<D>
+    where
+        D: Send,
+    {
         self.run(deadline);
         self.finish()
-    }
-
-    fn dispatch(&mut self, kind: EventKind) {
-        self.stats.events_processed += 1;
-        match kind {
-            EventKind::Inject { host, packet, size } => {
-                let Some(attach) = self.topo.attachment(host) else { return };
-                self.stats.injected += 1;
-                let idx = self.trace.push_id(packet, Loc::new(host, 0), None);
-                // Host attachment links are uncontended.
-                let arrival = self.now + self.topo.host_latency;
-                self.push(
-                    arrival,
-                    EventKind::Arrive {
-                        loc: attach,
-                        packet,
-                        size,
-                        parent: Some(idx),
-                        from_host: true,
-                    },
-                );
-            }
-            EventKind::Arrive { loc, packet, size, parent, from_host } => {
-                if self.topo.is_host(loc.sw) {
-                    self.trace.push_id(packet, loc, parent);
-                    let pk = self.trace.arena().get(packet);
-                    self.stats.deliveries.push(Delivery {
-                        time: self.now,
-                        host: loc.sw,
-                        packet: pk.clone(),
-                        size,
-                    });
-                    let host = loc.sw;
-                    let replies = self.hosts.on_receive(host, pk, self.now);
-                    for (delay, reply, rsize) in replies {
-                        let t = self.now + delay;
-                        let reply = self.trace.arena_mut().intern(reply);
-                        self.push(t, EventKind::Inject { host, packet: reply, size: rsize });
-                    }
-                    return;
-                }
-                self.switch_step(loc, packet, size, parent, from_host);
-            }
-            EventKind::Notify { msg, cause } => {
-                // Controller knowledge is cumulative: record the cause
-                // before computing deliveries.
-                self.ctrl_causes.push(cause);
-                for (delay, sw, out) in self.dataplane.on_notify(msg, self.now) {
-                    let t = self.now + self.params.controller_latency + delay;
-                    self.push(t, EventKind::Deliver { sw, msg: out });
-                }
-            }
-            EventKind::Deliver { sw, msg } => {
-                // Everything the controller has heard up to now becomes a
-                // causal ancestor of this switch's subsequent processing.
-                self.ctrl_delivered.insert(sw, self.ctrl_causes.len());
-                self.dataplane.deliver(sw, msg, self.now);
-            }
-        }
-    }
-
-    fn switch_step(
-        &mut self,
-        loc: Loc,
-        packet: PacketId,
-        size: u32,
-        parent: Option<usize>,
-        from_host: bool,
-    ) {
-        let ingress_idx = self.trace.push_id(packet, loc, parent);
-        // Knowledge delivered by the controller happens-before this step.
-        let delivered = self.ctrl_delivered.get(&loc.sw).copied().unwrap_or(0);
-        let linked = self.ctrl_linked.entry(loc.sw).or_insert(0);
-        for &cause in &self.ctrl_causes[*linked..delivered] {
-            if cause < ingress_idx {
-                self.trace.add_causal_edge(cause, ingress_idx);
-            }
-        }
-        *linked = (*linked).max(delivered);
-        // The data plane sees either the interned id (arena path) or an
-        // owned resolution of it (the reference path); both end in ids.
-        let result: StepResultId = match self.packet_path {
-            PacketPath::Arena => self.dataplane.process_arena(
-                loc.sw,
-                loc.pt,
-                packet,
-                from_host,
-                self.now,
-                self.trace.arena_mut(),
-            ),
-            PacketPath::Owned => {
-                let owned = self.trace.arena().get(packet).clone();
-                let r = self.dataplane.process(loc.sw, loc.pt, owned, from_host, self.now);
-                let arena = self.trace.arena_mut();
-                StepResultId {
-                    outputs: r.outputs.into_iter().map(|(pt, pk)| (pt, arena.intern(pk))).collect(),
-                    notifications: r.notifications,
-                }
-            }
-        };
-        for msg in result.notifications {
-            self.push(
-                self.now + self.params.controller_latency,
-                EventKind::Notify { msg, cause: ingress_idx },
-            );
-        }
-        if result.outputs.is_empty() {
-            self.trace.mark_terminated(ingress_idx);
-            self.stats.drops.push(Drop {
-                time: self.now,
-                switch: loc.sw,
-                packet: self.trace.arena().get(packet).clone(),
-                reason: DropReason::NoRule,
-            });
-            return;
-        }
-        let depart = self.now + self.params.switch_delay;
-        for (out_pt, out_pkt) in result.outputs {
-            let out_loc = Loc::new(loc.sw, out_pt);
-            let egress_idx = self.trace.push_id(out_pkt, out_loc, Some(ingress_idx));
-            let link_idx = match self.egress.get(&out_loc) {
-                // Host delivery?
-                Some(&Egress::Host(host)) => {
-                    let t = depart + self.topo.host_latency;
-                    self.push(
-                        t,
-                        EventKind::Arrive {
-                            loc: Loc::new(host, 0),
-                            packet: out_pkt,
-                            size,
-                            parent: Some(egress_idx),
-                            from_host: false,
-                        },
-                    );
-                    continue;
-                }
-                // Inter-switch link.
-                Some(&Egress::Link(i)) => i as usize,
-                // Nothing attached here.
-                None => {
-                    self.trace.mark_terminated(egress_idx);
-                    self.stats.drops.push(Drop {
-                        time: depart,
-                        switch: loc.sw,
-                        packet: self.trace.arena().get(out_pkt).clone(),
-                        reason: DropReason::DeadEnd,
-                    });
-                    continue;
-                }
-            };
-            let link = self.topo.links()[link_idx];
-            // Injected failure? Like queue losses, failure drops are left
-            // unterminated in the trace: the abstract configuration has no
-            // notion of a dead link, so the packet reads as in flight.
-            if self.fail_at[link_idx].is_some_and(|t| depart >= t) {
-                self.stats.drops.push(Drop {
-                    time: depart,
-                    switch: loc.sw,
-                    packet: self.trace.arena().get(out_pkt).clone(),
-                    reason: DropReason::LinkDown,
-                });
-                continue;
-            }
-            let arrival = match link.capacity {
-                None => depart + link.latency,
-                Some(bps) => {
-                    let free = &mut self.link_free[link_idx];
-                    let start = (*free).max(depart);
-                    // Tail drop when the backlog exceeds the queue bound.
-                    // Queue losses are *not* marked terminated in the trace:
-                    // the abstract configuration relation has lossless
-                    // links, so a queue drop reads as a packet forever in
-                    // flight (a prefix), not as forwarding misbehaviour.
-                    if start.saturating_sub(depart) > self.params.max_queue_delay {
-                        self.stats.drops.push(Drop {
-                            time: depart,
-                            switch: loc.sw,
-                            packet: self.trace.arena().get(out_pkt).clone(),
-                            reason: DropReason::QueueFull,
-                        });
-                        continue;
-                    }
-                    let wire = size as u64 + self.params.header_overhead as u64;
-                    let tx = SimTime::from_micros((wire * 1_000_000).div_ceil(bps));
-                    *free = start + tx;
-                    start + tx + link.latency
-                }
-            };
-            self.push(
-                arrival,
-                EventKind::Arrive {
-                    loc: link.dst,
-                    packet: out_pkt,
-                    size,
-                    parent: Some(egress_idx),
-                    from_host: false,
-                },
-            );
-        }
     }
 }
 
@@ -562,6 +1143,7 @@ mod tests {
     }
 
     /// A data plane delivering to the local host port.
+    #[derive(Clone)]
     struct ToHostPort(u64);
 
     impl DataPlane for ToHostPort {
@@ -574,31 +1156,22 @@ mod tests {
         fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
     }
 
+    #[derive(Clone)]
+    struct PerSwitch;
+    impl DataPlane for PerSwitch {
+        fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            StepResult::forward(if sw == 1 { 1 } else { 2 }, packet)
+        }
+        fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+            Vec::new()
+        }
+        fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+    }
+
     #[test]
     fn packet_crosses_network_and_trace_records_hops() {
         // Switch 1 forwards out port 1 (to switch 2); switch 2 forwards out
-        // port 1... that bounces back. Use ToHostPort(2) on one switch
-        // instead: inject at 100, switch 1 sends to port 2 = host 100? No:
-        // forward out port 1 crosses to switch 2, which forwards out port 2
-        // to host 200. Model that with port = 1 at sw1 and 2 at sw2 by
-        // making the data plane depend on the switch.
-        struct PerSwitch;
-        impl DataPlane for PerSwitch {
-            fn process(
-                &mut self,
-                sw: u64,
-                _: u64,
-                packet: Packet,
-                _: bool,
-                _: SimTime,
-            ) -> StepResult {
-                StepResult::forward(if sw == 1 { 1 } else { 2 }, packet)
-            }
-            fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
-                Vec::new()
-            }
-            fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
-        }
+        // port 2 (to host 200).
         let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts));
         e.inject_at(SimTime::ZERO, 100, Packet::new().with(Field::IpDst, 200));
         let r = e.run_until(SimTime::from_secs(1));
@@ -639,23 +1212,6 @@ mod tests {
             .host(100, Loc::new(1, 2))
             .host(200, Loc::new(2, 2))
             .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), Some(125_000));
-        struct PerSwitch;
-        impl DataPlane for PerSwitch {
-            fn process(
-                &mut self,
-                sw: u64,
-                _: u64,
-                packet: Packet,
-                _: bool,
-                _: SimTime,
-            ) -> StepResult {
-                StepResult::forward(if sw == 1 { 1 } else { 2 }, packet)
-            }
-            fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
-                Vec::new()
-            }
-            fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
-        }
         let mut e = Engine::new(topo, SimParams::default(), PerSwitch, Box::new(SinkHosts));
         // Offer 100 packets instantly; 50 ms of queue at 12 ms/packet ≈ 4-5
         // packets in flight; the rest tail-drop.
@@ -768,9 +1324,121 @@ mod tests {
     }
 
     #[test]
+    fn sharded_runs_match_solo_byte_for_byte() {
+        // A two-switch topology partitioned across two shards: every
+        // packet crosses the cut, and the results must not change.
+        let run = |shards: u32, mode: TraceMode| {
+            let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+                .with_trace_mode(mode)
+                .with_shards(shards);
+            for i in 0..20 {
+                // Two same-time injections per millisecond from both ends:
+                // cross-shard timestamp ties on every hop.
+                e.inject_at(SimTime::from_millis(i), 100, Packet::new().with(Field::Vlan, i));
+                e.inject_at(SimTime::from_millis(i), 200, Packet::new().with(Field::Vlan, i));
+            }
+            e.run(SimTime::from_secs(1));
+            // The multi-threaded path must actually have engaged — a
+            // silent fallback would make this test vacuous.
+            assert_eq!(e.shards(), shards, "sharding did not engage");
+            let r = e.finish();
+            (r.trace, r.stats)
+        };
+        let (solo_trace, solo_stats) = run(1, TraceMode::Full);
+        assert!(!solo_trace.is_empty());
+        let (sharded_trace, sharded_stats) = run(2, TraceMode::Full);
+        assert_eq!(sharded_stats, solo_stats);
+        assert_eq!(sharded_trace, solo_trace);
+        let (empty, stats_only) = run(2, TraceMode::StatsOnly);
+        assert_eq!(stats_only, solo_stats);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sharded_run_can_resume_across_deadlines() {
+        let split = |shards: u32, d1: u64| {
+            let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+                .with_shards(shards);
+            for i in 0..10 {
+                e.inject_at(SimTime::from_millis(i), 100, Packet::new().with(Field::Vlan, i));
+            }
+            e.run(SimTime::from_millis(d1));
+            e.run(SimTime::from_secs(1));
+            let r = e.finish();
+            (r.trace, r.stats)
+        };
+        let whole = split(1, 1_000_000);
+        for d1 in [0, 3, 5] {
+            assert_eq!(split(2, d1), whole, "sharded resume diverged at split {d1}ms");
+        }
+    }
+
+    #[test]
+    fn duplicate_switch_entries_do_not_break_entity_numbering() {
+        // `SimTopology::new` accepts duplicate switch ids; the dense
+        // entity numbering must dedup them or the per-entity counter
+        // array comes up short and the first dispatch panics.
+        let topo = SimTopology::new([1, 2, 2, 1])
+            .host(100, Loc::new(1, 2))
+            .host(200, Loc::new(2, 2))
+            .bilink(Loc::new(1, 1), Loc::new(2, 1), SimTime::from_micros(50), None);
+        let mut e = Engine::new(topo, SimParams::default(), PerSwitch, Box::new(SinkHosts));
+        e.inject_at(SimTime::ZERO, 100, Packet::new());
+        let r = e.run_until(SimTime::from_secs(1));
+        assert_eq!(r.stats.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_clamps_and_reports() {
+        let e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+            .with_shards(64);
+        assert_eq!(e.shards(), 2, "clamped to the switch count");
+        let e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts));
+        assert_eq!(e.shards(), 1);
+    }
+
+    #[test]
+    fn unforkable_hosts_fall_back_to_solo() {
+        struct Opaque;
+        impl crate::HostLogic for Opaque {
+            fn on_receive(
+                &mut self,
+                _: u64,
+                _: &Packet,
+                _: SimTime,
+            ) -> Vec<(SimTime, Packet, u32)> {
+                Vec::new()
+            }
+        }
+        let mut e =
+            Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(Opaque)).with_shards(2);
+        assert_eq!(e.shards(), 1, "unforkable hosts must not shard");
+        e.inject_at(SimTime::ZERO, 100, Packet::new());
+        let r = e.run_until(SimTime::from_secs(1));
+        assert_eq!(r.stats.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn sharded_failure_injection_matches_solo() {
+        let run = |shards: u32| {
+            let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+                .with_shards(shards);
+            e.fail_link_at(SimTime::from_millis(10), Loc::new(1, 1), Loc::new(2, 1));
+            e.inject_at(SimTime::from_millis(1), 100, Packet::new()); // healthy
+            e.inject_at(SimTime::from_millis(20), 100, Packet::new()); // dead
+            let r = e.run_until(SimTime::from_secs(1));
+            (r.trace, r.stats)
+        };
+        assert_eq!(run(2), run(1));
+        let (_, stats) = run(2);
+        assert_eq!(stats.deliveries.len(), 1);
+        assert_eq!(stats.drop_count(Some(DropReason::LinkDown)), 1);
+    }
+
+    #[test]
     fn host_replies_are_injected() {
         struct Echo;
-        impl HostLogic for Echo {
+        impl crate::HostLogic for Echo {
             fn on_receive(
                 &mut self,
                 _: u64,

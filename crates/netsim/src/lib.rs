@@ -42,6 +42,7 @@
 mod engine;
 mod logic;
 mod queue;
+mod shard;
 mod stats;
 mod time;
 mod topology;
@@ -50,10 +51,12 @@ pub mod traffic;
 pub use edn_core::TraceMode;
 pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
 pub use logic::{
-    table_outputs, CtrlMsg, DataPlane, HostLogic, PacketPath, SinkHosts, StepResult, StepResultId,
+    table_outputs, BoxedHosts, CtrlMsg, DataPlane, HostLogic, PacketPath, SinkHosts, StepResult,
+    StepResultId,
 };
 pub use netkat::{PacketArena, PacketId};
 pub use queue::QueueKind;
+pub use shard::{shard_count_from_env, Partition};
 pub use stats::{Delivery, Drop, DropReason, Stats};
 pub use time::SimTime;
 pub use topology::{LinkSpec, SimParams, SimTopology};

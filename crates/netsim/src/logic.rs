@@ -90,6 +90,15 @@ pub struct StepResultId {
     pub notifications: Vec<CtrlMsg>,
 }
 
+impl StepResultId {
+    /// Empties both lists, keeping their allocations — callers reusing a
+    /// step buffer across hops clear it through this.
+    pub fn clear(&mut self) {
+        self.outputs.clear();
+        self.notifications.clear();
+    }
+}
+
 /// Converts a flow-table application result into switch outputs — the
 /// engine's per-packet egress convention, shared by every table-driven
 /// [`DataPlane`]: each output packet leaves on the port its actions wrote
@@ -156,13 +165,56 @@ pub trait DataPlane {
         }
     }
 
+    /// [`process_arena`](DataPlane::process_arena) with the result written
+    /// into a caller-owned buffer instead of a fresh allocation — the
+    /// engine's per-hop path, which reuses one [`StepResultId`] for the
+    /// whole run so steady-state hops never allocate an output vector.
+    ///
+    /// `out` is cleared first; on return it holds exactly what
+    /// [`process_arena`](DataPlane::process_arena) would have returned.
+    /// The default implementation bridges through it; hot planes override
+    /// both with one shared native implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn process_arena_into(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+        out: &mut StepResultId,
+    ) {
+        *out = self.process_arena(sw, pt, packet, from_host, now, arena);
+    }
+
     /// The controller received `msg`; returns commands to deliver to
     /// switches as `(extra delay, switch, message)`.
     fn on_notify(&mut self, msg: CtrlMsg, now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)>;
 
     /// A controller command arrives at a switch.
     fn deliver(&mut self, sw: u64, msg: CtrlMsg, now: SimTime);
+
+    /// Folds the state of another instance of this plane back into `self`
+    /// after a sharded run: `other` processed exactly the switches in
+    /// `owned`, so per-switch state merges losslessly. The default keeps
+    /// `self` unchanged, which is correct for stateless planes.
+    ///
+    /// Aggregate logs with no per-switch owner (e.g. a global fire log)
+    /// should merge deterministically (by timestamp); they are *not*
+    /// required to reproduce the single-threaded interleaving — only
+    /// [`Stats`](crate::Stats) and traces carry that guarantee.
+    fn absorb_shard(&mut self, other: Self, owned: &[u64])
+    where
+        Self: Sized,
+    {
+        let _ = (other, owned);
+    }
 }
+
+/// A boxed host behaviour, as the engine owns it. `Send` so sharded runs
+/// can move per-shard host logic onto worker threads.
+pub type BoxedHosts = Box<dyn HostLogic + Send>;
 
 /// What a host does when a packet reaches it.
 pub trait HostLogic {
@@ -174,6 +226,18 @@ pub trait HostLogic {
         packet: &Packet,
         now: SimTime,
     ) -> Vec<(SimTime, Packet, u32)>;
+
+    /// Produces an independent copy for one shard of a sharded run, or
+    /// `None` if this logic cannot be split (the engine then falls back to
+    /// single-threaded execution — results are identical either way, only
+    /// wall-clock differs).
+    ///
+    /// Splitting is sound whenever the logic keeps no state shared
+    /// *between* hosts: a sharded run partitions hosts across shards, so
+    /// each host's `on_receive` sequence lands entirely on one copy.
+    fn fork(&self) -> Option<BoxedHosts> {
+        None
+    }
 }
 
 /// A host logic that only consumes packets.
@@ -183,6 +247,10 @@ pub struct SinkHosts;
 impl HostLogic for SinkHosts {
     fn on_receive(&mut self, _: u64, _: &Packet, _: SimTime) -> Vec<(SimTime, Packet, u32)> {
         Vec::new()
+    }
+
+    fn fork(&self) -> Option<BoxedHosts> {
+        Some(Box::new(SinkHosts))
     }
 }
 

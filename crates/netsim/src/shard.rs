@@ -1,0 +1,480 @@
+//! Sharded multi-core execution: topology partitioning, conservative
+//! lookahead synchronization, and the deterministic merge.
+//!
+//! # Partitioning
+//!
+//! [`Partition::compute`] splits a [`SimTopology`] into `K` shards by
+//! greedy BFS region growing over the switch adjacency: shards are grown
+//! to near-equal switch counts from the smallest unassigned switch id, so
+//! the result is deterministic and tends to keep neighbouring switches
+//! (and therefore hot links) together. Hosts belong to the shard of their
+//! attachment switch, so host traffic never crosses shards.
+//!
+//! # Conservative synchronization
+//!
+//! The cut links between shards give a natural *lookahead* bound: a
+//! packet leaving shard A towards shard B needs at least the cut link's
+//! propagation latency to get there, and a controller message at least
+//! the controller latency. Shards therefore advance in lock-step windows
+//! `[T, T + W)` where `T` is the earliest pending event anywhere and `W`
+//! is the minimum over all cut-link latencies and the controller latency
+//! (Chandy–Misra–Bryant-style null-message-free conservative sync, in the
+//! barrier/window form). Every cross-shard event created inside a window
+//! fires at or after the *next* window, so it can be exchanged at the
+//! barrier without ever arriving in a shard's past — no speculation, no
+//! rollback.
+//!
+//! # Determinism
+//!
+//! Events are keyed `(time, sender entity, per-entity counter)` (see the
+//! engine module docs): keys are assigned at creation from state local to
+//! the creating entity, so a K-shard run assigns exactly the keys the
+//! single-threaded run does. Each shard dispatches its own events in key
+//! order, and [`merge`] interleaves the per-shard record/delivery/drop
+//! streams by *stream-head key order* — which reproduces the one global
+//! queue's pop order exactly (each shard's stream is its restriction of
+//! the global order, and the global queue always pops the minimum over
+//! the per-shard stream heads). Controller causality (`extra_edges`) is
+//! replayed at merge time from key-tagged notify/deliver/link logs. The
+//! result: `Stats` and full traces byte-identical to `EDN_SHARDS=1`,
+//! pinned by `tests/plumbing_equivalence.rs`.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use edn_core::{LocatedPacket, NetworkTrace, TraceMode};
+use netkat::{Loc, Packet};
+
+use crate::engine::{Core, EventKey, RunResult};
+use crate::logic::{CtrlMsg, DataPlane};
+use crate::stats::Stats;
+use crate::time::SimTime;
+use crate::topology::{SimParams, SimTopology};
+
+/// Reads the default shard count from the `EDN_SHARDS` environment
+/// variable; unset means 1 (single-threaded).
+///
+/// # Panics
+///
+/// Panics if `EDN_SHARDS` is set to anything but a positive integer.
+pub fn shard_count_from_env() -> u32 {
+    match std::env::var("EDN_SHARDS") {
+        Ok(v) => match v.parse::<u32>() {
+            Ok(k) if k >= 1 => k,
+            _ => panic!("EDN_SHARDS must be a positive integer, got {v:?}"),
+        },
+        Err(_) => 1,
+    }
+}
+
+/// A deterministic K-way split of a topology: per-shard switch/host
+/// ownership plus the cut (cross-shard) links.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Switch *and* host → owning shard.
+    owner: HashMap<u64, u32, netkat::FxBuildHasher>,
+    /// Switches per shard, in assignment order.
+    members: Vec<Vec<u64>>,
+    /// Indices into `topo.links()` whose endpoints live on different
+    /// shards.
+    cut_links: Vec<u32>,
+}
+
+impl Partition {
+    /// Partitions `topo` into (at most) `shards` shards by greedy BFS
+    /// region growing. The shard count is clamped to the switch count;
+    /// `shards <= 1` yields the identity partition (everything on shard
+    /// 0, no cut links).
+    pub fn compute(topo: &SimTopology, shards: u32) -> Partition {
+        let mut switches: Vec<u64> = topo.switches().to_vec();
+        switches.sort_unstable();
+        switches.dedup();
+        let n = switches.len();
+        let k = (shards.max(1) as usize).min(n.max(1));
+        let adj = topo.switch_adjacency();
+        let mut owner: HashMap<u64, u32, netkat::FxBuildHasher> = HashMap::default();
+        let mut members = vec![Vec::new(); k];
+        let mut unassigned: BTreeSet<u64> = switches.iter().copied().collect();
+        let mut assigned = 0usize;
+        for (s, shard) in members.iter_mut().enumerate() {
+            let target = (n - assigned).div_ceil(k - s);
+            let mut frontier: VecDeque<u64> = VecDeque::new();
+            while shard.len() < target {
+                let sw = match frontier.pop_front() {
+                    Some(sw) if unassigned.contains(&sw) => sw,
+                    Some(_) => continue,
+                    // Fresh seed: the smallest unassigned switch (also
+                    // covers disconnected components).
+                    None => match unassigned.iter().next() {
+                        Some(&sw) => sw,
+                        None => break,
+                    },
+                };
+                unassigned.remove(&sw);
+                owner.insert(sw, s as u32);
+                shard.push(sw);
+                assigned += 1;
+                if let Some(ports) = adj.get(&sw) {
+                    for &(_, nb) in ports {
+                        if unassigned.contains(&nb) {
+                            frontier.push_back(nb);
+                        }
+                    }
+                }
+            }
+        }
+        for (h, loc) in topo.hosts() {
+            let o = owner.get(&loc.sw).copied().unwrap_or(0);
+            owner.insert(h, o);
+        }
+        let cut_links = topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| owner.get(&l.src.sw) != owner.get(&l.dst.sw))
+            .map(|(i, _)| i as u32)
+            .collect();
+        Partition { owner, members, cut_links }
+    }
+
+    /// The number of shards (after clamping).
+    pub fn shard_count(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// The shard owning a switch or host, or `None` for unknown nodes.
+    pub fn owner_of(&self, node: u64) -> Option<u32> {
+        self.owner.get(&node).copied()
+    }
+
+    /// The switches owned by `shard`, in assignment order.
+    pub fn members(&self, shard: u32) -> &[u64] {
+        &self.members[shard as usize]
+    }
+
+    /// Indices (into `topo.links()`) of the links crossing shards.
+    pub fn cut_links(&self) -> &[u32] {
+        &self.cut_links
+    }
+
+    /// The conservative synchronization window: the minimum over every
+    /// cut link's latency and the controller latency. A zero lookahead
+    /// means the partition cannot be run concurrently (the engine falls
+    /// back to single-threaded execution).
+    pub fn lookahead(&self, topo: &SimTopology, params: &SimParams) -> SimTime {
+        let mut w = params.controller_latency;
+        for &i in &self.cut_links {
+            w = w.min(topo.links()[i as usize].latency);
+        }
+        w
+    }
+}
+
+/// A cross-shard event, exchanged at window barriers. Keys are assigned
+/// by the *creating* shard, so receiving shards enqueue without any
+/// renumbering.
+#[derive(Clone, Debug)]
+pub(crate) enum Remote {
+    /// A packet crossing a cut link. `parent` is the `(shard, local
+    /// index)` of the egress trace record on the sending side.
+    Arrive {
+        time: SimTime,
+        seq: u64,
+        loc: Loc,
+        packet: Packet,
+        size: u32,
+        parent: (u32, u32),
+        sender: u32,
+    },
+    /// A switch notification travelling to the controller shard.
+    Notify { time: SimTime, seq: u64, msg: CtrlMsg, cause: (u32, u32) },
+    /// A controller command travelling to a switch's shard.
+    Deliver { time: SimTime, seq: u64, sw: u64, msg: CtrlMsg },
+}
+
+/// Shared per-run synchronization state.
+struct SyncCtx {
+    barrier: Barrier,
+    /// Each shard's earliest pending fire time (µs), `u64::MAX` when idle.
+    next: Vec<AtomicU64>,
+    /// Cross-shard events awaiting pickup, per target shard.
+    inboxes: Vec<Mutex<Vec<Remote>>>,
+    lookahead_us: u64,
+    deadline_us: u64,
+}
+
+/// Runs `cores` to completion (or `deadline`) in lock-step lookahead
+/// windows on one thread per shard (shard 0 runs on the caller's thread).
+pub(crate) fn run_multi<D: DataPlane + Send>(
+    cores: &mut [Core<D>],
+    lookahead: SimTime,
+    deadline: SimTime,
+) {
+    let k = cores.len();
+    let ctx = SyncCtx {
+        barrier: Barrier::new(k),
+        next: (0..k).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        inboxes: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        lookahead_us: lookahead.as_micros().max(1),
+        deadline_us: deadline.as_micros(),
+    };
+    std::thread::scope(|s| {
+        let mut rest = cores.iter_mut();
+        let first = rest.next().expect("at least one shard");
+        for core in rest {
+            let ctx = &ctx;
+            s.spawn(move || worker(core, ctx));
+        }
+        worker(first, &ctx);
+    });
+}
+
+/// One shard's round loop: drain inbox → report earliest pending →
+/// barrier → agree on the window → process it → flush outboxes → barrier.
+/// Every shard computes the same window bounds from the same shared
+/// reports, so all shards break out of the loop in the same round.
+fn worker<D: DataPlane>(core: &mut Core<D>, ctx: &SyncCtx) {
+    let me = core.me as usize;
+    loop {
+        let inbound = std::mem::take(&mut *ctx.inboxes[me].lock().expect("inbox lock poisoned"));
+        for msg in inbound {
+            core.receive(msg);
+        }
+        ctx.next[me].store(core.next_time_us(), Ordering::SeqCst);
+        ctx.barrier.wait();
+        let t = ctx.next.iter().map(|a| a.load(Ordering::SeqCst)).min().expect("shards exist");
+        if t == u64::MAX || t > ctx.deadline_us {
+            // Done (or past the horizon): inboxes are empty — everything
+            // sent last round was drained above, and nothing ran since.
+            break;
+        }
+        let horizon = t.saturating_add(ctx.lookahead_us).min(ctx.deadline_us.saturating_add(1));
+        core.run_window(horizon);
+        core.flush_outbox(&ctx.inboxes);
+        ctx.barrier.wait();
+    }
+}
+
+/// Drains per-shard `(key, payload)` streams in stream-head key order —
+/// the global dispatch order (see the module docs) — calling
+/// `f(stream index, payload)` for each element.
+fn drain_streams<T>(streams: Vec<Vec<(EventKey, T)>>, mut f: impl FnMut(usize, T)) {
+    let mut iters: Vec<_> = streams.into_iter().map(|v| v.into_iter().peekable()).collect();
+    let mut heap: BinaryHeap<Reverse<(EventKey, usize)>> = BinaryHeap::new();
+    for (s, it) in iters.iter_mut().enumerate() {
+        if let Some(&(key, _)) = it.peek() {
+            heap.push(Reverse((key, s)));
+        }
+    }
+    while let Some(Reverse((_, s))) = heap.pop() {
+        let (_, payload) = iters[s].next().expect("peeked head exists");
+        f(s, payload);
+        if let Some(&(key, _)) = iters[s].peek() {
+            heap.push(Reverse((key, s)));
+        }
+    }
+}
+
+/// One step of the merge-time controller-causality replay.
+enum CtrlOp {
+    /// A Notify dispatch: `(shard, local index)` of the causing step.
+    Notify((u32, u32)),
+    /// A Deliver dispatch at a switch.
+    Deliver(u64),
+    /// The first switch step after one or more delivers: `(switch, shard,
+    /// local ingress index)`.
+    Marker(u64, u32, u32),
+}
+
+/// Merges the per-shard recordings of a finished sharded run back into
+/// the single global sequence the solo engine would have produced.
+pub(crate) fn merge<D: DataPlane>(cores: Vec<Core<D>>, part: &Partition) -> RunResult<D> {
+    let mut stats = Stats::default();
+    let mut planes = Vec::with_capacity(cores.len());
+    let mut parts = Vec::with_capacity(cores.len());
+    let mut record_runs = Vec::with_capacity(cores.len());
+    let mut remote_parents = Vec::with_capacity(cores.len());
+    let mut delivery_streams = Vec::with_capacity(cores.len());
+    let mut drop_streams = Vec::with_capacity(cores.len());
+    let mut ctrl_streams: Vec<Vec<(EventKey, CtrlOp)>> = Vec::new();
+    for core in cores {
+        stats.injected += core.stats.injected;
+        stats.events_processed += core.stats.events_processed;
+        debug_assert_eq!(core.stats.deliveries.len(), core.delivery_keys.len());
+        debug_assert_eq!(core.stats.drops.len(), core.drop_keys.len());
+        delivery_streams
+            .push(core.delivery_keys.into_iter().zip(core.stats.deliveries).collect::<Vec<_>>());
+        drop_streams.push(core.drop_keys.into_iter().zip(core.stats.drops).collect::<Vec<_>>());
+        let me = core.me;
+        ctrl_streams
+            .push(core.notify_log.into_iter().map(|(k, c)| (k, CtrlOp::Notify(c))).collect());
+        ctrl_streams
+            .push(core.deliver_log.into_iter().map(|(k, sw)| (k, CtrlOp::Deliver(sw))).collect());
+        ctrl_streams.push(
+            core.link_markers
+                .into_iter()
+                .map(|(k, sw, li)| (k, CtrlOp::Marker(sw, me, li)))
+                .collect(),
+        );
+        record_runs.push(core.record_runs);
+        remote_parents.push(core.remote_parents);
+        planes.push(core.dataplane);
+        parts.push(core.trace.into_parts());
+    }
+    drain_streams(delivery_streams, |_, d| stats.deliveries.push(d));
+    drain_streams(drop_streams, |_, d| stats.drops.push(d));
+
+    let trace = if parts[0].mode == TraceMode::Full {
+        // Rebuild the global record order from the per-event run tags,
+        // resolving each shard's packet ids in its own arena.
+        let total: usize = parts.iter().map(|p| p.records.len()).sum();
+        let mut packets: Vec<LocatedPacket> = Vec::with_capacity(total);
+        let mut global_of: Vec<Vec<usize>> =
+            parts.iter().map(|p| vec![usize::MAX; p.records.len()]).collect();
+        let mut taken = vec![0usize; parts.len()];
+        drain_streams(record_runs, |s, count| {
+            for _ in 0..count {
+                let li = taken[s];
+                taken[s] += 1;
+                let (pid, loc) = parts[s].records[li];
+                global_of[s][li] = packets.len();
+                packets.push(LocatedPacket::new(parts[s].arena.get(pid).clone(), loc));
+            }
+        });
+        debug_assert_eq!(packets.len(), total, "every record belongs to a tagged event");
+        let mut parents: Vec<Option<usize>> = vec![None; total];
+        for (s, p) in parts.iter().enumerate() {
+            for (li, par) in p.parents.iter().enumerate() {
+                if let Some(pi) = par {
+                    parents[global_of[s][li]] = Some(global_of[s][*pi]);
+                }
+            }
+        }
+        for (s, list) in remote_parents.iter().enumerate() {
+            for &(li, (rs, ri)) in list {
+                parents[global_of[s][li as usize]] = Some(global_of[rs as usize][ri as usize]);
+            }
+        }
+        let mut terminated = BTreeSet::new();
+        for (s, p) in parts.iter().enumerate() {
+            for &i in &p.terminated {
+                if i < p.records.len() {
+                    terminated.insert(global_of[s][i]);
+                }
+            }
+        }
+        // Replay the controller-causality bookkeeping in global order:
+        // notifies accumulate causes, delivers snapshot the cause count
+        // per switch, and the first step after a deliver links the new
+        // causes — exactly the solo engine's in-line logic.
+        let mut causes: Vec<usize> = Vec::new();
+        let mut delivered: HashMap<u64, usize> = HashMap::new();
+        let mut linked: HashMap<u64, usize> = HashMap::new();
+        let mut extra_edges: Vec<(usize, usize)> = Vec::new();
+        drain_streams(ctrl_streams, |_, op| match op {
+            CtrlOp::Notify((s, i)) => causes.push(global_of[s as usize][i as usize]),
+            CtrlOp::Deliver(sw) => {
+                delivered.insert(sw, causes.len());
+            }
+            CtrlOp::Marker(sw, s, li) => {
+                let d = delivered.get(&sw).copied().unwrap_or(0);
+                let l = linked.entry(sw).or_insert(0);
+                let ingress = global_of[s as usize][li as usize];
+                for &cause in &causes[*l..d] {
+                    if cause < ingress {
+                        extra_edges.push((cause, ingress));
+                    }
+                }
+                *l = (*l).max(d);
+            }
+        });
+        NetworkTrace::from_forest(packets, &parents, terminated, extra_edges)
+    } else {
+        NetworkTrace::default()
+    };
+
+    let mut planes = planes.into_iter();
+    let mut dataplane = planes.next().expect("at least one shard");
+    for (i, other) in planes.enumerate() {
+        dataplane.absorb_shard(other, part.members(i as u32 + 1));
+    }
+    RunResult { trace, stats, dataplane }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkSpec, SimTopology};
+
+    fn chain(n: u64) -> SimTopology {
+        let lat = SimTime::from_micros(10);
+        let mut topo = SimTopology::new(1..=n);
+        for i in 1..n {
+            topo = topo.bilink(Loc::new(i, 1), Loc::new(i + 1, 2), lat, None);
+        }
+        topo.host(100, Loc::new(1, 3)).host(200, Loc::new(n, 3))
+    }
+
+    #[test]
+    fn identity_partition_has_no_cuts() {
+        let topo = chain(5);
+        let p = Partition::compute(&topo, 1);
+        assert_eq!(p.shard_count(), 1);
+        assert!(p.cut_links().is_empty());
+        for sw in 1..=5 {
+            assert_eq!(p.owner_of(sw), Some(0));
+        }
+        assert_eq!(p.owner_of(100), Some(0));
+    }
+
+    #[test]
+    fn chain_splits_into_contiguous_halves() {
+        let topo = chain(6);
+        let p = Partition::compute(&topo, 2);
+        assert_eq!(p.shard_count(), 2);
+        assert_eq!(p.members(0).len() + p.members(1).len(), 6);
+        // Exactly one bidirectional cut on a chain split in two.
+        assert_eq!(p.cut_links().len(), 2);
+        // Hosts follow their attachment switches.
+        assert_eq!(p.owner_of(100), p.owner_of(1));
+        assert_eq!(p.owner_of(200), p.owner_of(6));
+    }
+
+    #[test]
+    fn shard_count_clamps_to_switches() {
+        let topo = chain(3);
+        let p = Partition::compute(&topo, 64);
+        assert_eq!(p.shard_count(), 3);
+        for s in 0..3 {
+            assert_eq!(p.members(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn lookahead_is_min_cut_latency_capped_by_controller() {
+        let lat = SimTime::from_micros(40);
+        let topo = SimTopology::new([1, 2])
+            .link(LinkSpec::new(Loc::new(1, 1), Loc::new(2, 1), lat))
+            .link(LinkSpec::new(Loc::new(2, 2), Loc::new(1, 2), SimTime::from_micros(90)));
+        let p = Partition::compute(&topo, 2);
+        let params = SimParams::default();
+        assert_eq!(p.lookahead(&topo, &params), lat);
+        let tight = SimParams { controller_latency: SimTime::from_micros(7), ..params };
+        assert_eq!(p.lookahead(&topo, &tight), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn disconnected_components_are_still_covered() {
+        // Two islands, no links: BFS reseeds and still owns everything.
+        let topo = SimTopology::new([10, 20, 30, 40]);
+        let p = Partition::compute(&topo, 2);
+        let mut seen = 0;
+        for s in 0..2 {
+            seen += p.members(s).len();
+        }
+        assert_eq!(seen, 4);
+        assert!(p.cut_links().is_empty());
+    }
+}

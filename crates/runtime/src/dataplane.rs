@@ -257,6 +257,26 @@ impl DataPlane for NesDataPlane {
         now: SimTime,
         arena: &mut PacketArena,
     ) -> StepResultId {
+        let mut out = StepResultId::default();
+        self.process_arena_into(sw, pt, packet, from_host, now, arena, &mut out);
+        out
+    }
+
+    /// [`process_arena`](DataPlane::process_arena) writing into the
+    /// engine's reused step buffer — the per-hop entry point, which keeps
+    /// the steady state free of output-vector allocations.
+    #[allow(clippy::too_many_arguments)]
+    fn process_arena_into(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+        out: &mut StepResultId,
+    ) {
+        out.clear();
         // SWITCH step 1: union the packet's digest into local state.
         let slot = self.slot_of(sw);
         let digest = EventSet::from_bits(arena.get(packet).get(Field::Digest).unwrap_or(0));
@@ -270,13 +290,12 @@ impl DataPlane for NesDataPlane {
         // SWITCH step 2: fire enabled events this arrival matches.
         let effective = effective.0;
         let fired = self.compiled.triggered(effective, arena.get(stamped), Loc::new(sw, pt));
-        let mut notifications = Vec::new();
         if !fired.is_empty() {
             self.learn_at(slot, sw, fired, now);
             for e in fired.iter() {
                 self.fired_log.push((now, e));
             }
-            notifications.push(CtrlMsg::Events(fired.bits()));
+            out.notifications.push(CtrlMsg::Events(fired.bits()));
         }
         let known = self.local[slot];
 
@@ -295,7 +314,6 @@ impl DataPlane for NesDataPlane {
         };
         let loc = Loc::new(sw, pt);
         let out_digest = digest.union(known).bits();
-        let mut outputs = Vec::new();
         if let Some(program) = self.programs.get(&sw) {
             let base = arena.get(stamped);
             let view = LocatedView { base, loc, tag: Some(tag) };
@@ -323,20 +341,20 @@ impl DataPlane for NesDataPlane {
                         && base.get(Field::Digest) == Some(out_digest)
                         && base.get(Field::Tag) == Some(tag)
                     {
-                        outputs.push((out_pt, stamped));
+                        out.outputs.push((out_pt, stamped));
                     } else {
-                        let mut out = std::mem::take(&mut self.out_buf);
-                        out.clone_from(base);
-                        out.take_loc();
+                        let mut buf = std::mem::take(&mut self.out_buf);
+                        buf.clone_from(base);
+                        buf.take_loc();
                         for (f, v) in action.writes() {
                             if !f.is_location() {
-                                out.set(f, v);
+                                buf.set(f, v);
                             }
                         }
-                        out.set(Field::Digest, out_digest);
-                        out.set(Field::Tag, tag);
-                        outputs.push((out_pt, arena.intern_ref(&out)));
-                        self.out_buf = out;
+                        buf.set(Field::Digest, out_digest);
+                        buf.set(Field::Tag, tag);
+                        out.outputs.push((out_pt, arena.intern_ref(&buf)));
+                        self.out_buf = buf;
                     }
                 } else if !rule.actions.is_empty() {
                     // Multicast (rare): materialize the lookup packet and
@@ -346,17 +364,16 @@ impl DataPlane for NesDataPlane {
                     lookup.clone_from(base);
                     lookup.set_loc(loc);
                     lookup.set(Field::Tag, tag);
-                    for mut out in rule.actions.apply(&lookup) {
-                        let (_, out_pt) = out.take_loc();
-                        out.set(Field::Digest, out_digest);
-                        out.set(Field::Tag, tag);
-                        outputs.push((out_pt.unwrap_or(pt), arena.intern(out)));
+                    for mut cast in rule.actions.apply(&lookup) {
+                        let (_, out_pt) = cast.take_loc();
+                        cast.set(Field::Digest, out_digest);
+                        cast.set(Field::Tag, tag);
+                        out.outputs.push((out_pt.unwrap_or(pt), arena.intern(cast)));
                     }
                     self.lookup_buf = lookup;
                 }
             }
         }
-        StepResultId { outputs, notifications }
     }
 
     fn on_notify(&mut self, msg: CtrlMsg, _now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
@@ -379,6 +396,43 @@ impl DataPlane for NesDataPlane {
         if let CtrlMsg::Events(bits) = msg {
             self.learn(sw, EventSet::from_bits(bits), now);
         }
+    }
+
+    /// Folds a shard's state back in after a sharded run: per-switch
+    /// event-sets and discovery times merge losslessly (each switch was
+    /// driven by exactly one shard); the controller state lives on shard
+    /// 0 already (other shards' copies are stale clones, unioned
+    /// defensively); the global fire log merges stably by timestamp —
+    /// deterministic, though not guaranteed to reproduce the solo
+    /// interleaving for distinct same-microsecond fires (the log is a
+    /// checker *hint*, not part of the byte-identity contract).
+    fn absorb_shard(&mut self, other: Self, owned: &[u64]) {
+        for &sw in owned {
+            let events = other.local_events(sw);
+            if !events.is_empty() {
+                let slot = self.slot_of(sw);
+                self.local[slot] = events;
+            }
+        }
+        for (key, t) in other.discovery {
+            self.discovery
+                .entry(key)
+                .and_modify(|existing| *existing = (*existing).min(t))
+                .or_insert(t);
+        }
+        self.controller = self.controller.union(other.controller);
+        let mine = std::mem::take(&mut self.fired_log);
+        let mut merged = Vec::with_capacity(mine.len() + other.fired_log.len());
+        let (mut a, mut b) = (mine.into_iter().peekable(), other.fired_log.into_iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&(ta, _)), Some(&(tb, _))) if tb < ta => merged.push(b.next().expect("b")),
+                (Some(_), _) => merged.push(a.next().expect("a")),
+                (None, Some(_)) => merged.push(b.next().expect("b")),
+                (None, None) => break,
+            }
+        }
+        self.fired_log = merged;
     }
 }
 

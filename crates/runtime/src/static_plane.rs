@@ -78,13 +78,32 @@ impl DataPlane for StaticDataPlane {
         sw: u64,
         pt: u64,
         packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+    ) -> StepResultId {
+        let mut out = StepResultId::default();
+        self.process_arena_into(sw, pt, packet, from_host, now, arena, &mut out);
+        out
+    }
+
+    /// [`process_arena`](DataPlane::process_arena) writing into the
+    /// engine's reused step buffer: zero-copy view lookup, identity fast
+    /// path, reused buffers for content-changing hops — a steady-state
+    /// hop allocates nothing at all.
+    fn process_arena_into(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
         _from_host: bool,
         _now: SimTime,
         arena: &mut PacketArena,
-    ) -> StepResultId {
-        // Same structure as `NesDataPlane::process_arena`, minus events:
-        // zero-copy view lookup, identity fast path, reused buffers for
-        // content-changing hops.
+        out: &mut StepResultId,
+    ) {
+        out.clear();
+        // Same structure as `NesDataPlane::process_arena_into`, minus
+        // events.
         let loc = Loc::new(sw, pt);
         let base = arena.get(packet);
         let view = LocatedView { base, loc, tag: None };
@@ -92,7 +111,6 @@ impl DataPlane for StaticDataPlane {
             LookupPath::Linear => self.config.table(sw).and_then(|t| t.lookup_on(&view)),
             LookupPath::Indexed => self.index.get(&sw).and_then(|t| t.lookup_on(&view)),
         };
-        let mut outputs = Vec::new();
         if let Some(rule) = rule {
             if rule.actions.len() == 1 {
                 let action = rule.actions.iter().next().expect("len 1");
@@ -108,18 +126,18 @@ impl DataPlane for StaticDataPlane {
                     }
                 }
                 if identity {
-                    outputs.push((out_pt, packet));
+                    out.outputs.push((out_pt, packet));
                 } else {
-                    let mut out = std::mem::take(&mut self.out_buf);
-                    out.clone_from(base);
-                    out.take_loc();
+                    let mut buf = std::mem::take(&mut self.out_buf);
+                    buf.clone_from(base);
+                    buf.take_loc();
                     for (f, v) in action.writes() {
                         if !f.is_location() {
-                            out.set(f, v);
+                            buf.set(f, v);
                         }
                     }
-                    outputs.push((out_pt, arena.intern_ref(&out)));
-                    self.out_buf = out;
+                    out.outputs.push((out_pt, arena.intern_ref(&buf)));
+                    self.out_buf = buf;
                 }
             } else if !rule.actions.is_empty() {
                 // Multicast (rare): materialize the lookup packet and
@@ -127,14 +145,13 @@ impl DataPlane for StaticDataPlane {
                 let mut lookup = std::mem::take(&mut self.lookup_buf);
                 lookup.clone_from(base);
                 lookup.set_loc(loc);
-                for mut out in rule.actions.apply(&lookup) {
-                    let (_, out_pt) = out.take_loc();
-                    outputs.push((out_pt.unwrap_or(pt), arena.intern(out)));
+                for mut cast in rule.actions.apply(&lookup) {
+                    let (_, out_pt) = cast.take_loc();
+                    out.outputs.push((out_pt.unwrap_or(pt), arena.intern(cast)));
                 }
                 self.lookup_buf = lookup;
             }
         }
-        StepResultId { outputs, notifications: Vec::new() }
     }
 
     fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {

@@ -12,13 +12,17 @@ use crate::uncoordinated::UncoordDataPlane;
 ///
 /// `broadcast` enables the controller-assisted event dissemination. The
 /// flow-table lookup path comes from the environment (`EDN_LOOKUP`,
-/// default indexed); use [`nes_engine_with_path`] to pin it.
+/// default indexed); use [`nes_engine_with_path`] to pin it. The shard
+/// count also comes from the environment (`EDN_SHARDS`, default 1 =
+/// single-threaded); override it with
+/// [`Engine::with_shards`](netsim::Engine::with_shards) — results are
+/// byte-identical at any shard count.
 pub fn nes_engine(
     nes: NetworkEventStructure,
     topo: SimTopology,
     params: SimParams,
     broadcast: bool,
-    hosts: Box<dyn netsim::HostLogic>,
+    hosts: netsim::BoxedHosts,
 ) -> Engine<NesDataPlane> {
     nes_engine_with_path(nes, topo, params, broadcast, hosts, netkat::LookupPath::from_env())
 }
@@ -29,12 +33,12 @@ pub fn nes_engine_with_path(
     topo: SimTopology,
     params: SimParams,
     broadcast: bool,
-    hosts: Box<dyn netsim::HostLogic>,
+    hosts: netsim::BoxedHosts,
     path: netkat::LookupPath,
 ) -> Engine<NesDataPlane> {
     let switches = topo.switches().to_vec();
     let dataplane = NesDataPlane::with_path(CompiledNes::compile(nes), switches, broadcast, path);
-    Engine::new(topo, params, dataplane, hosts)
+    Engine::new(topo, params, dataplane, hosts).with_shards(netsim::shard_count_from_env())
 }
 
 /// Builds an engine running `nes` with the uncoordinated baseline.
@@ -44,7 +48,7 @@ pub fn uncoordinated_engine(
     params: SimParams,
     update_delay: netsim::SimTime,
     seed: u64,
-    hosts: Box<dyn netsim::HostLogic>,
+    hosts: netsim::BoxedHosts,
 ) -> Engine<UncoordDataPlane> {
     let switches = topo.switches().to_vec();
     let dataplane = UncoordDataPlane::new(CompiledNes::compile(nes), switches, update_delay, seed);

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod generate;
+mod partition;
 mod route;
 mod workload;
 
@@ -39,6 +40,8 @@ pub use generate::{
     fat_tree, grid, linear, ring, torus, waxman, GenTopology, LinkProfile, TierProfile,
     WaxmanParams, HOST_BASE,
 };
+pub use netsim::Partition;
+pub use partition::{partition, partition_sim};
 pub use route::{
     all_hosts_connected, config_from_rules, shortest_path_config, shortest_path_rules,
 };

@@ -1,0 +1,128 @@
+//! Topology partitioning for the sharded simulator.
+//!
+//! A thin, generator-aware wrapper over [`netsim::Partition`]: the greedy
+//! BFS edge-cut partitioner that gives every switch and host exactly one
+//! owning shard, enumerates the cut (cross-shard) links, and derives the
+//! conservative-synchronization lookahead. Deterministic for a given
+//! topology and shard count, so sharded benchmark runs reproduce exactly.
+
+use netsim::{Partition, SimTopology};
+
+use crate::generate::GenTopology;
+
+/// Partitions a generated topology into (at most) `shards` shards.
+///
+/// See [`netsim::Partition::compute`] for the algorithm and guarantees:
+/// every switch and host is owned by exactly one shard, hosts follow
+/// their attachment switch, `shards` is clamped to the switch count, and
+/// `shards <= 1` is the identity partition.
+pub fn partition(gen: &GenTopology, shards: u32) -> Partition {
+    partition_sim(gen.sim(), shards)
+}
+
+/// [`partition`] over a raw [`SimTopology`].
+pub fn partition_sim(topo: &SimTopology, shards: u32) -> Partition {
+    Partition::compute(topo, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{fat_tree, ring, waxman, LinkProfile, TierProfile, WaxmanParams};
+    use proptest::prelude::*;
+
+    /// Every switch and host of `gen` is owned by exactly one shard, and
+    /// the shard ids are within range.
+    fn assert_total_ownership(gen: &GenTopology, p: &Partition) {
+        let k = p.shard_count();
+        let mut owned = 0usize;
+        for s in 0..k {
+            for &sw in p.members(s) {
+                assert_eq!(p.owner_of(sw), Some(s), "membership and ownership agree");
+                owned += 1;
+            }
+        }
+        assert_eq!(owned, gen.switch_count(), "every switch appears in exactly one member list");
+        for &sw in gen.sim().switches() {
+            let o = p.owner_of(sw).expect("switch owned");
+            assert!(o < k);
+        }
+        for (h, loc) in gen.sim().hosts() {
+            assert_eq!(p.owner_of(h), p.owner_of(loc.sw), "hosts follow their attachment switch");
+        }
+    }
+
+    /// `cut_links` is exactly the set of links whose endpoints differ in
+    /// owner.
+    fn assert_cut_links_exact(gen: &GenTopology, p: &Partition) {
+        let cut: std::collections::BTreeSet<u32> = p.cut_links().iter().copied().collect();
+        for (i, l) in gen.sim().links().iter().enumerate() {
+            let crosses = p.owner_of(l.src.sw) != p.owner_of(l.dst.sw);
+            assert_eq!(
+                cut.contains(&(i as u32)),
+                crosses,
+                "link {i} ({}->{}) cut-classification wrong",
+                l.src.sw,
+                l.dst.sw
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ring partitions: total ownership, exact cut enumeration, and
+        /// K=1 identity.
+        #[test]
+        fn ring_partitions_are_total_and_cut_exact(n in 2u64..24, k in 1u32..9) {
+            let gen = ring(n, LinkProfile::default());
+            let p = partition(&gen, k);
+            prop_assert!(p.shard_count() >= 1 && p.shard_count() <= k.max(1));
+            prop_assert!(p.shard_count() as u64 <= n);
+            assert_total_ownership(&gen, &p);
+            assert_cut_links_exact(&gen, &p);
+            // No shard is empty once clamped.
+            for s in 0..p.shard_count() {
+                prop_assert!(!p.members(s).is_empty(), "shard {s} is empty");
+            }
+        }
+
+        /// K=1 partitioning is the identity: one shard owning everything,
+        /// no cut links.
+        #[test]
+        fn single_shard_partition_is_identity(n in 2u64..24) {
+            let gen = ring(n, LinkProfile::default());
+            let p = partition(&gen, 1);
+            prop_assert_eq!(p.shard_count(), 1);
+            prop_assert!(p.cut_links().is_empty());
+            prop_assert_eq!(p.members(0).len() as u64, n);
+            for &sw in gen.sim().switches() {
+                prop_assert_eq!(p.owner_of(sw), Some(0));
+            }
+        }
+
+        /// Fat-trees: ownership total, cuts exact, shards balanced to
+        /// within the BFS greedy bound (ceil(n/k) per shard).
+        #[test]
+        fn fat_tree_partitions_balance(half in 1u64..=3, k in 1u32..7) {
+            let gen = fat_tree(2 * half, TierProfile::default());
+            let p = partition(&gen, k);
+            assert_total_ownership(&gen, &p);
+            assert_cut_links_exact(&gen, &p);
+            let bound = gen.switch_count().div_ceil(p.shard_count() as usize);
+            for s in 0..p.shard_count() {
+                prop_assert!(p.members(s).len() <= bound, "shard {} over target", s);
+            }
+        }
+
+        /// Seeded random graphs (possibly disconnected): ownership stays
+        /// total and cuts exact.
+        #[test]
+        fn waxman_partitions_are_total(n in 2u64..20, seed in 0u64..500, k in 1u32..6) {
+            let gen = waxman(n, WaxmanParams { seed, ..WaxmanParams::default() });
+            let p = partition(&gen, k);
+            assert_total_ownership(&gen, &p);
+            assert_cut_links_exact(&gen, &p);
+        }
+    }
+}

@@ -1,13 +1,15 @@
 //! End-to-end packet-plumbing regression, extending
 //! `lookup_equivalence.rs` to the engine knobs this repo's arena/queue
-//! rework introduced: full simulations replayed across every
-//! `{event queue} × {trace mode} × {packet path}` combination must agree —
-//! byte-identical `Stats` everywhere, byte-identical traces wherever a
-//! trace is recorded.
+//! rework introduced — and to the sharded multi-core event loop: full
+//! simulations replayed across every
+//! `{shard count} × {event queue} × {trace mode} × {packet path}`
+//! combination must agree — byte-identical `Stats` everywhere,
+//! byte-identical traces wherever a trace is recorded.
 //!
 //! Two pinned scenarios from the paper's evaluation (the Section 5.2 ring
-//! and a fat-tree(4) stateful firewall), plus a 256-case differential
-//! proptest over seeded generated topologies and workloads.
+//! and a fat-tree(4) stateful firewall), plus differential proptests over
+//! seeded generated topologies and workloads (256 cases across the
+//! queue/packet knobs, 128 more across shard counts).
 
 use edn_apps::generated::firewall_nes;
 use edn_apps::ring::{host, Ring};
@@ -25,45 +27,68 @@ struct Knobs {
     queue: QueueKind,
     mode: TraceMode,
     path: PacketPath,
+    shards: u32,
 }
 
-/// The reference corner: binary heap, full trace, owned packets — the
-/// pre-rework engine, kept runnable exactly so everything new can be
-/// diffed against it.
+/// The reference corner: one thread, binary heap, full trace, owned
+/// packets — the pre-rework engine, kept runnable exactly so everything
+/// new can be diffed against it.
 const REFERENCE: Knobs =
-    Knobs { queue: QueueKind::Heap, mode: TraceMode::Full, path: PacketPath::Owned };
+    Knobs { queue: QueueKind::Heap, mode: TraceMode::Full, path: PacketPath::Owned, shards: 1 };
 
-fn all_knobs() -> impl Iterator<Item = Knobs> {
-    [QueueKind::Heap, QueueKind::Calendar].into_iter().flat_map(|queue| {
+/// Widens a requested shard count by the `EDN_SHARDS` environment knob,
+/// so CI can replay the whole matrix on the sharded engine (the solo
+/// [`REFERENCE`] corner stays pinned at one shard).
+fn effective_shards(requested: u32) -> u32 {
+    requested.max(netsim::shard_count_from_env())
+}
+
+fn knobs_with_shards(shards: u32) -> impl Iterator<Item = Knobs> {
+    let shards = effective_shards(shards);
+    [QueueKind::Heap, QueueKind::Calendar].into_iter().flat_map(move |queue| {
         [TraceMode::Full, TraceMode::StatsOnly].into_iter().flat_map(move |mode| {
             [PacketPath::Owned, PacketPath::Arena].into_iter().map(move |path| Knobs {
                 queue,
                 mode,
                 path,
+                shards,
             })
         })
     })
 }
 
 fn configure(engine: Engine<NesDataPlane>, knobs: Knobs) -> Engine<NesDataPlane> {
-    engine.with_queue(knobs.queue).with_trace_mode(knobs.mode).with_packet_path(knobs.path)
+    engine
+        .with_queue(knobs.queue)
+        .with_trace_mode(knobs.mode)
+        .with_packet_path(knobs.path)
+        .with_shards(knobs.shards)
 }
 
 /// Asserts that a scenario produces identical observable results on every
-/// knob combination: `Stats` agree field for field everywhere (including
-/// `StatsOnly` runs), and `Full`-mode traces are byte-identical.
-fn assert_plumbing_invariant(scenario: &str, run: impl Fn(Knobs) -> (NetworkTrace, Stats)) {
+/// knob combination and every shard count in `shard_counts`: `Stats`
+/// agree field for field everywhere (including `StatsOnly` runs), and
+/// `Full`-mode traces are byte-identical. The scenario runners assert
+/// that multi-shard runs actually engaged the threaded path (a silent
+/// fallback would make these comparisons vacuous).
+fn assert_plumbing_invariant(
+    scenario: &str,
+    shard_counts: &[u32],
+    run: impl Fn(Knobs) -> (NetworkTrace, Stats),
+) {
     let (reference_trace, reference_stats) = run(REFERENCE);
     assert!(!reference_stats.deliveries.is_empty(), "{scenario}: reference must deliver");
-    for knobs in all_knobs() {
-        let (trace, stats) = run(knobs);
-        assert_eq!(stats, reference_stats, "{scenario}: stats diverged on {knobs:?}");
-        match knobs.mode {
-            TraceMode::Full => {
-                assert_eq!(trace, reference_trace, "{scenario}: traces diverged on {knobs:?}");
-            }
-            TraceMode::StatsOnly => {
-                assert!(trace.is_empty(), "{scenario}: StatsOnly must not record");
+    for &shards in shard_counts {
+        for knobs in knobs_with_shards(shards) {
+            let (trace, stats) = run(knobs);
+            assert_eq!(stats, reference_stats, "{scenario}: stats diverged on {knobs:?}");
+            match knobs.mode {
+                TraceMode::Full => {
+                    assert_eq!(trace, reference_trace, "{scenario}: traces diverged on {knobs:?}");
+                }
+                TraceMode::StatsOnly => {
+                    assert!(trace.is_empty(), "{scenario}: StatsOnly must not record");
+                }
             }
         }
     }
@@ -95,7 +120,9 @@ fn ring_run(knobs: Knobs) -> (NetworkTrace, Stats) {
         }
     }
     engine.inject_at(SimTime::from_millis(10), ring.h1(), ring.trigger_packet());
-    let result = engine.run_until(SimTime::from_secs(5));
+    engine.run(SimTime::from_secs(5));
+    assert_shards_engaged(&engine, knobs, n as u32);
+    let result = engine.finish();
     if knobs.mode == TraceMode::Full {
         verify_nes_run(&result).expect("ring run is event-driven consistent");
     }
@@ -128,18 +155,44 @@ fn fat_tree_firewall_run(knobs: Knobs) -> (NetworkTrace, Stats) {
     let mut engine = configure(engine, knobs);
     edn_topo::schedule(&mut engine, &flows);
     engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
-    let result = engine.run_until(horizon);
+    engine.run(horizon);
+    assert_shards_engaged(&engine, knobs, gen.switch_count() as u32);
+    let result = engine.finish();
     (result.trace, result.stats)
+}
+
+/// A "sharded" run that silently fell back to one thread would turn the
+/// byte-identity matrix into solo-vs-solo; pin engagement (clamped to
+/// the switch count, the partitioner's bound).
+fn assert_shards_engaged(engine: &netsim::Engine<NesDataPlane>, knobs: Knobs, switches: u32) {
+    let expected = knobs.shards.min(switches).max(1);
+    assert_eq!(engine.shards(), expected, "sharding did not engage for {knobs:?}");
 }
 
 #[test]
 fn ring_replays_identically_across_all_engine_knobs() {
-    assert_plumbing_invariant("ring", ring_run);
+    assert_plumbing_invariant("ring", &[1], ring_run);
 }
 
 #[test]
 fn fat_tree_firewall_replays_identically_across_all_engine_knobs() {
-    assert_plumbing_invariant("fat-tree firewall", fat_tree_firewall_run);
+    assert_plumbing_invariant("fat-tree firewall", &[1], fat_tree_firewall_run);
+}
+
+/// The sharded event loop is byte-identical to the single-threaded
+/// engine on the §5.2 ring, across the full
+/// `{2,4 shards} × {queue} × {trace} × {packet path}` matrix — including
+/// the NES correctness verification of the merged trace.
+#[test]
+fn ring_replays_identically_across_shard_counts() {
+    assert_plumbing_invariant("sharded ring", &[2, 4], ring_run);
+}
+
+/// Same matrix on the fat-tree(4) firewall: controller traffic, a mid-run
+/// configuration update, and permutation flows all crossing shard cuts.
+#[test]
+fn fat_tree_firewall_replays_identically_across_shard_counts() {
+    assert_plumbing_invariant("sharded fat-tree firewall", &[2, 4], fat_tree_firewall_run);
 }
 
 /// One seeded generated-ring firewall run on explicit knobs — the
@@ -164,7 +217,9 @@ fn seeded_run(n: u64, workload: &Workload, knobs: Knobs) -> (NetworkTrace, Stats
     // The trigger opens the firewall mid-run so the sweep crosses a real
     // configuration update.
     engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
-    let result = engine.run_until(horizon);
+    engine.run(horizon);
+    assert_shards_engaged(&engine, knobs, n as u32);
+    let result = engine.finish();
     (result.trace, result.stats)
 }
 
@@ -204,6 +259,7 @@ proptest! {
             queue: QueueKind::Calendar,
             mode: TraceMode::Full,
             path: PacketPath::Arena,
+            shards: effective_shards(1),
         };
         let (trace, stats) = seeded_run(n, &workload, calendar_arena);
         prop_assert_eq!(&stats, &reference_stats, "calendar+arena stats diverged");
@@ -211,6 +267,38 @@ proptest! {
         let stats_only = Knobs { mode: TraceMode::StatsOnly, ..calendar_arena };
         let (empty, stats) = seeded_run(n, &workload, stats_only);
         prop_assert_eq!(&stats, &reference_stats, "StatsOnly stats diverged");
+        prop_assert!(empty.is_empty(), "StatsOnly must not record a trace");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential equivalence of the sharded event loop over seeded
+    /// topologies and workloads: a K-shard run (K drawn from 2..=4, on
+    /// the default calendar+arena engine) must produce byte-identical
+    /// `Stats` and traces to the single-threaded reference, with
+    /// `StatsOnly` agreeing on every `Stats` field. Requesting more
+    /// shards than switches exercises the clamp.
+    #[test]
+    fn seeded_topologies_agree_across_shard_counts(
+        n in 3u64..7,
+        workload in arb_workload(),
+        shards in 2u32..5,
+    ) {
+        let (reference_trace, reference_stats) = seeded_run(n, &workload, REFERENCE);
+        let sharded = Knobs {
+            queue: QueueKind::Calendar,
+            mode: TraceMode::Full,
+            path: PacketPath::Arena,
+            shards,
+        };
+        let (trace, stats) = seeded_run(n, &workload, sharded);
+        prop_assert_eq!(&stats, &reference_stats, "{} shards: stats diverged", shards);
+        prop_assert_eq!(&trace, &reference_trace, "{} shards: trace diverged", shards);
+        let stats_only = Knobs { mode: TraceMode::StatsOnly, ..sharded };
+        let (empty, stats) = seeded_run(n, &workload, stats_only);
+        prop_assert_eq!(&stats, &reference_stats, "{} shards StatsOnly diverged", shards);
         prop_assert!(empty.is_empty(), "StatsOnly must not record a trace");
     }
 }
