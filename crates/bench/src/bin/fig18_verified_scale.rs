@@ -1,0 +1,119 @@
+//! Verified-at-scale harness: a fat-tree(16) run of 10M+ events that is
+//! *checked*, not just simulated — streaming injection
+//! ([`edn_topo::attach_stream`]), aggregate-only accounting
+//! (`TraceMode::StatsOnly` + `StatsMode::Counters`), and the online
+//! Definition 6 checker ([`nes_runtime::attach_online_checker`]) running
+//! inside the event loop, retiring trace prefixes as their happens-before
+//! obligations discharge.
+//!
+//! Run with: `cargo run --release -p edn-bench --bin fig18_verified_scale`
+//!
+//! The harness runs the same scenario at two event counts (1× and 2×) in
+//! one process and reports the process high-water RSS (`VmHWM` from
+//! `/proc/self/status`) after each: because every stage is streaming, the
+//! second, twice-as-long run should barely move the high-water mark — peak
+//! memory tracks packets *in flight*, not events *processed*. The final
+//! column is the online checker's verdict (`correct` is the expected
+//! outcome: Theorem 1).
+//!
+//! Environment overrides (CI smoke uses small values):
+//! * `VSCALE_FATTREE_K` — fat-tree arity (default `16`: 320 switches,
+//!   1024 hosts);
+//! * `VSCALE_PACKETS_PER_FLOW` — base datagrams per flow at the 1× point
+//!   (default `150`; the 2× point doubles it — with the default Pareto
+//!   model inflating flow sizes ~4.3× on average, the two points together
+//!   process well over 10M events on the default topology);
+//! * `VSCALE_MODEL` — arrival model: `uniform` (the base workload),
+//!   `pareto`, `onoff`, or `diurnal` (default `pareto`: heavy-tailed flow
+//!   sizes are the interesting case at scale);
+//! * `VSCALE_SEED` — workload seed (default `7`).
+
+use edn_bench::env_u64;
+use edn_topo::{
+    attach_stream, fat_tree, synthesize_arrivals, ArrivalModel, TierProfile, TrafficPattern,
+    Workload,
+};
+use netkat::LookupPath;
+use netsim::traffic::udp_packet;
+use netsim::{SimParams, SimTime, SinkHosts, StatsMode, TraceMode};
+use std::time::Instant;
+
+/// `VmHWM` (peak resident set) of this process, in kilobytes.
+fn vm_hwm_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn model_from_env() -> Option<ArrivalModel> {
+    match std::env::var("VSCALE_MODEL").as_deref() {
+        Ok("uniform") => None,
+        Ok("onoff") => Some(ArrivalModel::OnOff { burst_packets: 8, off: SimTime::from_millis(5) }),
+        Ok("diurnal") => Some(ArrivalModel::Diurnal { periods: 2, trough_pct: 10 }),
+        Ok("pareto") | Err(_) => Some(ArrivalModel::Pareto { alpha: 1.3, max_packets: 64 * 1024 }),
+        Ok(other) => panic!("VSCALE_MODEL must be uniform|pareto|onoff|diurnal, got `{other}`"),
+    }
+}
+
+/// One verified streaming run; returns `(events, datagrams, wall_us,
+/// arena_slots, verdict_ok)`.
+fn run_point(k: u64, packets_per_flow: u64, seed: u64) -> (u64, u64, u64, u64, bool) {
+    let gen = fat_tree(k, TierProfile::default());
+    let workload = Workload {
+        pattern: TrafficPattern::Permutation,
+        seed,
+        packets_per_flow,
+        flows: gen.host_count(),
+        interval: SimTime::from_micros(100),
+        ..Workload::default()
+    };
+    let flows = match model_from_env() {
+        None => edn_topo::synthesize(&gen, &workload),
+        Some(m) => synthesize_arrivals(&gen, &workload, &m),
+    };
+    let horizon =
+        flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
+    let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
+    let nes = edn_apps::generated::firewall_nes(&gen, inside, outside);
+    let mut engine = nes_runtime::nes_engine_with_path(
+        nes.clone(),
+        gen.sim().clone(),
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        LookupPath::Indexed,
+    )
+    .with_trace_mode(TraceMode::StatsOnly)
+    .with_stats_mode(StatsMode::Counters);
+    let handle = nes_runtime::attach_online_checker(&mut engine, &nes)
+        .expect("the firewall NES fits the checker window");
+    let datagrams = attach_stream(&mut engine, &flows);
+    engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
+    let started = Instant::now();
+    engine.run(horizon);
+    let wall = started.elapsed().as_micros() as u64;
+    let arena_slots = engine.arena_slots() as u64;
+    let result = engine.finish();
+    assert!(result.trace.is_empty(), "StatsOnly must not record");
+    assert!(result.stats.deliveries.is_empty(), "Counters must not retain deliveries");
+    (result.stats.events_processed, datagrams + 1, wall, arena_slots, handle.verdict().is_ok())
+}
+
+fn main() {
+    let k = env_u64("VSCALE_FATTREE_K", 16);
+    let packets = env_u64("VSCALE_PACKETS_PER_FLOW", 150);
+    let seed = env_u64("VSCALE_SEED", 7);
+    println!("point,packets_per_flow,datagrams,events,wall_us,arena_slots,vm_hwm_kb,verdict");
+    let mut total_events = 0;
+    for (point, p) in [("1x", packets), ("2x", 2 * packets)] {
+        let (events, datagrams, wall_us, slots, ok) = run_point(k, p, seed);
+        total_events += events;
+        let verdict = if ok { "correct" } else { "violation" };
+        println!("{point},{p},{datagrams},{events},{wall_us},{slots},{},{verdict}", vm_hwm_kb());
+        assert!(ok, "the NES runtime must verify (Theorem 1)");
+    }
+    eprintln!("total events processed: {total_events}");
+}

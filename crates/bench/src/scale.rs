@@ -12,8 +12,21 @@ use std::time::Instant;
 use edn_topo::{shortest_path_config, synthesize, GenTopology, Workload};
 use nes_runtime::{nes_engine_with_path, StaticDataPlane};
 use netkat::LookupPath;
-use netsim::traffic::udp_packet;
-use netsim::{Engine, SimParams, SimTime, SinkHosts, Stats, TraceMode};
+use netsim::traffic::{udp_packet, UdpFlowSpec};
+use netsim::{DataPlane, Engine, SimParams, SimTime, SinkHosts, Stats, TraceMode};
+
+/// Injects a sweep point's flows: streamed lazily on the single-threaded
+/// engine, materialized up front when sharding is in play (the sharded
+/// event loop owns its queue partitioning, and the sweep's multi-shard
+/// rows exist precisely to exercise it). Both paths are byte-identical —
+/// pinned by the `streaming_equivalence` differential suite.
+fn inject_flows<D: DataPlane>(engine: &mut Engine<D>, flows: &[UdpFlowSpec], shards: u32) -> u64 {
+    if shards <= 1 {
+        edn_topo::attach_stream(engine, flows)
+    } else {
+        edn_topo::schedule(engine, flows)
+    }
+}
 
 /// Which data plane a sweep point exercises.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -165,7 +178,7 @@ pub fn run_point(
                 )
                 .with_trace_mode(mode)
                 .with_shards(shards);
-                let datagrams = edn_topo::schedule(&mut engine, &flows);
+                let datagrams = inject_flows(&mut engine, &flows, shards);
                 let started = Instant::now();
                 engine.run(horizon);
                 let wall = started.elapsed().as_micros() as u64;
@@ -185,7 +198,7 @@ pub fn run_point(
                 )
                 .with_trace_mode(mode)
                 .with_shards(shards);
-                let datagrams = edn_topo::schedule(&mut engine, &flows);
+                let datagrams = inject_flows(&mut engine, &flows, shards);
                 // A trigger datagram from `inside` fires the firewall's
                 // event mid-run, so the sweep exercises an actual
                 // configuration update at every scale.

@@ -12,6 +12,15 @@ use netkat::{Field, FlowTable, Loc};
 
 use crate::trace::LocatedPacket;
 
+/// Trace-membership NFA state bit: the packet sits at a host.
+pub(crate) const ST_AT_HOST: u8 = 1;
+/// Trace-membership NFA state bit: the packet just crossed a link into a
+/// switch and has not been processed yet.
+pub(crate) const ST_INGRESS: u8 = 2;
+/// Trace-membership NFA state bit: the packet was processed by a switch and
+/// sits at an output port.
+pub(crate) const ST_EGRESS: u8 = 4;
+
 /// A network configuration: per-switch tables plus the (directed) links.
 ///
 /// # Examples
@@ -142,57 +151,61 @@ impl Config {
     /// it, the trace must *end*: at a host, in an input queue the switch's
     /// table drops, or in an output queue with no attached link.
     pub fn admits_trace(&self, trace: &[LocatedPacket], allow_prefix: bool) -> bool {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Ctx {
-            AtHost,
-            Ingress,
-            Egress,
-        }
         let Some(first) = trace.first() else { return true };
-        if !self.is_host(first.loc.sw) {
+        let mut state = self.start_state(first);
+        if state == 0 {
             return false;
         }
-        let mut states = vec![Ctx::AtHost];
         for w in trace.windows(2) {
-            let (a, b) = (&w[0], &w[1]);
-            let mut next = Vec::new();
-            let link_hop = a.packet == b.packet && self.links.contains(&(a.loc, b.loc));
-            let switch_hop = a.loc.sw == b.loc.sw
-                && !self.is_host(a.loc.sw)
-                && self.switch_outputs(a).contains(b);
-            for &ctx in &states {
-                match ctx {
-                    Ctx::AtHost | Ctx::Egress => {
-                        if link_hop {
-                            next.push(if self.is_host(b.loc.sw) {
-                                Ctx::AtHost
-                            } else {
-                                Ctx::Ingress
-                            });
-                        }
-                    }
-                    Ctx::Ingress => {
-                        if switch_hop {
-                            next.push(Ctx::Egress);
-                        }
-                    }
-                }
-            }
-            next.dedup();
-            if next.is_empty() {
+            state = self.step_state(state, &w[0], &w[1]);
+            if state == 0 {
                 return false;
             }
-            states = next;
         }
         if allow_prefix {
             return true;
         }
-        let last = trace.last().expect("nonempty");
-        states.iter().any(|&ctx| match ctx {
-            Ctx::AtHost => true,
-            Ctx::Ingress => self.switch_outputs(last).is_empty(),
-            Ctx::Egress => !self.links.iter().any(|&(src, _)| src == last.loc),
-        })
+        self.accepts_end(state, trace.last().expect("nonempty"))
+    }
+
+    /// The NFA state of a trace's first located packet (a set of
+    /// [`ST_AT_HOST`]/[`ST_INGRESS`]/[`ST_EGRESS`] bits; `0` = rejected).
+    /// Exposed crate-internally so the online checker can run the same
+    /// automaton one hop at a time, bit-for-bit with [`admits_trace`].
+    pub(crate) fn start_state(&self, first: &LocatedPacket) -> u8 {
+        if self.is_host(first.loc.sw) {
+            ST_AT_HOST
+        } else {
+            0
+        }
+    }
+
+    /// One transition of the trace-membership NFA: the state set after the
+    /// hop `a → b`, given the state set at `a`.
+    pub(crate) fn step_state(&self, prev: u8, a: &LocatedPacket, b: &LocatedPacket) -> u8 {
+        let mut next = 0;
+        if prev & (ST_AT_HOST | ST_EGRESS) != 0
+            && a.packet == b.packet
+            && self.links.contains(&(a.loc, b.loc))
+        {
+            next |= if self.is_host(b.loc.sw) { ST_AT_HOST } else { ST_INGRESS };
+        }
+        if prev & ST_INGRESS != 0
+            && a.loc.sw == b.loc.sw
+            && !self.is_host(a.loc.sw)
+            && self.switch_outputs(a).contains(b)
+        {
+            next |= ST_EGRESS;
+        }
+        next
+    }
+
+    /// Whether a trace *ending* in `state` at `last` is complete (the
+    /// `allow_prefix == false` acceptance of [`admits_trace`]).
+    pub(crate) fn accepts_end(&self, state: u8, last: &LocatedPacket) -> bool {
+        state & ST_AT_HOST != 0
+            || (state & ST_INGRESS != 0 && self.switch_outputs(last).is_empty())
+            || (state & ST_EGRESS != 0 && !self.links.iter().any(|&(src, _)| src == last.loc))
     }
 
     /// The within-switch (table) outputs for a located packet.

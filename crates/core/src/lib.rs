@@ -44,6 +44,8 @@ mod event;
 mod happens;
 mod locality;
 mod nes;
+mod observe;
+mod online;
 mod trace;
 mod update;
 
@@ -57,6 +59,8 @@ pub use event::{Event, EventId, EventSet};
 pub use happens::HappensBefore;
 pub use locality::{locally_determined, minimally_inconsistent};
 pub use nes::{NesError, NetworkEventStructure};
+pub use observe::{LeafKind, TraceObserver};
+pub use online::{OnlineChecker, OnlineHandle, OnlineViolation};
 pub use trace::{
     LocatedPacket, NetworkTrace, TraceBuilder, TraceMode, TraceParts, TraceStructureError,
 };

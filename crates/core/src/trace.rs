@@ -367,8 +367,18 @@ impl TraceBuilder {
     }
 
     /// Creates an empty builder with the given recording mode.
+    ///
+    /// A [`TraceMode::StatsOnly`] builder records nothing, so no id
+    /// outlives the event that carries it — its arena therefore runs with
+    /// [recycling](netkat::PacketArena::enable_recycling) enabled, and a
+    /// refcounting driver (the simulator) keeps arena memory bounded by the
+    /// packets in flight instead of every packet ever seen.
     pub fn with_mode(mode: TraceMode) -> TraceBuilder {
-        TraceBuilder { mode, ..TraceBuilder::default() }
+        let mut b = TraceBuilder { mode, ..TraceBuilder::default() };
+        if mode == TraceMode::StatsOnly {
+            b.arena.enable_recycling();
+        }
+        b
     }
 
     /// The recording mode.

@@ -18,10 +18,18 @@
 //!   candidate packet is built in place and only cloned into the arena the
 //!   first time it is ever seen.
 //!
-//! Ids are only meaningful relative to the arena that issued them, and an
-//! id, once issued, permanently resolves to the same packet value —
-//! interning is append-only, so recorded ids (e.g. in a trace) stay valid
-//! for the lifetime of the arena.
+//! Ids are only meaningful relative to the arena that issued them. By
+//! default interning is append-only, so an id, once issued, permanently
+//! resolves to the same packet value — recorded ids (e.g. in a trace) stay
+//! valid for the lifetime of the arena. An arena with **recycling**
+//! enabled ([`enable_recycling`](PacketArena::enable_recycling)) trades
+//! that permanence for bounded memory: callers refcount ids
+//! ([`retain`](PacketArena::retain) / [`release`](PacketArena::release))
+//! and the arena reuses the slots of packets nobody references, so the
+//! arena's footprint tracks the packets *live* at any instant rather than
+//! every packet ever seen. Recycling is only sound when no id outlives its
+//! references — the simulator enables it exactly in stats-only runs, where
+//! no trace record retains an id.
 //!
 //! # Examples
 //!
@@ -91,6 +99,26 @@ pub struct PacketArena {
     collisions: Vec<u32>,
     /// Reused buffer for building mutation candidates without allocating.
     scratch: Packet,
+    /// Refcounted slot reuse (see the module docs); `None` keeps the
+    /// default append-only behavior.
+    recycler: Option<Recycler>,
+}
+
+/// Sentinel refcount marking a freed, reusable slot.
+const FREE: u32 = u32::MAX;
+
+/// State for refcounted slot reuse.
+#[derive(Clone, Debug, Default)]
+struct Recycler {
+    /// Per-slot reference count; [`FREE`] marks a freed slot.
+    rc: Vec<u32>,
+    /// Per-slot fingerprint, so freeing a slot can drop its index entry.
+    fp: Vec<u64>,
+    /// Freed slots awaiting reuse.
+    free: Vec<u32>,
+    /// Slots interned since the last [`sweep`](PacketArena::sweep) —
+    /// possibly intermediates nobody retained.
+    newborns: Vec<u32>,
 }
 
 /// Outcome of a content probe.
@@ -119,10 +147,101 @@ impl PacketArena {
             index: HashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
             collisions: Vec::new(),
             scratch: Packet::new(),
+            recycler: None,
         }
     }
 
-    /// Number of distinct packets interned.
+    /// Switches this (still empty) arena to refcounted slot reuse.
+    ///
+    /// Afterwards every id a caller wants to keep across interning calls
+    /// must be [`retain`](PacketArena::retain)ed, and
+    /// [`release`](PacketArena::release)d when done: a slot whose count
+    /// reaches zero is freed and its storage reused by a later intern.
+    /// Freshly interned ids start at count zero and survive until the next
+    /// [`sweep`](PacketArena::sweep), giving callers a window to retain
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything has already been interned — recycling cannot
+    /// retroactively learn which existing ids are referenced.
+    pub fn enable_recycling(&mut self) {
+        assert!(self.slots.is_empty(), "enable recycling before interning");
+        self.recycler = Some(Recycler::default());
+    }
+
+    /// Returns `true` if this arena reuses the slots of unreferenced
+    /// packets.
+    pub fn recycling(&self) -> bool {
+        self.recycler.is_some()
+    }
+
+    /// Adds a reference to `id`, keeping its slot live across
+    /// [`sweep`](PacketArena::sweep)s. No-op unless recycling is enabled.
+    pub fn retain(&mut self, id: PacketId) {
+        if let Some(r) = &mut self.recycler {
+            debug_assert_ne!(r.rc[id.index()], FREE, "retain of a freed id");
+            r.rc[id.index()] += 1;
+        }
+    }
+
+    /// Drops a reference to `id`; at zero the slot is freed for reuse and
+    /// `id` must no longer be resolved. No-op unless recycling is enabled.
+    pub fn release(&mut self, id: PacketId) {
+        if self.recycler.is_some() {
+            let r = self.recycler.as_mut().expect("checked above");
+            let rc = &mut r.rc[id.index()];
+            debug_assert!(*rc != FREE && *rc > 0, "release without a matching retain");
+            *rc -= 1;
+            if *rc == 0 {
+                self.free_slot(id.index() as u32);
+            }
+        }
+    }
+
+    /// Frees every slot interned since the last sweep that nobody
+    /// [`retain`](PacketArena::retain)ed — the intermediates of mutation
+    /// chains. Callers with a natural unit of work (the simulator: one
+    /// event dispatch) sweep at its end, once all ids worth keeping have
+    /// been retained. No-op unless recycling is enabled.
+    pub fn sweep(&mut self) {
+        let Some(r) = &mut self.recycler else { return };
+        if r.newborns.is_empty() {
+            return;
+        }
+        let newborns = std::mem::take(&mut r.newborns);
+        for i in newborns {
+            let rc = self.recycler.as_ref().expect("checked above").rc[i as usize];
+            if rc == 0 {
+                self.free_slot(i);
+            }
+        }
+    }
+
+    /// Unindexes slot `i`, clears its storage, and queues it for reuse.
+    fn free_slot(&mut self, i: u32) {
+        let r = self.recycler.as_mut().expect("free_slot requires recycling");
+        let fp = r.fp[i as usize];
+        r.rc[i as usize] = FREE;
+        r.free.push(i);
+        if self.index.get(&fp) == Some(&i) {
+            self.index.remove(&fp);
+            // Promote a colliding slot with the same fingerprint (if any)
+            // into the index, preserving dedup for its content.
+            let r = self.recycler.as_ref().expect("checked above");
+            if let Some(pos) = self.collisions.iter().position(|&c| r.fp[c as usize] == fp) {
+                let j = self.collisions.swap_remove(pos);
+                self.index.insert(fp, j);
+            }
+        } else if let Some(pos) = self.collisions.iter().position(|&c| c == i) {
+            self.collisions.swap_remove(pos);
+        }
+        self.slots[i as usize] = Packet::new();
+    }
+
+    /// Number of slots in use — distinct packets interned, or, with
+    /// recycling enabled, the high-water mark of simultaneously live
+    /// packets (freed slots are counted until reused).
     pub fn len(&self) -> usize {
         self.slots.len()
     }
@@ -138,6 +257,10 @@ impl PacketArena {
     ///
     /// Panics if `id` was not issued by this arena.
     pub fn get(&self, id: PacketId) -> &Packet {
+        debug_assert!(
+            self.recycler.as_ref().is_none_or(|r| r.rc[id.index()] != FREE),
+            "resolve of a freed id"
+        );
         &self.slots[id.index()]
     }
 
@@ -161,10 +284,31 @@ impl PacketArena {
         }
     }
 
-    /// Appends `pk` (already known absent) under fingerprint `fp`.
+    /// Stores `pk` (already known absent) under fingerprint `fp`, reusing a
+    /// freed slot when recycling has one.
     fn insert(&mut self, fp: u64, pk: Packet, probe: Probe) -> PacketId {
-        let i = u32::try_from(self.slots.len()).expect("arena holds at most 2^32 packets");
-        self.slots.push(pk);
+        let reused = self.recycler.as_mut().and_then(|r| r.free.pop());
+        let i = match reused {
+            Some(i) => {
+                self.slots[i as usize] = pk;
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("arena holds at most 2^32 packets");
+                self.slots.push(pk);
+                i
+            }
+        };
+        if let Some(r) = &mut self.recycler {
+            if (i as usize) == r.rc.len() {
+                r.rc.push(0);
+                r.fp.push(fp);
+            } else {
+                r.rc[i as usize] = 0;
+                r.fp[i as usize] = fp;
+            }
+            r.newborns.push(i);
+        }
         match probe {
             Probe::Vacant => {
                 self.index.insert(fp, i);
@@ -338,6 +482,74 @@ mod tests {
             assert_eq!(arena.intern(Packet::new().with(Field::IpDst, v as u64)), id);
         }
         assert_eq!(arena.len(), 300);
+    }
+
+    #[test]
+    fn recycling_reuses_unreferenced_slots() {
+        let mut arena = PacketArena::new();
+        arena.enable_recycling();
+        assert!(arena.recycling());
+        let a = arena.intern(Packet::new().with(Field::IpDst, 1));
+        arena.retain(a);
+        // An unretained newborn is reclaimed by the sweep...
+        let tmp = arena.intern(Packet::new().with(Field::IpDst, 2));
+        assert_eq!(arena.len(), 2);
+        arena.sweep();
+        // ...and its slot is reused by the next insert.
+        let b = arena.intern(Packet::new().with(Field::IpDst, 3));
+        assert_eq!(b, tmp);
+        assert_eq!(arena.len(), 2);
+        arena.retain(b);
+        arena.sweep();
+        // Retained ids survive sweeps and still dedup.
+        assert_eq!(arena.intern(Packet::new().with(Field::IpDst, 1)), a);
+        assert_eq!(arena.intern(Packet::new().with(Field::IpDst, 3)), b);
+        assert_eq!(arena.get(a).get(Field::IpDst), Some(1));
+        // Releasing the last reference frees the slot immediately: the
+        // content is forgotten (a re-intern claims the slot afresh) and
+        // the storage is reused.
+        arena.release(b);
+        let c = arena.intern(Packet::new().with(Field::IpDst, 4));
+        assert_eq!(c.index(), b.index());
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn recycling_bounds_a_mutation_chain() {
+        // The simulator's per-hop lifecycle — retain the output, release
+        // the input, sweep the intermediates — keeps the arena at the
+        // number of live packets, however long the chain runs.
+        let mut arena = PacketArena::new();
+        arena.enable_recycling();
+        let mut id = arena.intern(Packet::new().with(Field::IpDst, 9));
+        arena.retain(id);
+        arena.sweep();
+        for hop in 0..10_000u64 {
+            let moved = arena.set_loc(id, Loc::new(hop % 64, hop % 4));
+            arena.retain(moved);
+            arena.release(id);
+            arena.sweep();
+            id = moved;
+        }
+        assert_eq!(arena.get(id).loc(), Some(Loc::new(9_999 % 64, 9_999 % 4)));
+        assert_eq!(arena.get(id).get(Field::IpDst), Some(9));
+        assert!(arena.len() <= 2, "arena grew with chain length: {} slots", arena.len());
+    }
+
+    #[test]
+    fn recycling_off_is_append_only() {
+        // Without recycling, retain/release/sweep are no-ops and slots are
+        // permanent — the default contract traces rely on.
+        let mut arena = PacketArena::new();
+        assert!(!arena.recycling());
+        let a = arena.intern(Packet::new().with(Field::IpDst, 5));
+        arena.retain(a);
+        arena.release(a);
+        arena.release(a);
+        arena.sweep();
+        assert_eq!(arena.get(a).get(Field::IpDst), Some(5));
+        assert_eq!(arena.intern(Packet::new().with(Field::IpDst, 5)), a);
+        assert_eq!(arena.len(), 1);
     }
 
     #[test]

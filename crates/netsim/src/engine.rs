@@ -43,7 +43,8 @@ use netkat::{Loc, Packet, PacketId};
 use crate::logic::{BoxedHosts, CtrlMsg, DataPlane, PacketPath, StepResultId};
 use crate::queue::{EventQueue, QueueKind};
 use crate::shard::{self, Partition, Remote};
-use crate::stats::{Delivery, Drop, DropReason, Stats};
+use crate::source::WorkloadSource;
+use crate::stats::{Delivery, Drop, DropReason, Stats, StatsMode};
 use crate::time::SimTime;
 use crate::topology::{SimParams, SimTopology};
 
@@ -203,6 +204,8 @@ pub(crate) struct Core<D: DataPlane> {
     pub(crate) trace: TraceBuilder,
     /// Which packet representation the data plane is driven through.
     packet_path: PacketPath,
+    /// Whether per-packet delivery/drop streams are retained.
+    stats_mode: StatsMode,
     pub(crate) stats: Stats,
     /// What each egress location leads to (host or link), resolved once at
     /// construction.
@@ -249,6 +252,18 @@ pub(crate) struct Core<D: DataPlane> {
     pub(crate) link_markers: Vec<(EventKey, u64, u32)>,
     /// Switches with a dispatched-but-unlinked controller delivery.
     pending_deliver: HashSet<u64, netkat::FxBuildHasher>,
+    /// Lazy injection stream (single-shard mode only; forces solo).
+    source: Option<SourceState>,
+    /// Streaming trace observer (single-shard mode only; forces solo).
+    observer: Option<Box<dyn edn_core::TraceObserver + Send>>,
+}
+
+/// A registered [`WorkloadSource`] plus its reserved environment-sequence
+/// window: event `seq` of the source maps to key `pack_seq(ENV, base+seq)`.
+struct SourceState {
+    src: Box<dyn WorkloadSource + Send>,
+    base: u64,
+    total: u64,
 }
 
 impl<D: DataPlane> Core<D> {
@@ -261,6 +276,7 @@ impl<D: DataPlane> Core<D> {
         queue: QueueKind,
         mode: TraceMode,
         packet_path: PacketPath,
+        stats_mode: StatsMode,
         me: u32,
         shards: u32,
         owners: Option<Partition>,
@@ -290,6 +306,7 @@ impl<D: DataPlane> Core<D> {
             now: SimTime::ZERO,
             trace: TraceBuilder::with_mode(mode),
             packet_path,
+            stats_mode,
             stats: Stats::default(),
             egress,
             link_free: vec![SimTime::ZERO; n_links],
@@ -310,6 +327,8 @@ impl<D: DataPlane> Core<D> {
             deliver_log: Vec::new(),
             link_markers: Vec::new(),
             pending_deliver: HashSet::default(),
+            source: None,
+            observer: None,
         }
     }
 
@@ -321,6 +340,12 @@ impl<D: DataPlane> Core<D> {
     }
 
     fn push_keyed(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        // The queue holds a reference to the packet an event carries: in a
+        // recycling (stats-only) arena this pins its slot until the event
+        // is dispatched. Append-only arenas make retain a no-op.
+        if let EventKind::Inject { packet, .. } | EventKind::Arrive { packet, .. } = kind {
+            self.trace.arena_mut().retain(packet);
+        }
         let slot = match self.free_slots.pop() {
             Some(slot) => {
                 self.slots[slot as usize] = Some(kind);
@@ -395,6 +420,9 @@ impl<D: DataPlane> Core<D> {
     /// Runs the solo event loop until the queue empties or `deadline`
     /// passes (inclusive).
     fn run_solo(&mut self, deadline: SimTime) {
+        if self.source.is_some() {
+            return self.run_solo_streaming(deadline);
+        }
         while let Some(key) = self.queue.pop() {
             let (time, seq, slot) = key;
             if time > deadline {
@@ -408,6 +436,67 @@ impl<D: DataPlane> Core<D> {
             self.now = time;
             self.dispatch((time, seq), kind);
         }
+    }
+
+    /// The solo loop with a lazy source attached: before every pop, pump
+    /// source events up to the earlier of the next queued fire time and the
+    /// deadline. Environment keys sort below every derived key at equal
+    /// times (entity id 0), and the queue totally orders whatever is
+    /// pushed, so pumping just-in-time leaves the dispatch order exactly
+    /// what a pre-materialized batch would have produced.
+    fn run_solo_streaming(&mut self, deadline: SimTime) {
+        loop {
+            // Admit source events up to the next queued fire time — or,
+            // when the queue is idle, just the earliest pending time slice.
+            // An idle queue must not admit the whole source: lazy admission
+            // is what keeps a recycling arena at the in-flight high-water
+            // mark instead of the full workload size.
+            let mut limit = self.next_time_us();
+            if limit == u64::MAX {
+                if let Some(t) = self.source_peek_us() {
+                    limit = t;
+                }
+            }
+            self.pump_source(limit.min(deadline.as_micros()));
+            let Some(key) = self.queue.pop() else { break };
+            let (time, seq, slot) = key;
+            if time > deadline {
+                self.queue.push(key);
+                break;
+            }
+            let kind = self.slots[slot as usize].take().expect("queued slots are filled");
+            self.free_slots.push(slot);
+            self.now = time;
+            self.dispatch((time, seq), kind);
+        }
+    }
+
+    /// The attached source's earliest pending fire time in microseconds,
+    /// if any.
+    fn source_peek_us(&self) -> Option<u64> {
+        self.source.as_ref().and_then(|st| st.src.peek_time()).map(|t| t.as_micros())
+    }
+
+    /// Drains source events with fire time at or below `limit_us` into the
+    /// queue; later events stay in the source for a later pump (or a later
+    /// `run` call — a source survives the deadline like queued events do).
+    fn pump_source(&mut self, limit_us: u64) {
+        let Some(mut st) = self.source.take() else { return };
+        while st.src.peek_time().is_some_and(|t| t.as_micros() <= limit_us) {
+            let ev = st.src.next_event().expect("peek_time implies a next event");
+            debug_assert!(ev.seq < st.total, "source seq {} out of reserved window", ev.seq);
+            assert!(self.topo.is_host(ev.host), "node {} is not a host", ev.host);
+            let sender = self.entities.dense(ev.host);
+            let attach = self.topo.attachment(ev.host).expect("hosts are attached");
+            let attach_sender = self.entities.dense(attach.sw);
+            let packet = self.trace.arena_mut().intern(ev.packet);
+            self.push_keyed(
+                ev.time,
+                pack_seq(ENV_ENTITY, st.base + ev.seq),
+                EventKind::Inject { host: ev.host, packet, size: ev.size, sender, attach_sender },
+            );
+        }
+        self.source = Some(st);
     }
 
     /// Runs local events with fire time strictly below `horizon_us` — one
@@ -428,6 +517,10 @@ impl<D: DataPlane> Core<D> {
 
     fn dispatch(&mut self, key: EventKey, kind: EventKind) {
         self.stats.events_processed += 1;
+        let carried = match &kind {
+            EventKind::Inject { packet, .. } | EventKind::Arrive { packet, .. } => Some(*packet),
+            _ => None,
+        };
         let before = self.trace.len();
         self.dispatch_inner(key, kind);
         if self.record_full {
@@ -435,6 +528,15 @@ impl<D: DataPlane> Core<D> {
             if n > 0 {
                 self.record_runs.push((key, n as u32));
             }
+        }
+        // Dispatch consumed the event: drop the queue's reference taken in
+        // `push_keyed`, then reclaim this dispatch's unretained
+        // intermediates (children pushed above hold their own references).
+        // No-ops unless the arena recycles (stats-only runs).
+        if let Some(id) = carried {
+            let arena = self.trace.arena_mut();
+            arena.release(id);
+            arena.sweep();
         }
     }
 
@@ -451,6 +553,10 @@ impl<D: DataPlane> Core<D> {
     }
 
     fn push_drop(&mut self, key: EventKey, drop: Drop) {
+        self.stats.dropped[drop.reason.index()] += 1;
+        if self.stats_mode == StatsMode::Counters {
+            return;
+        }
         self.stats.drops.push(drop);
         if self.multi {
             self.drop_keys.push(key);
@@ -463,6 +569,9 @@ impl<D: DataPlane> Core<D> {
                 let Some(attach) = self.topo.attachment(host) else { return };
                 self.stats.injected += 1;
                 let idx = self.trace.push_id(packet, Loc::new(host, 0), None);
+                if let Some(o) = self.observer.as_deref_mut() {
+                    o.record(idx, self.trace.arena().get(packet), Loc::new(host, 0), None);
+                }
                 // Host attachment links are uncontended.
                 let arrival = self.now + self.topo.host_latency;
                 let seq = self.next_seq(sender);
@@ -481,16 +590,27 @@ impl<D: DataPlane> Core<D> {
             }
             EventKind::Arrive { loc, packet, size, parent, from_host, sender } => {
                 if self.topo.is_host(loc.sw) {
-                    self.push_record(packet, loc, parent);
+                    let idx = self.push_record(packet, loc, parent);
+                    if let Some(o) = self.observer.as_deref_mut() {
+                        o.record(idx, self.trace.arena().get(packet), loc, parent.local());
+                        if let Parent::Local(p) = parent {
+                            o.retire(p);
+                        }
+                        o.leaf(idx, edn_core::LeafKind::Delivered);
+                    }
                     let pk = self.trace.arena().get(packet);
-                    self.stats.deliveries.push(Delivery {
-                        time: self.now,
-                        host: loc.sw,
-                        packet: pk.clone(),
-                        size,
-                    });
-                    if self.multi {
-                        self.delivery_keys.push(key);
+                    self.stats.delivered_packets += 1;
+                    self.stats.delivered_bytes += size as u64;
+                    if self.stats_mode == StatsMode::Full {
+                        self.stats.deliveries.push(Delivery {
+                            time: self.now,
+                            host: loc.sw,
+                            packet: pk.clone(),
+                            size,
+                        });
+                        if self.multi {
+                            self.delivery_keys.push(key);
+                        }
                     }
                     let host = loc.sw;
                     let replies = self.hosts.on_receive(host, pk, self.now);
@@ -574,6 +694,12 @@ impl<D: DataPlane> Core<D> {
         sender: u32,
     ) {
         let ingress_idx = self.push_record(packet, loc, parent);
+        if let Some(o) = self.observer.as_deref_mut() {
+            o.record(ingress_idx, self.trace.arena().get(packet), loc, parent.local());
+            if let Parent::Local(p) = parent {
+                o.retire(p);
+            }
+        }
         // Knowledge delivered by the controller happens-before this step.
         if self.multi {
             if self.record_full && self.pending_deliver.remove(&loc.sw) {
@@ -585,6 +711,9 @@ impl<D: DataPlane> Core<D> {
             for &cause in &self.ctrl_causes[*linked..delivered] {
                 if cause < ingress_idx {
                     self.trace.add_causal_edge(cause, ingress_idx);
+                    if let Some(o) = self.observer.as_deref_mut() {
+                        o.edge(cause, ingress_idx);
+                    }
                 }
             }
             *linked = (*linked).max(delivered);
@@ -614,6 +743,11 @@ impl<D: DataPlane> Core<D> {
                 out.notifications.extend(r.notifications);
             }
         }
+        if !out.notifications.is_empty() {
+            if let Some(o) = self.observer.as_deref_mut() {
+                o.cause(ingress_idx);
+            }
+        }
         for msg in out.notifications.drain(..) {
             let t = self.now + self.params.controller_latency;
             let seq = self.next_seq(sender);
@@ -627,6 +761,9 @@ impl<D: DataPlane> Core<D> {
         }
         if out.outputs.is_empty() {
             self.trace.mark_terminated(ingress_idx);
+            if let Some(o) = self.observer.as_deref_mut() {
+                o.leaf(ingress_idx, edn_core::LeafKind::Terminated);
+            }
             self.push_drop(
                 key,
                 Drop {
@@ -644,6 +781,9 @@ impl<D: DataPlane> Core<D> {
             let (out_pt, out_pkt) = out.outputs[i];
             let out_loc = Loc::new(loc.sw, out_pt);
             let egress_idx = self.push_record(out_pkt, out_loc, Parent::Local(ingress_idx));
+            if let Some(o) = self.observer.as_deref_mut() {
+                o.record(egress_idx, self.trace.arena().get(out_pkt), out_loc, Some(ingress_idx));
+            }
             let (link_idx, dst_dense) = match self.egress.get(&out_loc) {
                 // Host delivery?
                 Some(&Egress::Host(host, host_dense)) => {
@@ -668,6 +808,9 @@ impl<D: DataPlane> Core<D> {
                 // Nothing attached here.
                 None => {
                     self.trace.mark_terminated(egress_idx);
+                    if let Some(o) = self.observer.as_deref_mut() {
+                        o.leaf(egress_idx, edn_core::LeafKind::Terminated);
+                    }
                     self.push_drop(
                         key,
                         Drop {
@@ -685,6 +828,9 @@ impl<D: DataPlane> Core<D> {
             // unterminated in the trace: the abstract configuration has no
             // notion of a dead link, so the packet reads as in flight.
             if self.fail_at[link_idx].is_some_and(|t| depart >= t) {
+                if let Some(o) = self.observer.as_deref_mut() {
+                    o.leaf(egress_idx, edn_core::LeafKind::Stalled);
+                }
                 self.push_drop(
                     key,
                     Drop {
@@ -707,6 +853,9 @@ impl<D: DataPlane> Core<D> {
                     // links, so a queue drop reads as a packet forever in
                     // flight (a prefix), not as forwarding misbehaviour.
                     if start.saturating_sub(depart) > self.params.max_queue_delay {
+                        if let Some(o) = self.observer.as_deref_mut() {
+                            o.leaf(egress_idx, edn_core::LeafKind::Stalled);
+                        }
                         self.push_drop(
                             key,
                             Drop {
@@ -755,6 +904,9 @@ impl<D: DataPlane> Core<D> {
         }
         out.clear();
         self.step_buf = out;
+        if let Some(o) = self.observer.as_deref_mut() {
+            o.retire(ingress_idx);
+        }
     }
 }
 
@@ -796,6 +948,7 @@ impl<D: DataPlane> Engine<D> {
             QueueKind::from_env(),
             TraceMode::from_env(),
             PacketPath::from_env(),
+            StatsMode::from_env(),
             0,
             1,
             None,
@@ -840,6 +993,22 @@ impl<D: DataPlane> Engine<D> {
     pub fn with_packet_path(mut self, path: PacketPath) -> Engine<D> {
         for core in &mut self.cores {
             core.packet_path = path;
+        }
+        self
+    }
+
+    /// Sets how much per-packet detail the run's [`Stats`] retain. The
+    /// aggregate counters are identical in every mode;
+    /// [`StatsMode::Counters`] just leaves the per-packet streams empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has already been scheduled (the mode governs a
+    /// whole run).
+    pub fn with_stats_mode(mut self, mode: StatsMode) -> Engine<D> {
+        assert!(self.env_seq == 0, "set the stats mode before scheduling events");
+        for core in &mut self.cores {
+            core.stats_mode = mode;
         }
         self
     }
@@ -902,6 +1071,20 @@ impl<D: DataPlane> Engine<D> {
     /// The trace recording mode in use.
     pub fn trace_mode(&self) -> TraceMode {
         self.cores[0].trace.mode()
+    }
+
+    /// Diagnostic: packet slots in shard 0's arena. Append-only arenas
+    /// (trace mode [`TraceMode::Full`]) count every distinct packet ever
+    /// seen; recycling arenas ([`TraceMode::StatsOnly`]) count the
+    /// high-water mark of simultaneously live packets — for a streaming
+    /// run, a bound independent of how many events are processed.
+    pub fn arena_slots(&self) -> usize {
+        self.cores[0].trace.arena().len()
+    }
+
+    /// The stats retention mode in use.
+    pub fn stats_mode(&self) -> StatsMode {
+        self.cores[0].stats_mode
     }
 
     /// The packet representation in use.
@@ -991,11 +1174,61 @@ impl<D: DataPlane> Engine<D> {
         }
     }
 
+    /// Attaches a lazy injection stream: the engine pulls events from the
+    /// source as simulated time advances, so a workload of millions of
+    /// datagrams never materializes in the queue. The run is
+    /// **byte-identical** to scheduling the same events through
+    /// [`inject_batch`](Engine::inject_batch) (see [`crate::source`]).
+    ///
+    /// A source forces single-threaded execution: a pending
+    /// [`with_shards`](Engine::with_shards) request falls back to solo at
+    /// the first run (results are byte-identical at any shard count, so
+    /// nothing observable changes).
+    ///
+    /// Injections scheduled *after* this call (e.g. trigger packets via
+    /// [`inject_at`](Engine::inject_at)) sort after the entire stream at
+    /// equal times, exactly as they would after a batch call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started or a source is already set.
+    pub fn set_source(&mut self, src: Box<dyn WorkloadSource + Send>) {
+        assert!(!self.started, "attach the source before running");
+        assert!(self.cores[0].source.is_none(), "an engine takes one source");
+        let total = src.total_events();
+        let base = self.env_seq;
+        self.env_seq += total;
+        self.cores[0].source = Some(SourceState { src, base, total });
+    }
+
+    /// Attaches a streaming trace observer (e.g. the online consistency
+    /// checker, [`edn_core::OnlineChecker`]): every record, drop, delivery,
+    /// and controller causal edge is reported as it happens, so a
+    /// [`TraceMode::StatsOnly`] run can still be checked.
+    ///
+    /// An observer forces single-threaded execution, like
+    /// [`set_source`](Engine::set_source) — results are byte-identical
+    /// either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started.
+    pub fn set_observer(&mut self, observer: Box<dyn edn_core::TraceObserver + Send>) {
+        assert!(!self.started, "attach the observer before running");
+        self.cores[0].observer = Some(observer);
+    }
+
     /// Resolves a pending [`with_shards`](Engine::with_shards) request:
     /// partitions the topology, builds the extra cores, and redistributes
     /// the already-scheduled injections to their owning shards.
     fn ensure_sharded(&mut self) {
         if self.started {
+            return;
+        }
+        if self.cores[0].source.is_some() || self.cores[0].observer.is_some() {
+            // Streaming sources and observers are solo-only; the results
+            // are byte-identical at any shard count, so fall back.
+            self.prepared = None;
             return;
         }
         let Some(extras) = self.prepared.take() else { return };
@@ -1010,6 +1243,7 @@ impl<D: DataPlane> Engine<D> {
         let queue = self.cores[0].queue.kind();
         let mode = self.cores[0].trace.mode();
         let path = self.cores[0].packet_path;
+        let stats_mode = self.cores[0].stats_mode;
         let fail_at = self.cores[0].fail_at.clone();
         for (i, (dataplane, hosts)) in extras.into_iter().take(k as usize - 1).enumerate() {
             let mut core = Core::build(
@@ -1020,6 +1254,7 @@ impl<D: DataPlane> Engine<D> {
                 queue,
                 mode,
                 path,
+                stats_mode,
                 i as u32 + 1,
                 k,
                 Some(part.clone()),
@@ -1049,12 +1284,15 @@ impl<D: DataPlane> Engine<D> {
             let owner = part.owner_of(host).unwrap_or(0) as usize;
             let pk = self.cores[0].trace.arena().get(packet).clone();
             let core = &mut self.cores[owner];
-            let packet = core.trace.arena_mut().intern(pk);
+            let local = core.trace.arena_mut().intern(pk);
             core.push_keyed(
                 time,
                 seq,
-                EventKind::Inject { host, packet, size, sender, attach_sender },
+                EventKind::Inject { host, packet: local, size, sender, attach_sender },
             );
+            // The event moved shards: drop shard 0's queue reference (the
+            // owning shard's `push_keyed` above took its own).
+            self.cores[0].trace.arena_mut().release(packet);
         }
         self.partition = Some(part);
     }
@@ -1085,7 +1323,12 @@ impl<D: DataPlane> Engine<D> {
     /// exact single-threaded global order here.
     pub fn finish(mut self) -> RunResult<D> {
         if self.cores.len() == 1 {
-            let core = self.cores.pop().expect("engines have a core");
+            let mut core = self.cores.pop().expect("engines have a core");
+            if let Some(mut o) = core.observer.take() {
+                // Packets still in flight (queued past the deadline) are
+                // path tips: the observer closes them out as prefixes.
+                o.finish();
+            }
             RunResult {
                 trace: core.trace.build().expect("engine-built traces are structurally valid"),
                 stats: core.stats,
@@ -1321,6 +1564,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stats_only_streaming_runs_in_bounded_arena_memory() {
+        // A streamed run of N distinct datagrams: in StatsOnly mode the
+        // recycling arena must stay at the in-flight high-water mark (a
+        // bound independent of N), while observables match the Full run
+        // exactly. The Full run interns append-only — its arena grows with
+        // N, which is what makes the contrast meaningful.
+        let flow = crate::traffic::UdpFlowSpec {
+            flow: 1,
+            src: 100,
+            dst: 200,
+            start: SimTime::from_millis(1),
+            end: SimTime::from_millis(1) + SimTime::from_micros(100 * 2_000),
+            interval: SimTime::from_micros(100),
+            size: 64,
+        };
+        let run = |mode: TraceMode| {
+            let mut e =
+                Engine::new(topo(), SimParams::default(), ToHostPort(2), Box::new(SinkHosts))
+                    .with_trace_mode(mode)
+                    .with_packet_path(PacketPath::Arena);
+            e.set_source(Box::new(crate::traffic::FlowSource::new(std::slice::from_ref(&flow))));
+            e.run(SimTime::from_secs(10));
+            let slots = e.arena_slots();
+            let r = e.finish();
+            (slots, r.trace, r.stats)
+        };
+        let (full_slots, full_trace, full_stats) = run(TraceMode::Full);
+        let (lean_slots, lean_trace, lean_stats) = run(TraceMode::StatsOnly);
+        assert_eq!(lean_stats, full_stats);
+        assert_eq!(full_stats.injected, 2_000);
+        assert!(!full_trace.is_empty());
+        assert!(lean_trace.is_empty());
+        assert!(full_slots > 1_000, "the append-only arena should grow with N: {full_slots}");
+        assert!(lean_slots < 64, "the recycling arena must stay bounded: {lean_slots}");
     }
 
     #[test]

@@ -43,12 +43,13 @@ mod engine;
 mod logic;
 mod queue;
 mod shard;
+pub mod source;
 mod stats;
 mod time;
 mod topology;
 pub mod traffic;
 
-pub use edn_core::TraceMode;
+pub use edn_core::{LeafKind, TraceMode, TraceObserver};
 pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
 pub use logic::{
     table_outputs, BoxedHosts, CtrlMsg, DataPlane, HostLogic, PacketPath, SinkHosts, StepResult,
@@ -57,6 +58,7 @@ pub use logic::{
 pub use netkat::{PacketArena, PacketId};
 pub use queue::QueueKind;
 pub use shard::{shard_count_from_env, Partition};
-pub use stats::{Delivery, Drop, DropReason, Stats};
+pub use source::{SourceEvent, WorkloadSource};
+pub use stats::{Delivery, Drop, DropReason, Stats, StatsMode};
 pub use time::SimTime;
 pub use topology::{LinkSpec, SimParams, SimTopology};

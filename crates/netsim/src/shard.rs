@@ -302,6 +302,11 @@ pub(crate) fn merge<D: DataPlane>(cores: Vec<Core<D>>, part: &Partition) -> RunR
     for core in cores {
         stats.injected += core.stats.injected;
         stats.events_processed += core.stats.events_processed;
+        stats.delivered_packets += core.stats.delivered_packets;
+        stats.delivered_bytes += core.stats.delivered_bytes;
+        for (total, shard) in stats.dropped.iter_mut().zip(core.stats.dropped) {
+            *total += shard;
+        }
         debug_assert_eq!(core.stats.deliveries.len(), core.delivery_keys.len());
         debug_assert_eq!(core.stats.drops.len(), core.drop_keys.len());
         delivery_streams

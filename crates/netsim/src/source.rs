@@ -1,0 +1,66 @@
+//! Generator-backed injection: lazy, pull-on-demand workload sources.
+//!
+//! [`Engine::inject_batch`](crate::Engine::inject_batch) materializes every
+//! datagram of a workload into the event queue up front, so the queue alone
+//! costs memory proportional to the offered load. A [`WorkloadSource`] is
+//! the streaming alternative: the engine *pulls* timed injections from the
+//! source as simulated time advances, so only the events of the current
+//! instant ever sit in the queue and a 10M-event run costs the same queue
+//! memory as a 10-event run.
+//!
+//! # Byte-identical to the batch path
+//!
+//! A streamed run is pinned **byte-identical** to the equivalent
+//! [`inject_batch`](crate::Engine::inject_batch) run (the streaming
+//! differential suite enforces this). The engine orders events by
+//! `(time, sequence)` where initial injections draw their sequence from the
+//! pre-run *environment* entity; the batch path numbers them in batch
+//! (flow-major) order. A source therefore reports each event's
+//! [`SourceEvent::seq`] — its offset in that same batch order — even though
+//! it *yields* events in time order, and the engine packs
+//! `base + seq` into the exact key the batch path would have used. Identical
+//! keys mean identical pop order, which means identical runs.
+
+use netkat::Packet;
+
+use crate::time::SimTime;
+
+/// One lazily-generated host injection.
+#[derive(Clone, Debug)]
+pub struct SourceEvent {
+    /// When the host offers the packet.
+    pub time: SimTime,
+    /// The event's offset in the *batch-equivalent* injection order (see
+    /// the module docs): the position this injection would have had in the
+    /// corresponding [`inject_batch`](crate::Engine::inject_batch) call.
+    /// Must be unique and `< total_events()`.
+    pub seq: u64,
+    /// The injecting host.
+    pub host: u64,
+    /// The packet.
+    pub packet: Packet,
+    /// Payload size in bytes.
+    pub size: u32,
+}
+
+/// A lazy stream of timed host injections, pulled by the engine as
+/// simulation time advances.
+///
+/// Implementations must yield events in nondecreasing [`SourceEvent::time`]
+/// order, with [`peek_time`](WorkloadSource::peek_time) reporting the next
+/// event's time without consuming it. [`total_events`](WorkloadSource::total_events)
+/// must be exact: the engine reserves that many environment sequence
+/// numbers up front so injections scheduled *after*
+/// [`Engine::set_source`](crate::Engine::set_source) (e.g. trigger packets
+/// via [`inject_at`](crate::Engine::inject_at)) sort after the whole
+/// stream, exactly as they would after a batch call.
+pub trait WorkloadSource {
+    /// Exact number of events this source will yield in total.
+    fn total_events(&self) -> u64;
+
+    /// The time of the next event, or `None` when exhausted.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Yields the next event (in nondecreasing time order).
+    fn next_event(&mut self) -> Option<SourceEvent>;
+}

@@ -17,6 +17,60 @@ pub enum DropReason {
     LinkDown,
 }
 
+impl DropReason {
+    /// The reason's index into [`Stats::dropped`].
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::NoRule => 0,
+            DropReason::DeadEnd => 1,
+            DropReason::QueueFull => 2,
+            DropReason::LinkDown => 3,
+        }
+    }
+}
+
+/// How much per-packet detail a run's [`Stats`] retain.
+///
+/// The aggregate counters ([`Stats::injected`], [`Stats::events_processed`],
+/// [`Stats::delivered_packets`], [`Stats::delivered_bytes`],
+/// [`Stats::dropped`]) are maintained identically in **both** modes; the
+/// mode only decides whether the per-packet [`Stats::deliveries`] and
+/// [`Stats::drops`] streams are kept. [`StatsMode::Counters`] keeps them
+/// empty, so a run's memory no longer grows with the delivery count — the
+/// companion of [`TraceMode::StatsOnly`](edn_core::TraceMode) for
+/// verified-at-scale runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StatsMode {
+    /// Record every delivery and drop (the default).
+    Full,
+    /// Aggregate counters only; `deliveries` and `drops` stay empty.
+    Counters,
+}
+
+impl StatsMode {
+    /// Reads the mode from `EDN_STATS` (`full` or `counters`); unset means
+    /// [`StatsMode::Full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value.
+    pub fn from_env() -> StatsMode {
+        match std::env::var("EDN_STATS").as_deref() {
+            Ok("full") | Err(_) => StatsMode::Full,
+            Ok("counters") => StatsMode::Counters,
+            Ok(other) => panic!("EDN_STATS must be `full` or `counters`, got `{other}`"),
+        }
+    }
+
+    /// A short label for benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatsMode::Full => "full",
+            StatsMode::Counters => "counters",
+        }
+    }
+}
+
 /// A delivered packet.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Delivery {
@@ -56,6 +110,14 @@ pub struct Stats {
     /// controller notifications and deliveries) — the scale harness's
     /// work-done metric.
     pub events_processed: u64,
+    /// Total packets delivered (maintained in every [`StatsMode`], so a
+    /// [`StatsMode::Counters`] run still reports throughput).
+    pub delivered_packets: u64,
+    /// Total bytes delivered (maintained in every [`StatsMode`]).
+    pub delivered_bytes: u64,
+    /// Drop counts by [`DropReason::index`] (maintained in every
+    /// [`StatsMode`]).
+    pub dropped: [u64; 4],
 }
 
 impl Stats {

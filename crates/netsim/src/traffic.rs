@@ -146,6 +146,79 @@ pub fn udp_flow_datagrams(spec: &UdpFlowSpec) -> impl Iterator<Item = (SimTime, 
     })
 }
 
+/// One flow's position in a [`FlowSource`] stream.
+struct FlowCursor {
+    /// The rest of the flow's datagrams, in time order.
+    iter: Box<dyn Iterator<Item = (SimTime, u64, Packet, u32)> + Send>,
+    /// The datagram the heap entry refers to.
+    pending: Option<(SimTime, u64, Packet, u32)>,
+    /// Batch-order sequence of `pending` (flow-major: this flow's offset
+    /// plus the datagrams already yielded).
+    seq: u64,
+}
+
+/// A [`WorkloadSource`](crate::WorkloadSource) merging many
+/// [`UdpFlowSpec`]s into one time-ordered lazy stream.
+///
+/// Memory is `O(flows)`, independent of the datagram count: each flow
+/// contributes one cursor and one heap entry. The reported
+/// [`SourceEvent::seq`](crate::SourceEvent::seq) numbers datagrams in
+/// *flow-major* order — flow `i`'s `j`-th datagram gets
+/// `offset(i) + j` — which is exactly the order
+/// `flows.iter().flat_map(udp_flow_datagrams)` would feed
+/// [`Engine::inject_batch`], so a streamed run is byte-identical to the
+/// batched one (the streaming differential suite pins this).
+pub struct FlowSource {
+    /// Min-heap of `(time, seq, cursor index)` over each flow's pending
+    /// datagram; `seq` is globally unique, so the order is total.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32)>>,
+    cursors: Vec<FlowCursor>,
+    total: u64,
+}
+
+impl FlowSource {
+    /// Builds the merged stream over `flows`.
+    pub fn new(flows: &[UdpFlowSpec]) -> FlowSource {
+        let mut heap = std::collections::BinaryHeap::with_capacity(flows.len());
+        let mut cursors = Vec::with_capacity(flows.len());
+        let mut offset = 0u64;
+        for (i, f) in flows.iter().enumerate() {
+            let mut iter: Box<dyn Iterator<Item = (SimTime, u64, Packet, u32)> + Send> =
+                Box::new(udp_flow_datagrams(f));
+            let pending = iter.next();
+            if let Some((t, ..)) = pending {
+                heap.push(std::cmp::Reverse((t, offset, i as u32)));
+            }
+            cursors.push(FlowCursor { iter, pending, seq: offset });
+            offset += f.datagram_count();
+        }
+        FlowSource { heap, cursors, total: offset }
+    }
+}
+
+impl crate::WorkloadSource for FlowSource {
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|std::cmp::Reverse((t, ..))| *t)
+    }
+
+    fn next_event(&mut self) -> Option<crate::SourceEvent> {
+        let std::cmp::Reverse((time, seq, fi)) = self.heap.pop()?;
+        let cursor = &mut self.cursors[fi as usize];
+        let (t, host, packet, size) = cursor.pending.take().expect("heap entries have a pending");
+        debug_assert_eq!((t, cursor.seq), (time, seq), "cursor out of sync with heap");
+        if let Some(next) = cursor.iter.next() {
+            cursor.seq += 1;
+            self.heap.push(std::cmp::Reverse((next.0, cursor.seq, fi)));
+            cursor.pending = Some(next);
+        }
+        Some(crate::SourceEvent { time, seq, host, packet, size })
+    }
+}
+
 #[derive(Clone, Debug)]
 struct TcpFlowState {
     spec: TcpFlowSpec,

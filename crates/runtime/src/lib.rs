@@ -14,7 +14,10 @@
 //!   random order;
 //! * [`verify_nes_run`] / [`verify_uncoordinated_run`] check a finished run
 //!   against Definition 6 (the paper's Theorem 1 says the former never
-//!   fails; the baseline demonstrably does).
+//!   fails; the baseline demonstrably does);
+//! * [`attach_online_checker`] attaches the incremental Definition 6 checker
+//!   to an engine before the run, so stats-only executions too large to
+//!   record still get a verdict in bounded memory.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,6 @@ pub use program::{tagged_lookup, SwitchProgram};
 pub use static_plane::StaticDataPlane;
 pub use uncoordinated::UncoordDataPlane;
 pub use verify::{
-    nes_engine, nes_engine_with_path, uncoordinated_engine, verify_nes_run,
+    attach_online_checker, nes_engine, nes_engine_with_path, uncoordinated_engine, verify_nes_run,
     verify_uncoordinated_run,
 };

@@ -1,8 +1,11 @@
 //! End-to-end glue: deploy an NES on the simulator, run a scenario, and
 //! check the recorded trace against Definition 6.
 
-use edn_core::{check_correct, CorrectnessViolation, NetworkEventStructure};
-use netsim::{Engine, RunResult, SimParams, SimTopology};
+use edn_core::{
+    check_correct, CorrectnessViolation, NetworkEventStructure, OnlineChecker, OnlineHandle,
+    OnlineViolation,
+};
+use netsim::{DataPlane, Engine, RunResult, SimParams, SimTopology};
 
 use crate::compile::CompiledNes;
 use crate::dataplane::NesDataPlane;
@@ -53,6 +56,29 @@ pub fn uncoordinated_engine(
     let switches = topo.switches().to_vec();
     let dataplane = UncoordDataPlane::new(CompiledNes::compile(nes), switches, update_delay, seed);
     Engine::new(topo, params, dataplane, hosts)
+}
+
+/// Attaches an online Definition 6 checker to an engine *before* the run:
+/// the engine streams every processing step into the checker, which
+/// discharges its happens-before obligations incrementally and retires
+/// trace prefixes — so even a [`TraceMode::StatsOnly`](netsim::TraceMode)
+/// run produces a verdict, in memory bounded by the packets in flight.
+///
+/// Call [`OnlineHandle::verdict`] after the run finishes. An engine with an
+/// observer runs single-threaded regardless of `EDN_SHARDS` (results are
+/// byte-identical at any shard count, so the verdict is too).
+///
+/// # Errors
+///
+/// Returns [`OnlineViolation::CapacityExceeded`] if the NES has more
+/// reachable configurations than the checker's window (64).
+pub fn attach_online_checker<D: DataPlane>(
+    engine: &mut Engine<D>,
+    nes: &NetworkEventStructure,
+) -> Result<OnlineHandle, OnlineViolation> {
+    let (observer, handle) = OnlineChecker::observer(nes)?;
+    engine.set_observer(observer);
+    Ok(handle)
 }
 
 /// Checks a finished NES-runtime run against Definition 6, using the
@@ -142,6 +168,50 @@ mod tests {
         assert!(outcomes[1].replied.is_some(), "trigger ping answered");
         assert!(outcomes[2].replied.is_some(), "post-event reverse traffic flows");
         verify_nes_run(&result).expect("Theorem 1: runtime traces are correct");
+    }
+
+    #[test]
+    fn online_checker_agrees_with_post_hoc_on_correct_run() {
+        let (nes, topo) = nes_and_topo();
+        let mut engine = nes_engine(
+            nes.clone(),
+            topo,
+            SimParams::default(),
+            false,
+            Box::new(ScenarioHosts::new()),
+        );
+        let handle = attach_online_checker(&mut engine, &nes).expect("tiny NES fits the window");
+        let pings = vec![
+            Ping { time: SimTime::from_millis(1), src: 300, dst: 200, id: 1 },
+            Ping { time: SimTime::from_millis(100), src: 200, dst: 300, id: 2 },
+            Ping { time: SimTime::from_millis(200), src: 300, dst: 200, id: 3 },
+        ];
+        schedule_pings(&mut engine, &pings);
+        let result = engine.run_until(SimTime::from_secs(2));
+        verify_nes_run(&result).expect("post-hoc checker accepts the run");
+        handle.verdict().expect("online checker agrees");
+    }
+
+    #[test]
+    fn online_checker_flags_the_uncoordinated_run() {
+        let (nes, topo) = nes_and_topo();
+        let mut engine = uncoordinated_engine(
+            nes.clone(),
+            topo,
+            SimParams::default(),
+            SimTime::from_millis(500),
+            42,
+            Box::new(ScenarioHosts::new()),
+        );
+        let handle = attach_online_checker(&mut engine, &nes).expect("tiny NES fits the window");
+        let pings = vec![
+            Ping { time: SimTime::from_millis(1), src: 200, dst: 300, id: 1 },
+            Ping { time: SimTime::from_millis(10), src: 300, dst: 200, id: 2 },
+        ];
+        schedule_pings(&mut engine, &pings);
+        let result = engine.run_until(SimTime::from_secs(2));
+        assert!(verify_uncoordinated_run(&result, &nes).is_err(), "post-hoc flags the run");
+        assert!(handle.verdict().is_err(), "online checker flags it too");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod generate;
 mod partition;
 mod route;
+mod stream;
 mod workload;
 
 pub use generate::{
@@ -45,6 +46,7 @@ pub use partition::{partition, partition_sim};
 pub use route::{
     all_hosts_connected, config_from_rules, shortest_path_config, shortest_path_rules,
 };
+pub use stream::{attach_stream, synthesize_arrivals, ArrivalModel};
 pub use workload::{schedule, synthesize, TrafficPattern, Workload};
 
 #[cfg(test)]

@@ -1,0 +1,276 @@
+//! Streaming workload models: heavy-tailed, bursty, and diurnal arrivals.
+//!
+//! [`synthesize`](crate::synthesize) draws every flow from the same uniform
+//! shape: fixed datagram count, uniform start jitter. Real traffic is not
+//! like that, and the difference matters at scale — heavy-tailed flow sizes
+//! and synchronized bursts are what stress queues and the online checker.
+//! An [`ArrivalModel`] reshapes a synthesized traffic matrix (the *pairs*
+//! still come from the base [`Workload`](crate::Workload) pattern):
+//!
+//! - [`ArrivalModel::Pareto`] — flow sizes become Pareto draws (scale =
+//!   `packets_per_flow`, shape `alpha`): most flows are mice, a few are
+//!   elephants carrying most of the bytes.
+//! - [`ArrivalModel::OnOff`] — each flow transmits in fixed-size bursts
+//!   separated by silences, the classic on/off source.
+//! - [`ArrivalModel::Diurnal`] — flow starts follow a raised-cosine load
+//!   curve over the jitter window instead of a uniform draw: rush hours and
+//!   quiet troughs.
+//!
+//! Everything is seeded from the workload's seed, so equal parameters give
+//! byte-identical flows. [`attach_stream`] then hands the flows to the
+//! engine as a lazy [`FlowSource`] — events materialize on demand instead
+//! of filling the queue up front, which is what lets a 10M+ event run start
+//! in O(flows) memory. A streamed run is byte-identical to the same flows
+//! scheduled eagerly with [`schedule`](crate::schedule) (pinned by the
+//! differential suite in `edn-bench`).
+
+use netsim::traffic::{FlowSource, UdpFlowSpec};
+use netsim::{DataPlane, Engine, SimTime, WorkloadSource};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::generate::GenTopology;
+use crate::workload::{synthesize, Workload};
+
+/// How a flow's datagrams arrive in time (see
+/// [`synthesize_arrivals`](crate::synthesize_arrivals)).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ArrivalModel {
+    /// Heavy-tailed flow sizes: datagram counts are Pareto draws with shape
+    /// `alpha` and scale `packets_per_flow`, clamped to `max_packets`.
+    /// Smaller `alpha` means heavier tails (`alpha ≤ 1` has infinite mean).
+    Pareto {
+        /// Pareto shape parameter (tail index); typical traffic is 1.1–1.5.
+        alpha: f64,
+        /// Upper clamp on a single flow's datagram count.
+        max_packets: u64,
+    },
+    /// Bursty on/off sources: each flow's datagrams are sent in back-to-back
+    /// bursts of `burst_packets`, separated by `off` silences.
+    OnOff {
+        /// Datagrams per on-period.
+        burst_packets: u64,
+        /// Silence between bursts.
+        off: SimTime,
+    },
+    /// Diurnal load curve: flow starts are drawn from a raised-cosine
+    /// density over the jitter window — `periods` peaks, with trough load
+    /// `trough_pct`% of peak load.
+    Diurnal {
+        /// Number of peaks across the `spread` window.
+        periods: u32,
+        /// Trough density as a percentage of peak density (0–100).
+        trough_pct: u8,
+    },
+}
+
+/// Synthesizes a workload and reshapes it under an arrival model.
+///
+/// Endpoint pairs come from the base workload's pattern; the model reshapes
+/// sizes and timing. Flow ids are renumbered `0..` afterwards (on/off
+/// sources split one logical flow into several burst specs).
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two hosts, or on degenerate model
+/// parameters (`alpha ≤ 0`, zero-length bursts).
+pub fn synthesize_arrivals(
+    gen: &GenTopology,
+    w: &Workload,
+    model: &ArrivalModel,
+) -> Vec<UdpFlowSpec> {
+    let base = synthesize(gen, w);
+    // A derived stream: reshaping must not disturb the base draw sequence,
+    // so equal seeds keep the same endpoint pairs under every model.
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x5744_4e5f_5354_5245); // "EDN_STRE"
+    let mut out = match *model {
+        ArrivalModel::Pareto { alpha, max_packets } => {
+            assert!(alpha > 0.0, "Pareto shape must be positive");
+            let scale = w.packets_per_flow.max(1) as f64;
+            base.into_iter()
+                .map(|f| {
+                    let u = unit_draw(&mut rng);
+                    let n = (scale * (1.0 - u).powf(-1.0 / alpha)) as u64;
+                    let n = n.clamp(w.packets_per_flow.max(1), max_packets.max(1));
+                    let duration = SimTime::from_micros(f.interval.as_micros() * n);
+                    UdpFlowSpec { end: f.start + duration, ..f }
+                })
+                .collect()
+        }
+        ArrivalModel::OnOff { burst_packets, off } => {
+            assert!(burst_packets > 0, "bursts must carry at least one datagram");
+            let mut specs = Vec::new();
+            for f in &base {
+                let on = SimTime::from_micros(f.interval.as_micros() * burst_packets);
+                let mut remaining = f.datagram_count();
+                let mut start = f.start;
+                while remaining > 0 {
+                    let burst = remaining.min(burst_packets);
+                    let len = SimTime::from_micros(f.interval.as_micros() * burst);
+                    specs.push(UdpFlowSpec { start, end: start + len, ..*f });
+                    start = start + on + off;
+                    remaining -= burst;
+                }
+            }
+            specs
+        }
+        ArrivalModel::Diurnal { periods, trough_pct } => {
+            let weights = diurnal_weights(periods, trough_pct);
+            let total: u64 = weights.iter().sum();
+            base.into_iter()
+                .map(|f| {
+                    let len = f.end - f.start;
+                    let start = if w.spread == SimTime::ZERO {
+                        f.start
+                    } else {
+                        let mut pick = rng.gen_range(0..total);
+                        let bucket = weights
+                            .iter()
+                            .position(|&wt| {
+                                if pick < wt {
+                                    true
+                                } else {
+                                    pick -= wt;
+                                    false
+                                }
+                            })
+                            .expect("weights cover the draw");
+                        let bucket_len = w.spread.as_micros() / weights.len() as u64;
+                        let lo = bucket as u64 * bucket_len;
+                        let offset =
+                            if bucket_len == 0 { lo } else { lo + rng.gen_range(0..bucket_len) };
+                        w.start + SimTime::from_micros(offset)
+                    };
+                    UdpFlowSpec { start, end: start + len, ..f }
+                })
+                .collect()
+        }
+    };
+    for (i, f) in out.iter_mut().enumerate() {
+        f.flow = i as u64;
+    }
+    out
+}
+
+/// A uniform draw from `[0, 1)` (53 mantissa bits), since the vendored RNG
+/// shim only samples integers.
+fn unit_draw(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Raised-cosine bucket weights: peak 1000, trough `trough_pct`% of peak.
+fn diurnal_weights(periods: u32, trough_pct: u8) -> Vec<u64> {
+    const BUCKETS: usize = 64;
+    let trough = f64::from(trough_pct.min(100)) * 10.0;
+    (0..BUCKETS)
+        .map(|i| {
+            let phase = std::f64::consts::TAU * f64::from(periods.max(1)) * (i as f64 + 0.5)
+                / BUCKETS as f64;
+            let density = trough + (1000.0 - trough) * (1.0 + phase.cos()) / 2.0;
+            density.max(1.0) as u64
+        })
+        .collect()
+}
+
+/// Attaches flows to an engine as a lazy streaming source (the counterpart
+/// of [`schedule`](crate::schedule), which materializes the whole queue up
+/// front). Returns the total datagram count the stream will inject.
+pub fn attach_stream<D: DataPlane>(engine: &mut Engine<D>, flows: &[UdpFlowSpec]) -> u64 {
+    let src = FlowSource::new(flows);
+    let total = src.total_events();
+    engine.set_source(Box::new(src));
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{ring, LinkProfile};
+    use crate::workload::TrafficPattern;
+
+    fn base() -> Workload {
+        Workload { pattern: TrafficPattern::Permutation, seed: 11, ..Workload::default() }
+    }
+
+    #[test]
+    fn models_are_seed_deterministic() {
+        let g = ring(8, LinkProfile::default());
+        for model in [
+            ArrivalModel::Pareto { alpha: 1.3, max_packets: 500 },
+            ArrivalModel::OnOff { burst_packets: 4, off: SimTime::from_millis(3) },
+            ArrivalModel::Diurnal { periods: 2, trough_pct: 20 },
+        ] {
+            let a = synthesize_arrivals(&g, &base(), &model);
+            let b = synthesize_arrivals(&g, &base(), &model);
+            assert_eq!(a, b, "{model:?}");
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn models_keep_base_endpoints() {
+        let g = ring(8, LinkProfile::default());
+        let plain = synthesize(&g, &base());
+        let pareto = synthesize_arrivals(
+            &g,
+            &base(),
+            &ArrivalModel::Pareto { alpha: 1.2, max_packets: 100 },
+        );
+        assert_eq!(plain.len(), pareto.len());
+        for (p, q) in plain.iter().zip(&pareto) {
+            assert_eq!((p.src, p.dst, p.start), (q.src, q.dst, q.start));
+        }
+    }
+
+    #[test]
+    fn pareto_sizes_are_heavy_tailed() {
+        let g = ring(16, LinkProfile::default());
+        let w = Workload { flows: 400, ..base() };
+        let w = Workload { pattern: TrafficPattern::Uniform, ..w };
+        let flows =
+            synthesize_arrivals(&g, &w, &ArrivalModel::Pareto { alpha: 1.1, max_packets: 10_000 });
+        let counts: Vec<u64> = flows.iter().map(UdpFlowSpec::datagram_count).collect();
+        let min = w.packets_per_flow;
+        assert!(counts.iter().all(|&c| c >= min));
+        assert!(counts.iter().any(|&c| c >= 4 * min), "some elephants exist");
+        let mice = counts.iter().filter(|&&c| c < 2 * min).count();
+        assert!(mice * 2 > counts.len(), "most flows stay small");
+    }
+
+    #[test]
+    fn on_off_bursts_preserve_datagram_budget() {
+        let g = ring(4, LinkProfile::default());
+        let w = base();
+        let flows = synthesize_arrivals(
+            &g,
+            &w,
+            &ArrivalModel::OnOff { burst_packets: 3, off: SimTime::from_millis(7) },
+        );
+        let total: u64 = flows.iter().map(UdpFlowSpec::datagram_count).sum();
+        let plain: u64 = synthesize(&g, &w).iter().map(UdpFlowSpec::datagram_count).sum();
+        assert_eq!(total, plain, "bursting only reshapes timing");
+        assert!(flows.len() > synthesize(&g, &w).len(), "flows split into bursts");
+        assert!(flows.iter().all(|f| f.datagram_count() <= 3));
+    }
+
+    #[test]
+    fn diurnal_starts_stay_in_window_and_cluster() {
+        let g = ring(16, LinkProfile::default());
+        let w = Workload {
+            pattern: TrafficPattern::Uniform,
+            flows: 600,
+            spread: SimTime::from_millis(100),
+            ..base()
+        };
+        let flows =
+            synthesize_arrivals(&g, &w, &ArrivalModel::Diurnal { periods: 1, trough_pct: 5 });
+        let lo = w.start;
+        let hi = w.start + w.spread;
+        assert!(flows.iter().all(|f| f.start >= lo && f.start < hi));
+        // One peak at the window's start (cos peaks at phase 0): the first
+        // quarter must hold well over a quarter of the starts.
+        let q1 = w.start + SimTime::from_micros(w.spread.as_micros() / 4);
+        let early = flows.iter().filter(|f| f.start < q1).count();
+        assert!(early * 10 > flows.len() * 3, "load clusters at the peak, got {early}/600");
+    }
+}
