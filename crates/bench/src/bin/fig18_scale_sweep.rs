@@ -62,7 +62,9 @@ impl JsonRow {
         format!(
             "    {{\"topology\": \"{}\", \"param\": {}, \"plane\": \"{}\", \"lookup\": \"{}\", \
              \"trace\": \"{}\", \"shards\": {}, \"switches\": {}, \"rules\": {}, \
-             \"events\": {}, \"wall_us\": {}, \"ns_per_event\": {:.1}}}",
+             \"events\": {}, \"wall_us\": {}, \"ns_per_event\": {:.1}, \
+             \"latency_p50_us\": {}, \"latency_p99_us\": {}, \"arena_hw\": {}, \
+             \"obligations_hw\": {}}}",
             r.topology,
             r.param,
             r.plane.label(),
@@ -74,6 +76,10 @@ impl JsonRow {
             r.events,
             r.wall_us,
             r.ns_per_event(),
+            r.latency_p50_us,
+            r.latency_p99_us,
+            r.arena_hw,
+            r.obligations_hw,
         )
     }
 }

@@ -8,9 +8,8 @@
 //!
 //! Run with: `cargo run --release -p edn-bench --bin table_app_rules`
 
-use std::time::Instant;
-
 use edn_core::NetworkEventStructure;
+use edn_obs::Stopwatch;
 use nes_runtime::CompiledNes;
 use rule_optimizer::optimize;
 
@@ -30,10 +29,10 @@ fn main() {
         ("ids", Box::new(edn_apps::ids::nes)),
     ];
     for (name, build) in apps {
-        let start = Instant::now();
+        let sw = Stopwatch::start();
         let nes = build();
         let compiled = CompiledNes::compile(nes);
-        let compile_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let compile_ms = sw.elapsed_ns() as f64 / 1_000_000.0;
         let b = compiled.rule_breakdown();
         let configs = compiled.config_rule_sets();
         let opt = optimize(&configs);

@@ -7,13 +7,12 @@
 //! as one CSV row. Everything except the wall-clock column is deterministic
 //! given the seed.
 
-use std::time::Instant;
-
+use edn_obs::{MinWall, Registry, Stopwatch};
 use edn_topo::{shortest_path_config, synthesize, GenTopology, Workload};
 use nes_runtime::{nes_engine_with_path, StaticDataPlane};
 use netkat::LookupPath;
 use netsim::traffic::{udp_packet, UdpFlowSpec};
-use netsim::{DataPlane, Engine, SimParams, SimTime, SinkHosts, Stats, TraceMode};
+use netsim::{DataPlane, DropReason, Engine, SimParams, SimTime, SinkHosts, Stats, TraceMode};
 
 /// Injects a sweep point's flows: streamed lazily on the single-threaded
 /// engine, materialized up front when sharding is in play (the sharded
@@ -75,8 +74,9 @@ pub struct SweepRow {
     pub events: u64,
     /// Packets delivered.
     pub deliveries: usize,
-    /// Packets dropped.
-    pub drops: usize,
+    /// Packets dropped, by [`DropReason`] (indexed by
+    /// [`DropReason::index`]; the CSV names each column).
+    pub drops: [u64; 4],
     /// Wall-clock time of the simulation event loop in microseconds (the
     /// `Engine::run` phase; trace materialization is not included — run
     /// measurement sweeps under `EDN_TRACE=stats` to also skip recording).
@@ -89,11 +89,42 @@ pub struct SweepRow {
     /// canonical CSVs across `EDN_SHARDS` to prove it); the JSON perf
     /// trajectory reports it.
     pub shards: u32,
+    /// Median sim-time event latency (creation → fire) in µs, from the
+    /// run's metric registry — `0` when `EDN_METRICS=off`. JSON-only:
+    /// deterministic, but gated on the metrics level, and the CSV must be
+    /// byte-identical across levels.
+    pub latency_p50_us: u64,
+    /// 99th-percentile sim-time event latency in µs (`0` when metrics are
+    /// off). JSON-only, like [`latency_p50_us`](SweepRow::latency_p50_us).
+    pub latency_p99_us: u64,
+    /// Packet-arena slot high-water (per-shard max; `0` when metrics are
+    /// off). JSON-only; shard-scoped, so it varies with the shard count.
+    pub arena_hw: u64,
+    /// Online-checker obligation high-water (`0` without a checker or
+    /// with metrics off). JSON-only.
+    pub obligations_hw: u64,
+}
+
+/// Pulls the [`SweepRow`] metric columns out of a finished run's
+/// registry: `(latency p50 µs, latency p99 µs, arena slot high-water,
+/// obligation high-water)`. All zero when metrics were off.
+pub fn metric_columns(reg: &Registry) -> (u64, u64, u64, u64) {
+    let (p50, p99) = match reg.histogram("engine.event_latency_us") {
+        Some(h) => (h.quantile(1, 2), h.quantile(99, 100)),
+        None => (0, 0),
+    };
+    (
+        p50,
+        p99,
+        reg.gauge("arena.slots_hw").unwrap_or(0),
+        reg.gauge("checker.obligations_hw").unwrap_or(0),
+    )
 }
 
 /// The CSV header matching [`SweepRow::csv`].
 pub const CSV_HEADER: &str = "topology,param,plane,switches,hosts,links,rules,flows,datagrams,\
-                              events,deliveries,drops,wall_us";
+                              events,deliveries,drops_no_rule,drops_dead_end,drops_queue_full,\
+                              drops_link_down,wall_us";
 
 impl SweepRow {
     /// Nanoseconds of wall-clock per engine event — the per-event cost the
@@ -108,7 +139,7 @@ impl SweepRow {
     /// Renders the row as a CSV line (no trailing newline).
     pub fn csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.topology,
             self.param,
             self.plane.label(),
@@ -120,7 +151,10 @@ impl SweepRow {
             self.datagrams,
             self.events,
             self.deliveries,
-            self.drops,
+            self.drops[DropReason::NoRule.index()],
+            self.drops[DropReason::DeadEnd.index()],
+            self.drops[DropReason::QueueFull.index()],
+            self.drops[DropReason::LinkDown.index()],
             self.wall_us,
         )
     }
@@ -163,10 +197,10 @@ pub fn run_point(
     let flows = synthesize(gen, workload);
     let last_end = flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO);
     let horizon = last_end + SimTime::from_secs(10);
-    let mut first: Option<(usize, u64, Stats)> = None;
-    let mut wall_us = u64::MAX;
+    let mut first: Option<(usize, u64, Stats, Registry)> = None;
+    let mut wall = MinWall::new();
     for _ in 0..reps.max(1) {
-        let (rules, datagrams, stats, wall): (usize, u64, Stats, u64) = match plane {
+        let (rules, datagrams, stats, metrics): (usize, u64, Stats, Registry) = match plane {
             Plane::Static => {
                 let config = shortest_path_config(gen);
                 let rules = config.rule_count();
@@ -179,11 +213,11 @@ pub fn run_point(
                 .with_trace_mode(mode)
                 .with_shards(shards);
                 let datagrams = inject_flows(&mut engine, &flows, shards);
-                let started = Instant::now();
+                let sw = Stopwatch::start();
                 engine.run(horizon);
-                let wall = started.elapsed().as_micros() as u64;
+                wall.record(sw.elapsed_us());
                 let result = engine.finish();
-                (rules, datagrams, result.stats, wall)
+                (rules, datagrams, result.stats, result.metrics)
             }
             Plane::Nes => {
                 let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
@@ -207,20 +241,20 @@ pub fn run_point(
                     inside,
                     udp_packet(inside, outside, u64::MAX, 0),
                 );
-                let started = Instant::now();
+                let sw = Stopwatch::start();
                 engine.run(horizon);
-                let wall = started.elapsed().as_micros() as u64;
+                wall.record(sw.elapsed_us());
                 let result = engine.finish();
                 let rules = result.dataplane.compiled().rule_breakdown().total();
-                (rules, datagrams + 1, result.stats, wall)
+                (rules, datagrams + 1, result.stats, result.metrics)
             }
         };
-        wall_us = wall_us.min(wall);
         if first.is_none() {
-            first = Some((rules, datagrams, stats));
+            first = Some((rules, datagrams, stats, metrics));
         }
     }
-    let (rules, datagrams, stats) = first.expect("at least one repetition");
+    let (rules, datagrams, stats, metrics) = first.expect("at least one repetition");
+    let (latency_p50_us, latency_p99_us, arena_hw, obligations_hw) = metric_columns(&metrics);
     SweepRow {
         topology: topology.to_string(),
         param,
@@ -233,9 +267,13 @@ pub fn run_point(
         datagrams,
         events: stats.events_processed,
         deliveries: stats.deliveries.len(),
-        drops: stats.drops.len(),
-        wall_us,
+        drops: stats.dropped,
+        wall_us: wall.best(),
         shards,
+        latency_p50_us,
+        latency_p99_us,
+        arena_hw,
+        obligations_hw,
     }
 }
 
@@ -353,8 +391,11 @@ mod tests {
             assert_eq!(sharded.shards, 2);
             solo.wall_us = 0;
             solo.shards = 0;
+            // Shard-scoped: legitimately varies with the shard count.
+            solo.arena_hw = 0;
             sharded.wall_us = 0;
             sharded.shards = 0;
+            sharded.arena_hw = 0;
             assert_eq!(sharded, solo, "{} rows differ across shard counts", plane.label());
         }
     }

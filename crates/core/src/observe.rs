@@ -70,4 +70,19 @@ pub trait TraceObserver {
 
     /// The run is over; no further callbacks will arrive.
     fn finish(&mut self);
+
+    /// Folds this observer's metrics into `reg` — called by the engine
+    /// while assembling the run's registry, after
+    /// [`finish`](TraceObserver::finish). The default contributes
+    /// nothing.
+    fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
+        let _ = reg;
+    }
+
+    /// Hands the observer the engine's flight recorder so it can record
+    /// its own transitions (an online checker logs event firings and the
+    /// violation itself). The default discards it.
+    fn attach_flight_recorder(&mut self, recorder: edn_obs::FlightRecorder) {
+        let _ = recorder;
+    }
 }

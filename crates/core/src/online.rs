@@ -86,6 +86,19 @@ pub enum OnlineViolation {
     CapacityExceeded,
 }
 
+impl OnlineViolation {
+    /// A short static name for reports and flight-recorder entries.
+    pub fn name(self) -> &'static str {
+        match self {
+            OnlineViolation::Inconsistent => "inconsistent",
+            OnlineViolation::TooEarly => "too_early",
+            OnlineViolation::TooLate => "too_late",
+            OnlineViolation::TriggerUnprocessed => "trigger_unprocessed",
+            OnlineViolation::CapacityExceeded => "capacity_exceeded",
+        }
+    }
+}
+
 impl fmt::Display for OnlineViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -189,6 +202,17 @@ struct Inner {
 
     verdict: Option<Result<(), OnlineViolation>>,
     finished: bool,
+
+    // Telemetry high-waters and counters. These survive `fail`'s state
+    // clear: the numbers leading *into* a violation are the interesting
+    // ones.
+    m_nodes_hw: u64,
+    m_retired: u64,
+    m_obligations_hw: u64,
+    m_watch_hw: u64,
+    /// The engine's flight recorder, when one was attached: event firings
+    /// and the violation itself are logged as checker transitions.
+    flight: Option<edn_obs::FlightRecorder>,
 }
 
 impl Inner {
@@ -199,6 +223,15 @@ impl Inner {
     fn fail(&mut self, v: OnlineViolation) {
         if self.verdict.is_none() {
             self.verdict = Some(Err(v));
+            if let Some(fr) = &self.flight {
+                fr.record(edn_obs::FlightEvent {
+                    t_us: 0,
+                    seq: self.fired_events.len() as u64,
+                    kind: v.name(),
+                    node: 0,
+                    depth: self.nodes.len() as u64,
+                });
+            }
         }
         self.nodes.clear();
         self.last_at.clear();
@@ -275,6 +308,7 @@ impl Inner {
             }
             node.own_watch = 1 << self.pending1.len();
             self.pending1.push(Pending1 { d, discharged: false });
+            self.m_watch_hw = self.m_watch_hw.max(self.pending1.len() as u64);
         }
         // Condition 3: the trace is entirely after firing i exactly when
         // i precedes its root; only the latest such firing binds.
@@ -355,6 +389,16 @@ impl Inner {
             let ob = Obligation { cfg: pre_cfg, satisfied: false, live: 1 };
             node.trig.push(self.obligations.len() as u32);
             self.obligations.push(ob);
+            self.m_obligations_hw = self.m_obligations_hw.max(self.obligations.len() as u64);
+            if let Some(fr) = &self.flight {
+                fr.record(edn_obs::FlightEvent {
+                    t_us: 0,
+                    seq: pos as u64,
+                    kind: "checker_fire",
+                    node: new_cfg as u64,
+                    depth: self.nodes.len() as u64,
+                });
+            }
             node.own_fired = 1 << pos;
             break;
         }
@@ -381,6 +425,7 @@ impl Inner {
             self.cause_masks.insert(idx, (fired, watch));
         }
         if node.leafed.is_some() || node.retired {
+            self.m_retired += 1;
             self.release_trig(&node.trig);
         } else {
             self.nodes.insert(idx, node);
@@ -468,6 +513,11 @@ impl OnlineChecker {
             obligations: Vec::new(),
             verdict: None,
             finished: false,
+            m_nodes_hw: 0,
+            m_retired: 0,
+            m_obligations_hw: 0,
+            m_watch_hw: 0,
+            flight: None,
         };
         let shared = Arc::new(Mutex::new(inner));
         Ok((Box::new(OnlineChecker { shared: shared.clone() }), OnlineHandle { shared }))
@@ -550,6 +600,7 @@ impl TraceObserver for OnlineChecker {
             .last_at
             .insert(node.lp.loc.sw, LastAt { idx, fired: node.fired_anc, watch: node.watch_anc });
         inner.nodes.insert(idx, node);
+        inner.m_nodes_hw = inner.m_nodes_hw.max(inner.nodes.len() as u64);
         inner.unsealed = Some(idx);
     }
 
@@ -601,6 +652,7 @@ impl TraceObserver for OnlineChecker {
             return;
         }
         if let Some(node) = inner.nodes.remove(&idx) {
+            inner.m_retired += 1;
             inner.release_trig(&node.trig);
         }
     }
@@ -630,6 +682,20 @@ impl TraceObserver for OnlineChecker {
             inner.verdict = Some(Ok(()));
         }
         inner.finished = true;
+    }
+
+    fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
+        use edn_obs::Scope;
+        let inner = self.shared.lock().expect("online checker poisoned");
+        reg.gauge_max(Scope::Sim, "checker.live_nodes_hw", inner.m_nodes_hw);
+        reg.counter_add(Scope::Sim, "checker.retired_prefixes", inner.m_retired);
+        reg.gauge_max(Scope::Sim, "checker.obligations_hw", inner.m_obligations_hw);
+        reg.gauge_max(Scope::Sim, "checker.watched_leaves_hw", inner.m_watch_hw);
+        reg.counter_add(Scope::Sim, "checker.fired_events", inner.fired_events.len() as u64);
+    }
+
+    fn attach_flight_recorder(&mut self, recorder: edn_obs::FlightRecorder) {
+        self.shared.lock().expect("online checker poisoned").flight = Some(recorder);
     }
 }
 

@@ -84,9 +84,25 @@ fn fingerprint(pk: &Packet) -> u64 {
     h
 }
 
+/// Interning counters, harvested by the telemetry layer at the end of a
+/// run. Hits and misses partition the intern calls (hit rate is
+/// `hits / (hits + misses)`); `recycled` counts misses that reused a
+/// freed slot instead of growing the arena.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Intern calls answered by an existing slot.
+    pub hits: u64,
+    /// Intern calls that stored a new packet.
+    pub misses: u64,
+    /// Misses served from the recycler's free list.
+    pub recycled: u64,
+}
+
 /// A hash-consing packet arena (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct PacketArena {
+    /// Interning counters (always on: one add per intern).
+    stats: ArenaStats,
     /// The interned packets; a [`PacketId`] indexes this.
     slots: Vec<Packet>,
     /// `fingerprint → first slot carrying it`. A flat map (no per-entry
@@ -143,6 +159,7 @@ impl PacketArena {
     /// slot vector and the fingerprint map.
     pub fn with_capacity(capacity: usize) -> PacketArena {
         PacketArena {
+            stats: ArenaStats::default(),
             slots: Vec::with_capacity(capacity),
             index: HashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
             collisions: Vec::new(),
@@ -251,6 +268,11 @@ impl PacketArena {
         self.slots.is_empty()
     }
 
+    /// The interning counters accumulated so far.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
     /// Resolves an id to its packet.
     ///
     /// # Panics
@@ -288,6 +310,8 @@ impl PacketArena {
     /// freed slot when recycling has one.
     fn insert(&mut self, fp: u64, pk: Packet, probe: Probe) -> PacketId {
         let reused = self.recycler.as_mut().and_then(|r| r.free.pop());
+        self.stats.misses += 1;
+        self.stats.recycled += reused.is_some() as u64;
         let i = match reused {
             Some(i) => {
                 self.slots[i as usize] = pk;
@@ -323,7 +347,10 @@ impl PacketArena {
     pub fn intern(&mut self, pk: Packet) -> PacketId {
         let fp = fingerprint(&pk);
         match self.probe(fp, &pk) {
-            Probe::Hit(id) => id,
+            Probe::Hit(id) => {
+                self.stats.hits += 1;
+                id
+            }
             miss => self.insert(fp, pk, miss),
         }
     }
@@ -333,7 +360,10 @@ impl PacketArena {
     pub fn intern_ref(&mut self, pk: &Packet) -> PacketId {
         let fp = fingerprint(pk);
         match self.probe(fp, pk) {
-            Probe::Hit(id) => id,
+            Probe::Hit(id) => {
+                self.stats.hits += 1;
+                id
+            }
             miss => self.insert(fp, pk.clone(), miss),
         }
     }
@@ -342,7 +372,10 @@ impl PacketArena {
     fn intern_scratch(&mut self) -> PacketId {
         let fp = fingerprint(&self.scratch);
         match self.probe(fp, &self.scratch) {
-            Probe::Hit(id) => id,
+            Probe::Hit(id) => {
+                self.stats.hits += 1;
+                id
+            }
             miss => {
                 let pk = self.scratch.clone();
                 self.insert(fp, pk, miss)

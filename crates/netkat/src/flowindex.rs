@@ -36,6 +36,7 @@
 //! assert_eq!(compiled.lookup_index(&pk), Some(17));
 //! ```
 
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -211,6 +212,12 @@ pub struct CompiledTable {
     /// Use the prefetch cache? (≥ 2 hash segments and the union fits
     /// [`PREFETCH_CAP`]; otherwise per-segment reads are cheaper.)
     prefetched: bool,
+    /// Hash-segment lookups resolved by a confirmed fingerprint hit.
+    /// `Cell` because lookups take `&self`; one add per lookup is
+    /// negligible next to the fingerprint mix itself.
+    fp_hits: Cell<u64>,
+    /// Hash-segment lookups that fell back to the collision scan.
+    fp_fallbacks: Cell<u64>,
 }
 
 impl CompiledTable {
@@ -272,7 +279,14 @@ impl CompiledTable {
                 }
             }
         }
-        CompiledTable { rules, segments, prefetch, prefetched }
+        CompiledTable {
+            rules,
+            segments,
+            prefetch,
+            prefetched,
+            fp_hits: Cell::new(0),
+            fp_fallbacks: Cell::new(0),
+        }
     }
 
     /// The index of the first matching rule for `pk`, exactly as
@@ -318,9 +332,11 @@ impl CompiledTable {
                     let Some(fp) = fingerprint(seg) else { continue };
                     let Some(&candidate) = seg.map.get(&fp) else { continue };
                     if self.rules[candidate as usize].pattern.matches_on(pk) {
+                        self.fp_hits.set(self.fp_hits.get() + 1);
                         return Some(candidate as usize);
                     }
                     // Fingerprint collision: the run still decides by scan.
+                    self.fp_fallbacks.set(self.fp_fallbacks.get() + 1);
                     if let Some(i) = self.scan(seg.start, seg.end, pk) {
                         return Some(i);
                     }
@@ -379,6 +395,13 @@ impl CompiledTable {
     /// Number of segments (hash + scan) the table splits into.
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Fingerprint-resolved vs collision-fallback hash-segment lookups,
+    /// accumulated since compilation: `(confirmed hits, fallback scans)`.
+    /// Harvested by the telemetry layer at the end of a run.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (self.fp_hits.get(), self.fp_fallbacks.get())
     }
 
     /// Number of rules reachable through hash segments (the rest are

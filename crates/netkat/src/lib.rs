@@ -46,7 +46,7 @@ mod pred;
 mod semantics;
 
 pub use action::{Action, ActionSet};
-pub use arena::{PacketArena, PacketId};
+pub use arena::{ArenaStats, PacketArena, PacketId};
 pub use error::NetkatError;
 pub use fdd::{FddBuilder, FddPath, NodeId};
 pub use field::{Field, Value};

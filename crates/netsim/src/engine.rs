@@ -38,9 +38,11 @@
 use std::collections::{HashMap, HashSet};
 
 use edn_core::{NetworkTrace, TraceBuilder, TraceMode};
+use edn_obs::{FlightEvent, FlightRecorder, MetricsLevel, Registry, Stopwatch};
 use netkat::{Loc, Packet, PacketId};
 
 use crate::logic::{BoxedHosts, CtrlMsg, DataPlane, PacketPath, StepResultId};
+use crate::metrics::{self, EngineMetrics, FLIGHT_CAPACITY};
 use crate::queue::{EventQueue, QueueKind};
 use crate::shard::{self, Partition, Remote};
 use crate::source::WorkloadSource;
@@ -148,6 +150,26 @@ enum EventKind {
     Deliver { sw: u64, msg: CtrlMsg },
 }
 
+/// The metric slot of an event kind (`EngineMetrics::dispatched`).
+fn kind_index(kind: &EventKind) -> usize {
+    match kind {
+        EventKind::Inject { .. } => 0,
+        EventKind::Arrive { .. } => 1,
+        EventKind::Notify { .. } => 2,
+        EventKind::Deliver { .. } => 3,
+    }
+}
+
+/// Flight-recorder label and subject entity of an event kind.
+fn flight_info(kind: &EventKind) -> (&'static str, u64) {
+    match kind {
+        EventKind::Inject { host, .. } => ("inject", *host),
+        EventKind::Arrive { loc, .. } => ("arrive", loc.sw),
+        EventKind::Notify { .. } => ("notify", 0),
+        EventKind::Deliver { sw, .. } => ("deliver", *sw),
+    }
+}
+
 /// What sits on the far side of an egress location — resolved once at
 /// construction, so the per-hop path pays **one** map probe instead of the
 /// former host-map probe plus link-map probe. Carries the destination
@@ -177,6 +199,12 @@ pub struct RunResult<D> {
     /// a sharded run this is the shard-0 instance with the other shards'
     /// state folded back in via [`DataPlane::absorb_shard`].
     pub dataplane: D,
+    /// The run's telemetry ([`edn_obs::Registry`]): empty unless the
+    /// engine ran with [`MetricsLevel::Counters`] or
+    /// [`MetricsLevel::Full`] (see [`Engine::with_metrics`]). Per-shard
+    /// registries are folded in shard order, so the `sim`-scoped section
+    /// is byte-identical across shard counts.
+    pub metrics: Registry,
 }
 
 /// One shard's complete simulation state: the event queue, the data-plane
@@ -256,6 +284,8 @@ pub(crate) struct Core<D: DataPlane> {
     source: Option<SourceState>,
     /// Streaming trace observer (single-shard mode only; forces solo).
     observer: Option<Box<dyn edn_core::TraceObserver + Send>>,
+    /// Telemetry accumulators (no-ops unless metrics are on).
+    pub(crate) metrics: EngineMetrics,
 }
 
 /// A registered [`WorkloadSource`] plus its reserved environment-sequence
@@ -280,6 +310,7 @@ impl<D: DataPlane> Core<D> {
         me: u32,
         shards: u32,
         owners: Option<Partition>,
+        metrics: EngineMetrics,
     ) -> Core<D> {
         let entities = EntityMap::build(&topo);
         let mut egress = EgressMap::default();
@@ -329,6 +360,7 @@ impl<D: DataPlane> Core<D> {
             pending_deliver: HashSet::default(),
             source: None,
             observer: None,
+            metrics,
         }
     }
 
@@ -357,6 +389,30 @@ impl<D: DataPlane> Core<D> {
             }
         };
         self.queue.push((time, seq, slot));
+    }
+
+    /// [`push_keyed`](Core::push_keyed) for an event this dispatch (or
+    /// host-admission step) *creates*: observes the creation-to-fire
+    /// sim-time latency exactly once per event, at its unique creation
+    /// site — which is what keeps the latency histogram byte-identical
+    /// across shard counts. [`receive`](Core::receive) and the pre-run
+    /// injection paths use raw `push_keyed`: cross-shard events were
+    /// observed on the creating side, and pre-run injections are
+    /// workload admissions, not engine-scheduled delays.
+    fn schedule_local(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        if self.metrics.on {
+            self.metrics.observe_scheduled(time, self.now);
+        }
+        self.push_keyed(time, seq, kind);
+    }
+
+    /// Observes a cross-shard send (the caller pushes into the outbox):
+    /// the creating side owns the event's latency observation.
+    fn observe_remote(&mut self, time: SimTime) {
+        if self.metrics.on {
+            self.metrics.observe_scheduled(time, self.now);
+            self.metrics.outbox_events += 1;
+        }
     }
 
     /// The shard owning `node`, defaulting to shard 0 for nodes outside
@@ -482,6 +538,14 @@ impl<D: DataPlane> Core<D> {
     /// `run` call — a source survives the deadline like queued events do).
     fn pump_source(&mut self, limit_us: u64) {
         let Some(mut st) = self.source.take() else { return };
+        let sample = if self.metrics.on {
+            self.metrics.pump_calls += 1;
+            self.metrics.full && self.metrics.pump_calls & 1023 == 1
+        } else {
+            false
+        };
+        let sw = sample.then(Stopwatch::start);
+        let mut admitted = 0u64;
         while st.src.peek_time().is_some_and(|t| t.as_micros() <= limit_us) {
             let ev = st.src.next_event().expect("peek_time implies a next event");
             debug_assert!(ev.seq < st.total, "source seq {} out of reserved window", ev.seq);
@@ -495,8 +559,16 @@ impl<D: DataPlane> Core<D> {
                 pack_seq(ENV_ENTITY, st.base + ev.seq),
                 EventKind::Inject { host: ev.host, packet, size: ev.size, sender, attach_sender },
             );
+            admitted += 1;
         }
         self.source = Some(st);
+        if self.metrics.on && admitted > 0 {
+            self.metrics.pump_batch.observe(admitted);
+        }
+        if let Some(sw) = sw {
+            let ns = sw.elapsed_ns();
+            self.metrics.phase_pump_ns.observe(ns);
+        }
     }
 
     /// Runs local events with fire time strictly below `horizon_us` — one
@@ -521,8 +593,34 @@ impl<D: DataPlane> Core<D> {
             EventKind::Inject { packet, .. } | EventKind::Arrive { packet, .. } => Some(*packet),
             _ => None,
         };
+        // One branch per dispatch when metrics are off; everything else
+        // (including the flight recorder and the sampled wall-clock
+        // timings) hides behind it.
+        if self.metrics.on {
+            self.metrics.begin_dispatch(self.stats.events_processed);
+            self.metrics.dispatched[kind_index(&kind)] += 1;
+            let depth = self.queue.len() as u64;
+            self.metrics.queue_depth_hw = self.metrics.queue_depth_hw.max(depth + 1);
+            if let Some(fr) = &self.metrics.flight {
+                let (kind_name, node) = flight_info(&kind);
+                fr.record(FlightEvent {
+                    t_us: key.0.as_micros(),
+                    seq: key.1,
+                    kind: kind_name,
+                    node,
+                    depth,
+                });
+            }
+        }
         let before = self.trace.len();
-        self.dispatch_inner(key, kind);
+        if self.metrics.sampling {
+            let sw = Stopwatch::start();
+            self.dispatch_inner(key, kind);
+            let ns = sw.elapsed_ns();
+            self.metrics.phase_dispatch_ns.observe(ns);
+        } else {
+            self.dispatch_inner(key, kind);
+        }
         if self.record_full {
             let n = self.trace.len() - before;
             if n > 0 {
@@ -575,7 +673,7 @@ impl<D: DataPlane> Core<D> {
                 // Host attachment links are uncontended.
                 let arrival = self.now + self.topo.host_latency;
                 let seq = self.next_seq(sender);
-                self.push_keyed(
+                self.schedule_local(
                     arrival,
                     seq,
                     EventKind::Arrive {
@@ -622,7 +720,7 @@ impl<D: DataPlane> Core<D> {
                             let t = self.now + delay;
                             let reply = self.trace.arena_mut().intern(reply);
                             let seq = self.next_seq(sender);
-                            self.push_keyed(
+                            self.schedule_local(
                                 t,
                                 seq,
                                 EventKind::Inject {
@@ -655,8 +753,9 @@ impl<D: DataPlane> Core<D> {
                     let seq = self.next_seq(CTRL_ENTITY);
                     let target = self.owner_of(sw);
                     if target == self.me {
-                        self.push_keyed(t, seq, EventKind::Deliver { sw, msg: out });
+                        self.schedule_local(t, seq, EventKind::Deliver { sw, msg: out });
                     } else {
+                        self.observe_remote(t);
                         self.outbox[target as usize].push(Remote::Deliver {
                             time: t,
                             seq,
@@ -695,9 +794,13 @@ impl<D: DataPlane> Core<D> {
     ) {
         let ingress_idx = self.push_record(packet, loc, parent);
         if let Some(o) = self.observer.as_deref_mut() {
+            let sw = self.metrics.sampling.then(Stopwatch::start);
             o.record(ingress_idx, self.trace.arena().get(packet), loc, parent.local());
             if let Parent::Local(p) = parent {
                 o.retire(p);
+            }
+            if let Some(sw) = sw {
+                self.metrics.phase_observer_ns.observe(sw.elapsed_ns());
             }
         }
         // Knowledge delivered by the controller happens-before this step.
@@ -722,6 +825,7 @@ impl<D: DataPlane> Core<D> {
         // owned resolution of it (the reference path); both end in ids,
         // written into the engine's reused step buffer.
         let mut out = std::mem::take(&mut self.step_buf);
+        let lookup_sw = self.metrics.sampling.then(Stopwatch::start);
         match self.packet_path {
             PacketPath::Arena => {
                 self.dataplane.process_arena_into(
@@ -743,6 +847,9 @@ impl<D: DataPlane> Core<D> {
                 out.notifications.extend(r.notifications);
             }
         }
+        if let Some(sw) = lookup_sw {
+            self.metrics.phase_lookup_ns.observe(sw.elapsed_ns());
+        }
         if !out.notifications.is_empty() {
             if let Some(o) = self.observer.as_deref_mut() {
                 o.cause(ingress_idx);
@@ -754,8 +861,9 @@ impl<D: DataPlane> Core<D> {
             let cause = (self.me, ingress_idx as u32);
             // The controller lives on shard 0.
             if self.me == 0 {
-                self.push_keyed(t, seq, EventKind::Notify { msg, cause });
+                self.schedule_local(t, seq, EventKind::Notify { msg, cause });
             } else {
+                self.observe_remote(t);
                 self.outbox[0].push(Remote::Notify { time: t, seq, msg, cause });
             }
         }
@@ -789,7 +897,7 @@ impl<D: DataPlane> Core<D> {
                 Some(&Egress::Host(host, host_dense)) => {
                     let t = depart + self.topo.host_latency;
                     let seq = self.next_seq(sender);
-                    self.push_keyed(
+                    self.schedule_local(
                         t,
                         seq,
                         EventKind::Arrive {
@@ -847,6 +955,9 @@ impl<D: DataPlane> Core<D> {
                 Some(bps) => {
                     let free = &mut self.link_free[link_idx];
                     let start = (*free).max(depart);
+                    if self.metrics.on && *free > depart {
+                        self.metrics.link_busy += 1;
+                    }
                     // Tail drop when the backlog exceeds the queue bound.
                     // Queue losses are *not* marked terminated in the trace:
                     // the abstract configuration relation has lossless
@@ -876,7 +987,7 @@ impl<D: DataPlane> Core<D> {
             let seq = self.next_seq(sender);
             let target = self.owner_of(link.dst.sw);
             if target == self.me {
-                self.push_keyed(
+                self.schedule_local(
                     arrival,
                     seq,
                     EventKind::Arrive {
@@ -891,6 +1002,7 @@ impl<D: DataPlane> Core<D> {
             } else {
                 // Crossing a cut link: the packet itself travels (the
                 // receiving shard re-interns it into its own arena).
+                self.observe_remote(arrival);
                 self.outbox[target as usize].push(Remote::Arrive {
                     time: arrival,
                     seq,
@@ -940,6 +1052,8 @@ impl<D: DataPlane> Engine<D> {
     /// single-threaded; see [`with_shards`](Engine::with_shards).
     pub fn new(topo: SimTopology, params: SimParams, dataplane: D, hosts: BoxedHosts) -> Engine<D> {
         let entities = EntityMap::build(&topo);
+        let level = MetricsLevel::from_env();
+        let flight = level.is_full().then(|| FlightRecorder::new(FLIGHT_CAPACITY));
         let core = Core::build(
             topo,
             params,
@@ -952,6 +1066,7 @@ impl<D: DataPlane> Engine<D> {
             0,
             1,
             None,
+            EngineMetrics::new(level, flight),
         );
         Engine {
             cores: vec![core],
@@ -1011,6 +1126,36 @@ impl<D: DataPlane> Engine<D> {
             core.stats_mode = mode;
         }
         self
+    }
+
+    /// Sets the telemetry level, overriding the `EDN_METRICS` environment
+    /// default — tests pin the level through this to stay immune to
+    /// environment races. [`MetricsLevel::Full`] attaches a fresh flight
+    /// recorder; lower levels detach any existing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has already been scheduled (the level governs a
+    /// whole run).
+    pub fn with_metrics(mut self, level: MetricsLevel) -> Engine<D> {
+        assert!(self.env_seq == 0, "set the metrics level before scheduling events");
+        let flight = level.is_full().then(|| FlightRecorder::new(FLIGHT_CAPACITY));
+        for core in &mut self.cores {
+            core.metrics = EngineMetrics::new(level, flight.clone());
+        }
+        self
+    }
+
+    /// The telemetry level this engine runs at.
+    pub fn metrics_level(&self) -> MetricsLevel {
+        self.cores[0].metrics.level()
+    }
+
+    /// The engine's flight recorder — a cloneable handle onto the shared
+    /// ring of recent events, present only at [`MetricsLevel::Full`].
+    /// Callers keep a clone to dump after a failed run.
+    pub fn flight_recorder(&self) -> Option<FlightRecorder> {
+        self.cores[0].metrics.flight.clone()
     }
 
     /// Requests a sharded run: the topology is partitioned into `k`
@@ -1213,8 +1358,11 @@ impl<D: DataPlane> Engine<D> {
     /// # Panics
     ///
     /// Panics if the run has already started.
-    pub fn set_observer(&mut self, observer: Box<dyn edn_core::TraceObserver + Send>) {
+    pub fn set_observer(&mut self, mut observer: Box<dyn edn_core::TraceObserver + Send>) {
         assert!(!self.started, "attach the observer before running");
+        if let Some(fr) = self.cores[0].metrics.flight.clone() {
+            observer.attach_flight_recorder(fr);
+        }
         self.cores[0].observer = Some(observer);
     }
 
@@ -1245,6 +1393,8 @@ impl<D: DataPlane> Engine<D> {
         let path = self.cores[0].packet_path;
         let stats_mode = self.cores[0].stats_mode;
         let fail_at = self.cores[0].fail_at.clone();
+        let level = self.cores[0].metrics.level();
+        let flight = self.cores[0].metrics.flight.clone();
         for (i, (dataplane, hosts)) in extras.into_iter().take(k as usize - 1).enumerate() {
             let mut core = Core::build(
                 self.cores[0].topo.clone(),
@@ -1258,6 +1408,7 @@ impl<D: DataPlane> Engine<D> {
                 i as u32 + 1,
                 k,
                 Some(part.clone()),
+                EngineMetrics::new(level, flight.clone()),
             );
             core.fail_at.clone_from(&fail_at);
             self.cores.push(core);
@@ -1322,22 +1473,38 @@ impl<D: DataPlane> Engine<D> {
     /// plane. Sharded runs merge the per-shard records back into the
     /// exact single-threaded global order here.
     pub fn finish(mut self) -> RunResult<D> {
-        if self.cores.len() == 1 {
+        let metrics_on = self.cores[0].metrics.on;
+        let result = if self.cores.len() == 1 {
             let mut core = self.cores.pop().expect("engines have a core");
+            let mut metrics = Registry::new();
+            if metrics_on {
+                core.metrics.contribute(&mut metrics);
+                metrics::contribute_stats(&mut metrics, &core.stats);
+                metrics::contribute_arena(&mut metrics, core.trace.arena());
+                core.dataplane.contribute_metrics(&mut metrics);
+            }
             if let Some(mut o) = core.observer.take() {
                 // Packets still in flight (queued past the deadline) are
                 // path tips: the observer closes them out as prefixes.
                 o.finish();
+                if metrics_on {
+                    o.contribute_metrics(&mut metrics);
+                }
             }
             RunResult {
                 trace: core.trace.build().expect("engine-built traces are structurally valid"),
                 stats: core.stats,
                 dataplane: core.dataplane,
+                metrics,
             }
         } else {
             let part = self.partition.as_ref().expect("sharded engines have a partition");
             shard::merge(self.cores, part)
+        };
+        if metrics_on {
+            result.metrics.write_out_from_env();
         }
+        result
     }
 
     /// Runs until the event queue empties or `deadline` passes, then returns
@@ -1801,5 +1968,72 @@ mod failure_tests {
         e.inject_at(SimTime::from_millis(10), 100, Packet::new());
         let r = e.run_until(SimTime::from_secs(1));
         assert_eq!(r.stats.drop_count(Some(DropReason::LinkDown)), 1);
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use crate::logic::{CtrlMsg, SinkHosts, StepResult};
+    use edn_obs::MetricsLevel;
+
+    #[derive(Clone)]
+    struct PerSwitch;
+    impl DataPlane for PerSwitch {
+        fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            StepResult::forward(if sw == 1 { 1 } else { 2 }, packet)
+        }
+        fn on_notify(&mut self, _: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+            Vec::new()
+        }
+        fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+    }
+
+    fn topo() -> SimTopology {
+        SimTopology::new([1, 2]).host(100, Loc::new(1, 2)).host(200, Loc::new(2, 2)).bilink(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            SimTime::from_micros(50),
+            None,
+        )
+    }
+
+    fn run(level: MetricsLevel) -> RunResult<PerSwitch> {
+        let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+            .with_metrics(level);
+        assert_eq!(e.metrics_level(), level);
+        assert_eq!(e.flight_recorder().is_some(), level.is_full());
+        e.inject_at(SimTime::from_millis(1), 100, Packet::new());
+        e.run(SimTime::from_secs(1));
+        e.finish()
+    }
+
+    #[test]
+    fn off_level_leaves_the_registry_empty() {
+        assert!(run(MetricsLevel::Off).metrics.is_empty());
+    }
+
+    #[test]
+    fn counters_level_populates_sim_metrics_without_wall_phases() {
+        let r = run(MetricsLevel::Counters);
+        assert_eq!(r.metrics.counter("engine.dispatch.arrive"), Some(3));
+        assert_eq!(r.metrics.counter("engine.delivered_packets"), Some(1));
+        let lat = r.metrics.histogram("engine.event_latency_us").expect("latency hist");
+        assert!(lat.count() > 0);
+        assert!(r.metrics.histogram("phase.dispatch_ns").is_none());
+    }
+
+    #[test]
+    fn full_level_records_flight_events_and_phases() {
+        let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+            .with_metrics(MetricsLevel::Full);
+        let flight = e.flight_recorder().expect("full level attaches the recorder");
+        e.inject_at(SimTime::from_millis(1), 100, Packet::new());
+        e.run(SimTime::from_secs(1));
+        let r = e.finish();
+        assert!(!flight.is_empty(), "dispatches must land in the flight ring");
+        assert!(flight.dump_json().contains("\"kind\""));
+        // The first dispatch of a run is always sampled (index 0 & mask).
+        assert!(r.metrics.histogram("phase.dispatch_ns").is_some());
     }
 }

@@ -41,6 +41,7 @@
 
 mod engine;
 mod logic;
+mod metrics;
 mod queue;
 mod shard;
 pub mod source;
@@ -50,6 +51,7 @@ mod topology;
 pub mod traffic;
 
 pub use edn_core::{LeafKind, TraceMode, TraceObserver};
+pub use edn_obs::{FlightRecorder, MetricsLevel};
 pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
 pub use logic::{
     table_outputs, BoxedHosts, CtrlMsg, DataPlane, HostLogic, PacketPath, SinkHosts, StepResult,

@@ -210,6 +210,15 @@ pub trait DataPlane {
     {
         let _ = (other, owned);
     }
+
+    /// Folds this plane's metrics into `reg` — called by the engine while
+    /// assembling the run's registry (per shard, in shard order, before
+    /// [`absorb_shard`](DataPlane::absorb_shard)). The default contributes
+    /// nothing; planes backed by a compiled lookup index report its
+    /// fingerprint hit/fallback counters here.
+    fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
+        let _ = reg;
+    }
 }
 
 /// A boxed host behaviour, as the engine owns it. `Send` so sharded runs

@@ -120,7 +120,6 @@ impl CalendarQueue {
         }
     }
 
-    #[cfg(test)]
     fn len(&self) -> usize {
         self.in_window + self.overflow.len()
     }
@@ -255,7 +254,8 @@ impl EventQueue {
         }
     }
 
-    #[cfg(test)]
+    /// Pending events. The engine samples this at each dispatch for the
+    /// queue-depth high-water metric.
     pub(crate) fn len(&self) -> usize {
         match self {
             EventQueue::Heap(h) => h.len(),

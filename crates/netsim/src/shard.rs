@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use edn_core::{LocatedPacket, NetworkTrace, TraceMode};
+use edn_obs::{Registry, Stopwatch};
 use netkat::{Loc, Packet};
 
 use crate::engine::{Core, EventKey, RunResult};
@@ -237,13 +238,19 @@ pub(crate) fn run_multi<D: DataPlane + Send>(
 /// reports, so all shards break out of the loop in the same round.
 fn worker<D: DataPlane>(core: &mut Core<D>, ctx: &SyncCtx) {
     let me = core.me as usize;
+    // Wall-clock barrier profiling only at `full` (never reproducible).
+    let timed = core.metrics.full;
     loop {
         let inbound = std::mem::take(&mut *ctx.inboxes[me].lock().expect("inbox lock poisoned"));
         for msg in inbound {
             core.receive(msg);
         }
         ctx.next[me].store(core.next_time_us(), Ordering::SeqCst);
+        let sw = timed.then(Stopwatch::start);
         ctx.barrier.wait();
+        if let Some(sw) = sw {
+            core.metrics.barrier_wait_us.observe(sw.elapsed_us());
+        }
         let t = ctx.next.iter().map(|a| a.load(Ordering::SeqCst)).min().expect("shards exist");
         if t == u64::MAX || t > ctx.deadline_us {
             // Done (or past the horizon): inboxes are empty — everything
@@ -251,9 +258,16 @@ fn worker<D: DataPlane>(core: &mut Core<D>, ctx: &SyncCtx) {
             break;
         }
         let horizon = t.saturating_add(ctx.lookahead_us).min(ctx.deadline_us.saturating_add(1));
+        if core.metrics.on {
+            core.metrics.window_us.observe(horizon - t);
+        }
         core.run_window(horizon);
         core.flush_outbox(&ctx.inboxes);
+        let sw = timed.then(Stopwatch::start);
         ctx.barrier.wait();
+        if let Some(sw) = sw {
+            core.metrics.barrier_wait_us.observe(sw.elapsed_us());
+        }
     }
 }
 
@@ -292,6 +306,8 @@ enum CtrlOp {
 /// the single global sequence the solo engine would have produced.
 pub(crate) fn merge<D: DataPlane>(cores: Vec<Core<D>>, part: &Partition) -> RunResult<D> {
     let mut stats = Stats::default();
+    let metrics_on = cores[0].metrics.on;
+    let mut metrics = Registry::new();
     let mut planes = Vec::with_capacity(cores.len());
     let mut parts = Vec::with_capacity(cores.len());
     let mut record_runs = Vec::with_capacity(cores.len());
@@ -300,6 +316,14 @@ pub(crate) fn merge<D: DataPlane>(cores: Vec<Core<D>>, part: &Partition) -> RunR
     let mut drop_streams = Vec::with_capacity(cores.len());
     let mut ctrl_streams: Vec<Vec<(EventKey, CtrlOp)>> = Vec::new();
     for core in cores {
+        if metrics_on {
+            // Fold per-shard accumulators in shard order — the same fold
+            // order every run, so shard-scoped values are deterministic
+            // at a fixed shard count and sim-scoped values are invariant.
+            core.metrics.contribute(&mut metrics);
+            crate::metrics::contribute_arena(&mut metrics, core.trace.arena());
+            core.dataplane.contribute_metrics(&mut metrics);
+        }
         stats.injected += core.stats.injected;
         stats.events_processed += core.stats.events_processed;
         stats.delivered_packets += core.stats.delivered_packets;
@@ -405,7 +429,10 @@ pub(crate) fn merge<D: DataPlane>(cores: Vec<Core<D>>, part: &Partition) -> RunR
     for (i, other) in planes.enumerate() {
         dataplane.absorb_shard(other, part.members(i as u32 + 1));
     }
-    RunResult { trace, stats, dataplane }
+    if metrics_on {
+        crate::metrics::contribute_stats(&mut metrics, &stats);
+    }
+    RunResult { trace, stats, dataplane, metrics }
 }
 
 #[cfg(test)]

@@ -18,6 +18,11 @@ pub enum DropReason {
 }
 
 impl DropReason {
+    /// Every reason, in [`DropReason::index`] order — iterate this to
+    /// report named per-reason counts from [`Stats::dropped`].
+    pub const ALL: [DropReason; 4] =
+        [DropReason::NoRule, DropReason::DeadEnd, DropReason::QueueFull, DropReason::LinkDown];
+
     /// The reason's index into [`Stats::dropped`].
     pub fn index(self) -> usize {
         match self {
@@ -25,6 +30,16 @@ impl DropReason {
             DropReason::DeadEnd => 1,
             DropReason::QueueFull => 2,
             DropReason::LinkDown => 3,
+        }
+    }
+
+    /// A short static name for reports and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::NoRule => "no_rule",
+            DropReason::DeadEnd => "dead_end",
+            DropReason::QueueFull => "queue_full",
+            DropReason::LinkDown => "link_down",
         }
     }
 }
@@ -162,6 +177,14 @@ mod tests {
         assert_eq!(s.bytes_delivered(7, SimTime::from_millis(2), SimTime::from_millis(10)), 200);
         assert_eq!(s.bytes_delivered(8, SimTime::ZERO, SimTime::from_millis(10)), 400);
         assert_eq!(s.delivered_to(7).count(), 2);
+    }
+
+    #[test]
+    fn reason_names_align_with_indices() {
+        for (i, r) in DropReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(DropReason::QueueFull.name(), "queue_full");
     }
 
     #[test]

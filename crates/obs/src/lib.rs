@@ -1,0 +1,107 @@
+//! Deterministic telemetry for the event-driven network stack.
+//!
+//! The crate provides three independent pieces, all zero-overhead when
+//! metrics are off:
+//!
+//! * a [`Registry`] of named [counters](Registry::counter_add),
+//!   [high-water gauges](Registry::gauge_max), and
+//!   [power-of-two log histograms](Hist) with a deterministic merge —
+//!   per-shard registries fold at `finish` in shard order, exactly like
+//!   the trace merge, so sim-time-derived metrics are byte-identical
+//!   across `EDN_SHARDS`;
+//! * a [`FlightRecorder`] — a bounded ring of recent engine events dumped
+//!   as JSON next to a violation report when an online checker fails or a
+//!   bench panics;
+//! * wall-clock sampling helpers ([`Stopwatch`], [`MinWall`]) so ad-hoc
+//!   `Instant::now()` timing lives in one audited place.
+//!
+//! Metrics are classified by [`Scope`]: `sim` metrics derive only from
+//! simulated time and event content and are byte-identical across shard
+//! counts; `shard` metrics are deterministic for a fixed `EDN_SHARDS` but
+//! legitimately vary with it (queue depths, window widths); `wall`
+//! metrics are wall-clock samples and are never expected to reproduce.
+//! Exporters ([`Registry::render_json`], [`Registry::render_prometheus`])
+//! keep the scopes segregated so determinism checks can compare the `sim`
+//! section alone.
+//!
+//! The instrumentation level is selected by `EDN_METRICS=off|counters|full`
+//! (see [`MetricsLevel`]); `EDN_METRICS_OUT=path` makes
+//! [`Registry::write_out_from_env`] persist a snapshot at the end of a
+//! run (`.prom`/`.txt` extension selects Prometheus text exposition,
+//! anything else JSON).
+
+mod flight;
+mod registry;
+mod wall;
+
+pub use flight::{FlightEvent, FlightRecorder};
+pub use registry::{Hist, Registry, Scope};
+pub use wall::{MinWall, Stopwatch};
+
+/// How much instrumentation the engine stack should run with.
+///
+/// Selected by the `EDN_METRICS` environment variable:
+///
+/// | value | meaning |
+/// |---|---|
+/// | `off` (default) | no metrics; hot paths skip all bookkeeping |
+/// | `counters` | cheap counters, gauges, and sim-time histograms |
+/// | `full` | `counters` plus sampled wall-clock phase profiling and the flight recorder |
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MetricsLevel {
+    /// No instrumentation (the default).
+    #[default]
+    Off,
+    /// Deterministic counters, gauges, and histograms only.
+    Counters,
+    /// Everything: counters plus sampled wall-clock phase profiling and
+    /// the flight recorder.
+    Full,
+}
+
+impl MetricsLevel {
+    /// Reads `EDN_METRICS` (defaults to [`MetricsLevel::Off`]; unknown
+    /// values panic so typos cannot silently disable telemetry).
+    pub fn from_env() -> Self {
+        match std::env::var("EDN_METRICS").as_deref() {
+            Ok("counters") => MetricsLevel::Counters,
+            Ok("full") => MetricsLevel::Full,
+            Ok("off") | Err(_) => MetricsLevel::Off,
+            Ok(other) => panic!("EDN_METRICS must be off|counters|full, got `{other}`"),
+        }
+    }
+
+    /// Whether any instrumentation is enabled.
+    pub fn is_on(self) -> bool {
+        self != MetricsLevel::Off
+    }
+
+    /// Whether sampled phase profiling and the flight recorder run.
+    pub fn is_full(self) -> bool {
+        self == MetricsLevel::Full
+    }
+
+    /// The knob value naming this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Counters => "counters",
+            MetricsLevel::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_predicates() {
+        assert!(!MetricsLevel::Off.is_on());
+        assert!(MetricsLevel::Counters.is_on());
+        assert!(!MetricsLevel::Counters.is_full());
+        assert!(MetricsLevel::Full.is_full());
+        assert_eq!(MetricsLevel::Full.name(), "full");
+        assert_eq!(MetricsLevel::default(), MetricsLevel::Off);
+    }
+}

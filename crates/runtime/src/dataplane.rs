@@ -434,6 +434,19 @@ impl DataPlane for NesDataPlane {
         }
         self.fired_log = merged;
     }
+
+    /// Reports the compiled lookup index's fingerprint probe outcomes,
+    /// summed over all switch programs this plane instance drove.
+    fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
+        let (mut hits, mut fallbacks) = (0u64, 0u64);
+        for program in self.programs.values() {
+            let (h, f) = program.compiled.lookup_stats();
+            hits += h;
+            fallbacks += f;
+        }
+        reg.counter_add(edn_obs::Scope::Shard, "flowindex.fp_hits", hits);
+        reg.counter_add(edn_obs::Scope::Shard, "flowindex.fp_fallbacks", fallbacks);
+    }
 }
 
 #[cfg(test)]

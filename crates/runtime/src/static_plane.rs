@@ -159,6 +159,19 @@ impl DataPlane for StaticDataPlane {
     }
 
     fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+
+    /// Reports the compiled lookup index's fingerprint probe outcomes,
+    /// summed over the per-switch tables.
+    fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
+        let (mut hits, mut fallbacks) = (0u64, 0u64);
+        for table in self.index.values() {
+            let (h, f) = table.lookup_stats();
+            hits += h;
+            fallbacks += f;
+        }
+        reg.counter_add(edn_obs::Scope::Shard, "flowindex.fp_hits", hits);
+        reg.counter_add(edn_obs::Scope::Shard, "flowindex.fp_fallbacks", fallbacks);
+    }
 }
 
 #[cfg(test)]

@@ -214,6 +214,35 @@ mod tests {
         assert!(handle.verdict().is_err(), "online checker flags it too");
     }
 
+    /// At `EDN_METRICS=full` a checker violation leaves a crash dump
+    /// behind: the engine's flight recorder (auto-attached to the checker
+    /// by `set_observer`) records the violation alongside the preceding
+    /// event firings, and its JSON dump names the violation kind.
+    #[test]
+    fn violation_lands_in_the_flight_recorder() {
+        let (nes, topo) = nes_and_topo();
+        let mut engine = uncoordinated_engine(
+            nes.clone(),
+            topo,
+            SimParams::default(),
+            SimTime::from_millis(500),
+            42,
+            Box::new(ScenarioHosts::new()),
+        )
+        .with_metrics(netsim::MetricsLevel::Full);
+        let flight = engine.flight_recorder().expect("full level attaches the recorder");
+        let handle = attach_online_checker(&mut engine, &nes).expect("tiny NES fits the window");
+        let pings = vec![
+            Ping { time: SimTime::from_millis(1), src: 200, dst: 300, id: 1 },
+            Ping { time: SimTime::from_millis(10), src: 300, dst: 200, id: 2 },
+        ];
+        schedule_pings(&mut engine, &pings);
+        engine.run_until(SimTime::from_secs(2));
+        let violation = handle.verdict().expect_err("the baseline run violates Definition 6");
+        let dump = flight.dump_json();
+        assert!(dump.contains(&format!("\"{}\"", violation.name())), "dump: {dump}");
+    }
+
     #[test]
     fn uncoordinated_run_violates_consistency() {
         let (nes, topo) = nes_and_topo();

@@ -14,11 +14,12 @@
 use edn_apps::generated::firewall_nes;
 use edn_apps::ring::{host, Ring};
 use edn_core::{NetworkTrace, TraceMode};
+use edn_obs::Scope;
 use edn_topo::{fat_tree, ring, synthesize, LinkProfile, TierProfile, TrafficPattern, Workload};
 use nes_runtime::{nes_engine_with_path, verify_nes_run, NesDataPlane};
 use netkat::LookupPath;
 use netsim::traffic::udp_packet;
-use netsim::{Engine, PacketPath, QueueKind, SimParams, SimTime, SinkHosts, Stats};
+use netsim::{Engine, MetricsLevel, PacketPath, QueueKind, SimParams, SimTime, SinkHosts, Stats};
 use proptest::prelude::*;
 
 /// One engine-knob combination under test.
@@ -28,13 +29,19 @@ struct Knobs {
     mode: TraceMode,
     path: PacketPath,
     shards: u32,
+    metrics: MetricsLevel,
 }
 
 /// The reference corner: one thread, binary heap, full trace, owned
-/// packets — the pre-rework engine, kept runnable exactly so everything
-/// new can be diffed against it.
-const REFERENCE: Knobs =
-    Knobs { queue: QueueKind::Heap, mode: TraceMode::Full, path: PacketPath::Owned, shards: 1 };
+/// packets, no telemetry — the pre-rework engine, kept runnable exactly
+/// so everything new can be diffed against it.
+const REFERENCE: Knobs = Knobs {
+    queue: QueueKind::Heap,
+    mode: TraceMode::Full,
+    path: PacketPath::Owned,
+    shards: 1,
+    metrics: MetricsLevel::Off,
+};
 
 /// Widens a requested shard count by the `EDN_SHARDS` environment knob,
 /// so CI can replay the whole matrix on the sharded engine (the solo
@@ -52,6 +59,7 @@ fn knobs_with_shards(shards: u32) -> impl Iterator<Item = Knobs> {
                 mode,
                 path,
                 shards,
+                metrics: MetricsLevel::Off,
             })
         })
     })
@@ -62,6 +70,7 @@ fn configure(engine: Engine<NesDataPlane>, knobs: Knobs) -> Engine<NesDataPlane>
         .with_queue(knobs.queue)
         .with_trace_mode(knobs.mode)
         .with_packet_path(knobs.path)
+        .with_metrics(knobs.metrics)
         .with_shards(knobs.shards)
 }
 
@@ -195,6 +204,72 @@ fn fat_tree_firewall_replays_identically_across_shard_counts() {
     assert_plumbing_invariant("sharded fat-tree firewall", &[2, 4], fat_tree_firewall_run);
 }
 
+/// Telemetry must never perturb simulation results: the ring scenario
+/// replayed at `counters` and `full` (solo and sharded) stays
+/// byte-identical to the metrics-off reference — `Stats`, traces, and the
+/// NES verification all unchanged.
+#[test]
+fn metrics_levels_do_not_perturb_results() {
+    let (reference_trace, reference_stats) = ring_run(REFERENCE);
+    for metrics in [MetricsLevel::Counters, MetricsLevel::Full] {
+        for shards in [1, 2, 4] {
+            let knobs = Knobs {
+                queue: QueueKind::Calendar,
+                mode: TraceMode::Full,
+                path: PacketPath::Arena,
+                shards: effective_shards(shards),
+                metrics,
+            };
+            let (trace, stats) = ring_run(knobs);
+            assert_eq!(stats, reference_stats, "stats diverged on {knobs:?}");
+            assert_eq!(trace, reference_trace, "trace diverged on {knobs:?}");
+        }
+    }
+}
+
+/// The fat-tree firewall scenario's **sim-scoped** metric section is
+/// byte-identical across shard counts — the registry analogue of the
+/// trace/stats byte-identity contract (shard- and wall-scoped sections
+/// are exempt by design).
+#[test]
+fn sim_scoped_metrics_are_byte_identical_across_shard_counts() {
+    let sim_section = |shards: u32| {
+        let gen = fat_tree(4, TierProfile::default());
+        let workload = Workload {
+            pattern: TrafficPattern::Permutation,
+            seed: 7,
+            packets_per_flow: 4,
+            ..Workload::default()
+        };
+        let flows = synthesize(&gen, &workload);
+        let horizon =
+            flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
+        let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
+        let nes = firewall_nes(&gen, inside, outside);
+        let mut engine = nes_engine_with_path(
+            nes,
+            gen.sim().clone(),
+            SimParams::default(),
+            false,
+            Box::new(SinkHosts),
+            LookupPath::Indexed,
+        )
+        .with_metrics(MetricsLevel::Counters)
+        .with_shards(shards);
+        edn_topo::schedule(&mut engine, &flows);
+        engine.inject_at(SimTime::from_millis(5), inside, udp_packet(inside, outside, u64::MAX, 0));
+        engine.run(horizon);
+        assert_eq!(engine.shards(), shards, "sharding did not engage");
+        engine.finish().metrics.render_scope_json(Scope::Sim)
+    };
+    let solo = sim_section(1);
+    assert!(solo.contains("engine.event_latency_us"), "sim section must be populated");
+    assert!(solo.contains("drops.no_rule"), "per-reason drops must be present");
+    for shards in [2, 4] {
+        assert_eq!(sim_section(shards), solo, "sim metrics diverged on {shards} shards");
+    }
+}
+
 /// One seeded generated-ring firewall run on explicit knobs — the
 /// proptest's unit of comparison.
 fn seeded_run(n: u64, workload: &Workload, knobs: Knobs) -> (NetworkTrace, Stats) {
@@ -260,6 +335,7 @@ proptest! {
             mode: TraceMode::Full,
             path: PacketPath::Arena,
             shards: effective_shards(1),
+            metrics: MetricsLevel::Off,
         };
         let (trace, stats) = seeded_run(n, &workload, calendar_arena);
         prop_assert_eq!(&stats, &reference_stats, "calendar+arena stats diverged");
@@ -292,6 +368,7 @@ proptest! {
             mode: TraceMode::Full,
             path: PacketPath::Arena,
             shards,
+            metrics: MetricsLevel::Off,
         };
         let (trace, stats) = seeded_run(n, &workload, sharded);
         prop_assert_eq!(&stats, &reference_stats, "{} shards: stats diverged", shards);
