@@ -1,0 +1,156 @@
+//! Campaign throughput harness: how fast can the coordinated runtime
+//! retire *successive* event-driven updates under live heavy-tailed
+//! traffic — and does every one of them verify?
+//!
+//! Run with: `cargo run --release -p edn-bench --bin fig_campaign`
+//!
+//! The harness compiles a declarative scenario (see `crates/scenario`): a
+//! fat-tree(8) running a 20-update victim-unblock campaign with causal
+//! probes, under streamed permutation traffic with Pareto flow sizes. Two
+//! legs run in one process:
+//!
+//! * **throughput** — unchecked, shard count from `EDN_SHARDS`: the raw
+//!   updates/sec the runtime sustains (trigger injection to final firing);
+//! * **verified** — the online Definition 6 checker attached (the engine
+//!   serializes under an observer): the same campaign, now with a verdict.
+//!
+//! Both legs must report byte-identical `Stats` — checking and sharding
+//! may cost wall time but never change a result. The CSV goes to stdout;
+//! a JSON summary (both legs' rates plus the verdict) goes to
+//! `CAMPAIGN_JSON`.
+//!
+//! Environment overrides (CI smoke uses small values):
+//! * `CAMPAIGN_FATTREE_K` — fat-tree arity (default `8`: 80 switches, 128
+//!   hosts);
+//! * `CAMPAIGN_UPDATES` — campaign length (default `20`, max `63`: the
+//!   online checker's window);
+//! * `CAMPAIGN_SEED` — scenario seed (default `2016`);
+//! * `CAMPAIGN_JSON` — where to write the summary (default
+//!   `BENCH_campaign.json`; empty string disables).
+
+use edn_bench::env_u64;
+use edn_obs::Stopwatch;
+use edn_scenario::{CompiledScenario, ModelSpec, ScenarioSpec, TopologySpec, WorkloadSpec};
+use edn_topo::TrafficPattern;
+use netsim::{DropReason, SimTime, Stats};
+use std::fmt::Write as _;
+
+/// `VmHWM` (peak resident set) of this process, in kilobytes.
+fn vm_hwm_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The 20-update fat-tree campaign, as scenario data.
+fn campaign_spec(k: u64, updates: u64, seed: u64) -> ScenarioSpec {
+    let spacing = SimTime::from_millis(100);
+    let start = SimTime::from_millis(100);
+    ScenarioSpec {
+        name: format!("campaign-fattree{k}"),
+        seed,
+        topology: TopologySpec::FatTree(k),
+        horizon: SimTime::ZERO, // auto: past the last flow, step, and probe
+        workload: WorkloadSpec {
+            pattern: TrafficPattern::Permutation,
+            packets_per_flow: 3,
+            spread: start + SimTime::from_micros(spacing.as_micros() * (updates + 2)),
+            model: ModelSpec::Pareto,
+            ..WorkloadSpec::default()
+        },
+        campaign: edn_scenario::CampaignSpec {
+            updates: updates as usize,
+            start,
+            spacing,
+            probe: true,
+            ..edn_scenario::CampaignSpec::default()
+        },
+        actions: Vec::new(),
+    }
+}
+
+/// One leg; returns `(stats, datagrams, fired, wall_us, verdict word)`.
+fn leg(c: &CompiledScenario, check: bool) -> (Stats, u64, usize, u64, &'static str) {
+    let mut engine = c.engine();
+    let handle = check.then(|| {
+        nes_runtime::attach_online_checker(&mut engine, &c.nes)
+            .expect("a ≤63-step campaign fits the online checker's windows")
+    });
+    c.apply_actions(&mut engine);
+    let datagrams = c.load_traffic(&mut engine, true);
+    c.inject_campaign(&mut engine);
+    let sw = Stopwatch::start();
+    let result = engine.run_until(c.horizon);
+    let wall = sw.elapsed_us();
+    let fired = result.dataplane.fired_sequence().len();
+    let verdict = match handle.map(|h| h.verdict()) {
+        None => "unchecked",
+        Some(Ok(())) => "correct",
+        Some(Err(v)) => v.name(),
+    };
+    (result.stats, datagrams, fired, wall, verdict)
+}
+
+fn updates_per_sec(fired: usize, wall_us: u64) -> f64 {
+    fired as f64 * 1_000_000.0 / wall_us.max(1) as f64
+}
+
+fn main() {
+    let k = env_u64("CAMPAIGN_FATTREE_K", 8);
+    let updates = env_u64("CAMPAIGN_UPDATES", 20);
+    let seed = env_u64("CAMPAIGN_SEED", 2016);
+    let json_path =
+        std::env::var("CAMPAIGN_JSON").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
+
+    let spec = campaign_spec(k, updates, seed);
+    let c = CompiledScenario::compile(&spec).expect("the campaign spec compiles");
+    let drop_cols = DropReason::ALL.map(|r| format!("drops_{}", r.name())).join(",");
+    println!(
+        "leg,updates,fired,datagrams,events,wall_us,updates_per_sec,vm_hwm_kb,verdict,{drop_cols}"
+    );
+
+    let mut json = String::new();
+    let mut baseline: Option<Stats> = None;
+    for (name, check) in [("throughput", false), ("verified", true)] {
+        let (stats, datagrams, fired, wall_us, verdict) = leg(&c, check);
+        assert_eq!(fired, c.steps.len(), "every campaign step fires");
+        if check {
+            assert_eq!(verdict, "correct", "the NES runtime must verify (Theorem 1)");
+        }
+        if let Some(b) = &baseline {
+            assert_eq!(&stats, b, "checking must not change a byte of the stats");
+        }
+        let rate = updates_per_sec(fired, wall_us);
+        let named = stats.dropped.map(|d| d.to_string()).join(",");
+        println!(
+            "{name},{updates},{fired},{datagrams},{},{wall_us},{rate:.2},{},{verdict},{named}",
+            stats.events_processed,
+            vm_hwm_kb()
+        );
+        if !json.is_empty() {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "  \"{name}\": {{ \"fired\": {fired}, \"events\": {}, \"wall_us\": {wall_us}, \
+             \"updates_per_sec\": {rate:.2}, \"verdict\": \"{verdict}\" }}",
+            stats.events_processed
+        );
+        baseline = Some(stats);
+    }
+
+    if !json_path.is_empty() {
+        let body = format!(
+            "{{\n  \"topology\": \"fat_tree({k})\",\n  \"updates\": {updates},\n  \
+             \"seed\": {seed},\n  \"model\": \"pareto\",\n{json}\n}}\n"
+        );
+        if let Err(e) = std::fs::write(&json_path, body) {
+            eprintln!("fig_campaign: could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("fig_campaign: summary written to {json_path}");
+    }
+}

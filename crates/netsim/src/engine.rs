@@ -69,6 +69,32 @@ pub(crate) fn pack_seq(sender: u32, counter: u64) -> u64 {
 /// An event's full ordering key: fire time plus the packed sequence.
 pub(crate) type EventKey = (SimTime, u64);
 
+/// A scheduled step function over simulated time: each `(time, value)`
+/// entry sets the value from `time` onward, until a later entry replaces
+/// it. Kept sorted by time; writes at an already-scheduled time overwrite
+/// in place (**last-write-wins**), so repeated fail/restore cycles and
+/// re-scripted scenario actions are always well-defined.
+pub(crate) type Timeline<T> = Vec<(SimTime, T)>;
+
+/// Inserts `(time, value)` into a sorted timeline, overwriting any
+/// existing entry at exactly `time`.
+fn timeline_set<T>(timeline: &mut Timeline<T>, time: SimTime, value: T) {
+    let i = timeline.partition_point(|&(at, _)| at < time);
+    match timeline.get_mut(i) {
+        Some(entry) if entry.0 == time => entry.1 = value,
+        _ => timeline.insert(i, (time, value)),
+    }
+}
+
+/// The timeline's value at `t`: the most recent entry at or before `t`,
+/// or `default` before the first entry (and for an empty timeline).
+fn timeline_at<T: Copy>(timeline: &Timeline<T>, t: SimTime, default: T) -> T {
+    match timeline.partition_point(|&(at, _)| at <= t) {
+        0 => default,
+        i => timeline[i - 1].1,
+    }
+}
+
 /// Dense entity numbering: 0 = environment, 1 = controller, then every
 /// switch, then every host, in topology order — identical however the
 /// topology is later partitioned.
@@ -241,8 +267,13 @@ pub(crate) struct Core<D: DataPlane> {
     /// Per-link transmission backlog, indexed like `topo.links()`: when the
     /// link is next free. Only this shard's links advance.
     link_free: Vec<SimTime>,
-    /// Injected failures, indexed like `topo.links()`.
-    pub(crate) fail_at: Vec<Option<SimTime>>,
+    /// Per-link up/down schedule, indexed like `topo.links()`: `true`
+    /// entries take the link down, `false` entries bring it back up.
+    /// Empty = the link never fails.
+    pub(crate) link_state: Vec<Timeline<bool>>,
+    /// Scheduled overrides of the switch↔controller latency (spikes);
+    /// empty = `params.controller_latency` throughout.
+    pub(crate) ctrl_latency: Timeline<SimTime>,
     /// Dense entity numbering (identical on every shard).
     entities: EntityMap,
     /// Per-entity creation counters; only entities owned by this shard
@@ -341,7 +372,8 @@ impl<D: DataPlane> Core<D> {
             stats: Stats::default(),
             egress,
             link_free: vec![SimTime::ZERO; n_links],
-            fail_at: vec![None; n_links],
+            link_state: vec![Vec::new(); n_links],
+            ctrl_latency: Vec::new(),
             entities,
             counters: vec![0; n_entities],
             step_buf: StepResultId::default(),
@@ -362,6 +394,12 @@ impl<D: DataPlane> Core<D> {
             observer: None,
             metrics,
         }
+    }
+
+    /// The switch↔controller latency in effect at the current simulated
+    /// time (scheduled spikes override `params.controller_latency`).
+    fn controller_latency(&self) -> SimTime {
+        timeline_at(&self.ctrl_latency, self.now, self.params.controller_latency)
     }
 
     fn next_seq(&mut self, sender: u32) -> u64 {
@@ -749,7 +787,7 @@ impl<D: DataPlane> Core<D> {
                     self.ctrl_causes.push(cause.1 as usize);
                 }
                 for (delay, sw, out) in self.dataplane.on_notify(msg, self.now) {
-                    let t = self.now + self.params.controller_latency + delay;
+                    let t = self.now + self.controller_latency() + delay;
                     let seq = self.next_seq(CTRL_ENTITY);
                     let target = self.owner_of(sw);
                     if target == self.me {
@@ -856,7 +894,7 @@ impl<D: DataPlane> Core<D> {
             }
         }
         for msg in out.notifications.drain(..) {
-            let t = self.now + self.params.controller_latency;
+            let t = self.now + self.controller_latency();
             let seq = self.next_seq(sender);
             let cause = (self.me, ingress_idx as u32);
             // The controller lives on shard 0.
@@ -932,10 +970,10 @@ impl<D: DataPlane> Core<D> {
                 }
             };
             let link = self.topo.links()[link_idx];
-            // Injected failure? Like queue losses, failure drops are left
+            // Scheduled failure? Like queue losses, failure drops are left
             // unterminated in the trace: the abstract configuration has no
             // notion of a dead link, so the packet reads as in flight.
-            if self.fail_at[link_idx].is_some_and(|t| depart >= t) {
+            if timeline_at(&self.link_state[link_idx], depart, false) {
                 if let Some(o) = self.observer.as_deref_mut() {
                     o.leaf(egress_idx, edn_core::LeafKind::Stalled);
                 }
@@ -1237,22 +1275,87 @@ impl<D: DataPlane> Engine<D> {
         self.cores[0].packet_path
     }
 
-    /// Injects a failure: the directed link `src → dst` drops every packet
-    /// offered to it at or after `time` (failure injection for recovery
-    /// scenarios and robustness tests). Failing a link the topology does not
-    /// have is a no-op (no packet can ever traverse it).
-    pub fn fail_link_at(&mut self, time: SimTime, src: Loc, dst: Loc) {
+    /// Writes one transition onto a directed link's up/down schedule,
+    /// replicated across every core. A link the topology does not have is
+    /// a no-op (no packet can ever traverse it).
+    fn set_link_state_at(&mut self, time: SimTime, src: Loc, dst: Loc, down: bool) {
         let Some(i) = self.cores[0].topo.link_index(src, dst) else { return };
         for core in &mut self.cores {
-            let at = core.fail_at[i].get_or_insert(time);
-            *at = (*at).min(time);
+            timeline_set(&mut core.link_state[i], time, down);
         }
+    }
+
+    /// Injects a failure: the directed link `src → dst` drops every packet
+    /// offered to it at or after `time` — until a later
+    /// [`restore_link_at`](Engine::restore_link_at) brings it back up.
+    /// Transitions may be scheduled in any order; a second transition at
+    /// the same instant overwrites the first (last-write-wins), so
+    /// repeated fail/restore cycles (flaps) are always well-defined.
+    pub fn fail_link_at(&mut self, time: SimTime, src: Loc, dst: Loc) {
+        self.set_link_state_at(time, src, dst, true);
+    }
+
+    /// Schedules a recovery: the directed link `src → dst` carries packets
+    /// again from `time` onward (until a later
+    /// [`fail_link_at`](Engine::fail_link_at), if any).
+    pub fn restore_link_at(&mut self, time: SimTime, src: Loc, dst: Loc) {
+        self.set_link_state_at(time, src, dst, false);
     }
 
     /// Injects a bidirectional failure at `time`.
     pub fn fail_bilink_at(&mut self, time: SimTime, a: Loc, b: Loc) {
         self.fail_link_at(time, a, b);
         self.fail_link_at(time, b, a);
+    }
+
+    /// Schedules a bidirectional recovery at `time`.
+    pub fn restore_bilink_at(&mut self, time: SimTime, a: Loc, b: Loc) {
+        self.restore_link_at(time, a, b);
+        self.restore_link_at(time, b, a);
+    }
+
+    /// Crashes a switch at `time`: every inter-switch link incident to
+    /// `sw` (both directions) goes down, so the switch neither receives
+    /// nor emits transit traffic. Host attachment links are untouched —
+    /// packets a crashed switch's hosts inject drop at the first dead
+    /// egress, exactly as a real dark switch would blackhole them.
+    pub fn crash_switch_at(&mut self, time: SimTime, sw: u64) {
+        self.set_incident_links_at(time, sw, true);
+    }
+
+    /// Recovers a crashed switch at `time`: every inter-switch link
+    /// incident to `sw` comes back up.
+    pub fn recover_switch_at(&mut self, time: SimTime, sw: u64) {
+        self.set_incident_links_at(time, sw, false);
+    }
+
+    fn set_incident_links_at(&mut self, time: SimTime, sw: u64, down: bool) {
+        let incident: Vec<usize> = self.cores[0]
+            .topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.src.sw == sw || l.dst.sw == sw)
+            .map(|(i, _)| i)
+            .collect();
+        for core in &mut self.cores {
+            for &i in &incident {
+                timeline_set(&mut core.link_state[i], time, down);
+            }
+        }
+    }
+
+    /// Schedules a controller-latency change: from `time` onward the
+    /// switch↔controller latency is `latency` instead of
+    /// [`SimParams::controller_latency`], until a later entry replaces it
+    /// (schedule a spike as a raise followed by a restore). Lowering the
+    /// latency *below* the configured baseline forces single-threaded
+    /// execution — the sharded scheduler's lookahead windows are sized
+    /// from the baseline (results are byte-identical either way).
+    pub fn set_controller_latency_at(&mut self, time: SimTime, latency: SimTime) {
+        for core in &mut self.cores {
+            timeline_set(&mut core.ctrl_latency, time, latency);
+        }
     }
 
     /// The current simulated time (the maximum over shards).
@@ -1379,6 +1482,14 @@ impl<D: DataPlane> Engine<D> {
             self.prepared = None;
             return;
         }
+        let baseline = self.cores[0].params.controller_latency;
+        if self.cores[0].ctrl_latency.iter().any(|&(_, l)| l < baseline) {
+            // Lookahead windows are sized from the baseline controller
+            // latency: a scheduled drop below it could land a cross-shard
+            // message inside the current window. Fall back to solo.
+            self.prepared = None;
+            return;
+        }
         let Some(extras) = self.prepared.take() else { return };
         let requested = extras.len() as u32 + 1;
         let part = Partition::compute(&self.cores[0].topo, requested);
@@ -1392,7 +1503,8 @@ impl<D: DataPlane> Engine<D> {
         let mode = self.cores[0].trace.mode();
         let path = self.cores[0].packet_path;
         let stats_mode = self.cores[0].stats_mode;
-        let fail_at = self.cores[0].fail_at.clone();
+        let link_state = self.cores[0].link_state.clone();
+        let ctrl_latency = self.cores[0].ctrl_latency.clone();
         let level = self.cores[0].metrics.level();
         let flight = self.cores[0].metrics.flight.clone();
         for (i, (dataplane, hosts)) in extras.into_iter().take(k as usize - 1).enumerate() {
@@ -1410,7 +1522,8 @@ impl<D: DataPlane> Engine<D> {
                 Some(part.clone()),
                 EngineMetrics::new(level, flight.clone()),
             );
-            core.fail_at.clone_from(&fail_at);
+            core.link_state.clone_from(&link_state);
+            core.ctrl_latency.clone_from(&ctrl_latency);
             self.cores.push(core);
         }
         {
@@ -1917,7 +2030,9 @@ mod failure_tests {
     use crate::logic::{CtrlMsg, SinkHosts, StepResult};
     use crate::stats::DropReason;
     use crate::topology::SimTopology;
+    use netkat::Field;
 
+    #[derive(Clone)]
     struct PerSwitch;
     impl DataPlane for PerSwitch {
         fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
@@ -1961,13 +2076,149 @@ mod failure_tests {
     }
 
     #[test]
-    fn earliest_failure_time_wins() {
+    fn repeated_failures_accumulate_on_the_timeline() {
+        // Two fail calls at different times both land on the schedule: the
+        // link is down from the earlier onward (there is no restore in
+        // between), regardless of call order.
         let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts));
         e.fail_link_at(SimTime::from_millis(50), Loc::new(1, 1), Loc::new(2, 1));
         e.fail_link_at(SimTime::from_millis(5), Loc::new(1, 1), Loc::new(2, 1));
         e.inject_at(SimTime::from_millis(10), 100, Packet::new());
         let r = e.run_until(SimTime::from_secs(1));
         assert_eq!(r.stats.drop_count(Some(DropReason::LinkDown)), 1);
+    }
+
+    #[test]
+    fn flap_sequence_fail_restore_fail_is_well_defined() {
+        // The satellite-1 flap: fail at 10ms, restore at 20ms, fail again
+        // at 30ms. Packets probe each phase; only the down phases drop.
+        let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts));
+        let (a, b) = (Loc::new(1, 1), Loc::new(2, 1));
+        e.fail_link_at(SimTime::from_millis(10), a, b);
+        e.restore_link_at(SimTime::from_millis(20), a, b);
+        e.fail_link_at(SimTime::from_millis(30), a, b);
+        for t in [5u64, 15, 25, 35] {
+            e.inject_at(SimTime::from_millis(t), 100, Packet::new().with(Field::Vlan, t));
+        }
+        let r = e.run_until(SimTime::from_secs(1));
+        assert_eq!(r.stats.deliveries.len(), 2, "up phases (5ms, 25ms) deliver");
+        assert_eq!(r.stats.drop_count(Some(DropReason::LinkDown)), 2, "down phases drop");
+    }
+
+    #[test]
+    fn same_instant_transitions_are_last_write_wins() {
+        let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts));
+        let (a, b) = (Loc::new(1, 1), Loc::new(2, 1));
+        e.fail_link_at(SimTime::from_millis(10), a, b);
+        e.restore_link_at(SimTime::from_millis(10), a, b);
+        e.inject_at(SimTime::from_millis(15), 100, Packet::new());
+        let r = e.run_until(SimTime::from_secs(1));
+        assert_eq!(r.stats.deliveries.len(), 1, "the later restore overwrote the fail");
+        assert_eq!(r.stats.drop_count(None), 0);
+    }
+
+    #[test]
+    fn switch_crash_and_recover_gates_transit_traffic() {
+        let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts));
+        e.crash_switch_at(SimTime::from_millis(10), 2);
+        e.recover_switch_at(SimTime::from_millis(20), 2);
+        for t in [5u64, 15, 25] {
+            e.inject_at(SimTime::from_millis(t), 100, Packet::new().with(Field::Vlan, t));
+        }
+        let r = e.run_until(SimTime::from_secs(1));
+        assert_eq!(r.stats.deliveries.len(), 2, "before the crash and after recovery");
+        assert_eq!(r.stats.drop_count(Some(DropReason::LinkDown)), 1, "mid-crash drops");
+    }
+
+    #[test]
+    fn flapped_run_is_byte_identical_across_shard_counts() {
+        let run = |shards: u32| {
+            let mut e = Engine::new(topo(), SimParams::default(), PerSwitch, Box::new(SinkHosts))
+                .with_shards(shards);
+            let (a, b) = (Loc::new(1, 1), Loc::new(2, 1));
+            e.fail_link_at(SimTime::from_millis(10), a, b);
+            e.restore_link_at(SimTime::from_millis(20), a, b);
+            e.crash_switch_at(SimTime::from_millis(30), 2);
+            e.recover_switch_at(SimTime::from_millis(40), 2);
+            for t in (0..50u64).step_by(3) {
+                e.inject_at(SimTime::from_millis(t), 100, Packet::new().with(Field::Vlan, t));
+            }
+            e.run(SimTime::from_secs(1));
+            assert_eq!(e.shards(), shards, "sharding did not engage");
+            let r = e.finish();
+            (r.trace, r.stats)
+        };
+        let solo = run(1);
+        assert!(!solo.1.deliveries.is_empty());
+        assert!(solo.1.drop_count(Some(DropReason::LinkDown)) > 0);
+        assert_eq!(run(2), solo);
+    }
+
+    #[test]
+    fn controller_latency_spike_delays_notifications_deterministically() {
+        // A gated plane: drops everything until the controller's enable
+        // command lands, and the enable round-trip pays the controller
+        // latency twice — so the scheduled spike directly moves how many
+        // of the probe packets get through.
+        #[derive(Clone)]
+        struct Gate {
+            enabled: bool,
+        }
+        impl DataPlane for Gate {
+            fn process(
+                &mut self,
+                _: u64,
+                _: u64,
+                packet: Packet,
+                from_host: bool,
+                _: SimTime,
+            ) -> StepResult {
+                let mut r =
+                    if self.enabled { StepResult::forward(2, packet) } else { StepResult::drop() };
+                if from_host && !self.enabled {
+                    r.notifications.push(CtrlMsg::Events(1));
+                }
+                r
+            }
+            fn on_notify(&mut self, msg: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+                vec![(SimTime::ZERO, 1, msg)]
+            }
+            fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {
+                self.enabled = true;
+            }
+        }
+        let run = |spike_ms: Option<u64>| {
+            let mut e = Engine::new(
+                topo(),
+                SimParams::default(),
+                Gate { enabled: false },
+                Box::new(SinkHosts),
+            );
+            if let Some(ms) = spike_ms {
+                e.set_controller_latency_at(SimTime::ZERO, SimTime::from_millis(ms));
+            }
+            for t in 0..30u64 {
+                e.inject_at(
+                    SimTime::from_millis(1 + 2 * t),
+                    100,
+                    Packet::new().with(Field::Vlan, t),
+                );
+            }
+            let r = e.run_until(SimTime::from_secs(5));
+            (r.trace, r.stats)
+        };
+        // Determinism: same spike, same bytes.
+        assert_eq!(run(Some(20)), run(Some(20)));
+        let (_, base) = run(None);
+        let (_, spiked) = run(Some(20));
+        assert!(
+            spiked.deliveries.len() < base.deliveries.len(),
+            "a 20ms controller latency must gate more probes than the 2ms baseline \
+             ({} vs {})",
+            spiked.deliveries.len(),
+            base.deliveries.len()
+        );
+        assert!(!spiked.deliveries.is_empty(), "the gate still opens eventually");
     }
 }
 

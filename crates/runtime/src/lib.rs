@@ -17,10 +17,13 @@
 //!   fails; the baseline demonstrably does);
 //! * [`attach_online_checker`] attaches the incremental Definition 6 checker
 //!   to an engine before the run, so stats-only executions too large to
-//!   record still get a verdict in bounded memory.
+//!   record still get a verdict in bounded memory;
+//! * [`campaign_nes`] chains many successive updates into one NES — the
+//!   rolling update campaigns the scenario layer scripts.
 
 #![warn(missing_docs)]
 
+mod campaign;
 mod compile;
 mod dataplane;
 mod program;
@@ -28,6 +31,9 @@ mod static_plane;
 mod uncoordinated;
 mod verify;
 
+pub use campaign::{
+    campaign_mark, campaign_nes, campaign_pred, campaign_trigger, CampaignStep, CAMPAIGN_MARK_BASE,
+};
 pub use compile::{CompiledNes, RuleBreakdown};
 pub use dataplane::NesDataPlane;
 pub use program::{tagged_lookup, SwitchProgram};

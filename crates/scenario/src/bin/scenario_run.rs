@@ -1,0 +1,93 @@
+//! Run one scenario end to end and print its canonical CSV.
+//!
+//! ```text
+//! scenario_run <spec.toml>     # run a spec file
+//! scenario_run --seed <n>      # run ScenarioGen::sample(n)
+//! ```
+//!
+//! Three legs per invocation, with cross-checks the process enforces:
+//!
+//! 1. coordinated, batch traffic, shard count from `EDN_SHARDS`;
+//! 2. the same leg again — replay determinism, byte for byte;
+//! 3. coordinated, *streamed* traffic with the online Definition 6 checker
+//!    attached (single-threaded) — must match leg 1 byte for byte.
+//!
+//! The printed CSV row comes from the checked leg and carries no
+//! shard-dependent column, so `EDN_SHARDS=1` and `EDN_SHARDS=4` runs must
+//! produce identical bytes (CI `cmp`s them). Comment lines start with `#`.
+
+use std::process::ExitCode;
+
+use edn_scenario::{
+    parse, run_coordinated, stats_csv_header, stats_csv_row, CompiledScenario, RunOptions,
+    ScenarioGen,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = match args.as_slice() {
+        [flag, seed] if flag == "--seed" => match seed.parse() {
+            Ok(seed) => ScenarioGen::sample(seed),
+            Err(_) => {
+                eprintln!("scenario_run: `{seed}` is not a u64 seed");
+                return ExitCode::FAILURE;
+            }
+        },
+        [path] => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("scenario_run: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse(&text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("scenario_run: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: scenario_run <spec.toml> | scenario_run --seed <n>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match CompiledScenario::compile(&spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("scenario_run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let batch = run_coordinated(&compiled, &RunOptions::default());
+    let replay = run_coordinated(&compiled, &RunOptions::default());
+    if batch.stats != replay.stats {
+        eprintln!("scenario_run: replay diverged — determinism regression");
+        return ExitCode::FAILURE;
+    }
+    let checked =
+        run_coordinated(&compiled, &RunOptions { check: true, stream: true, shards: None });
+    if batch.stats != checked.stats {
+        eprintln!("scenario_run: streamed+checked leg diverged from batch leg");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# scenario {} seed {} topology {} steps {} actions {}",
+        spec.name,
+        spec.seed,
+        spec.topology.kind(),
+        compiled.steps.len(),
+        compiled.actions.len()
+    );
+    println!("{}", stats_csv_header());
+    println!("{}", stats_csv_row(&checked));
+    if checked.verdict != Some(Ok(())) {
+        eprintln!("scenario_run: coordinated verdict was not `correct`");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

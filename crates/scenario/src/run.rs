@@ -1,0 +1,225 @@
+//! Running compiled scenarios and reporting canonical results.
+//!
+//! Three legs, all fed identical traffic and campaign injections:
+//!
+//! * **coordinated, unchecked** — the NES runtime, shard count free (the
+//!   byte-identity leg: `EDN_SHARDS` must not change a byte of the stats);
+//! * **coordinated, checked** — the NES runtime with the online
+//!   Definition 6 checker attached (single-threaded: the engine serializes
+//!   under an observer) and optionally live streamed traffic;
+//! * **uncoordinated, checked** — the Section 5.1 baseline under the same
+//!   scenario, whose verdict the differential oracle compares against.
+//!
+//! [`differential`] packages the oracle: per Theorem 1 the coordinated
+//! verdict must be `correct` on *every* scenario; the uncoordinated verdict
+//! is allowed — and under probing usually observed — to be a violation.
+
+use edn_core::OnlineViolation;
+use netsim::Stats;
+
+use crate::compile::CompiledScenario;
+use crate::spec::{ScenarioError, ScenarioSpec};
+
+/// Options for a coordinated run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunOptions {
+    /// Extra shard-count override (`None` leaves `EDN_SHARDS` in charge).
+    pub shards: Option<u32>,
+    /// Attach the online Definition 6 checker (forces single-threaded).
+    pub check: bool,
+    /// Feed traffic through a live [`WorkloadSource`](netsim::WorkloadSource)
+    /// instead of batch pre-scheduling (byte-identical results).
+    pub stream: bool,
+}
+
+/// The result of one scenario leg.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioOutcome {
+    /// Aggregate run statistics.
+    pub stats: Stats,
+    /// Background datagrams loaded.
+    pub datagrams: u64,
+    /// Campaign steps the runtime fired (coordinated legs only).
+    pub fired: Option<usize>,
+    /// The online checker's verdict, when one was attached.
+    pub verdict: Option<Result<(), OnlineViolation>>,
+}
+
+impl ScenarioOutcome {
+    /// The verdict as a CSV-friendly word: `correct`, a violation name, or
+    /// `unchecked`.
+    pub fn verdict_name(&self) -> &'static str {
+        match &self.verdict {
+            None => "unchecked",
+            Some(Ok(())) => "correct",
+            Some(Err(v)) => v.name(),
+        }
+    }
+}
+
+/// Runs the coordinated (NES runtime) leg of a scenario.
+///
+/// # Panics
+///
+/// Panics if `opts.check` is set and the campaign exceeds the online
+/// checker's windows (compilation already bounds steps at 63, so this
+/// means a checker regression).
+pub fn run_coordinated(c: &CompiledScenario, opts: &RunOptions) -> ScenarioOutcome {
+    let mut engine = c.engine();
+    if let Some(k) = opts.shards {
+        engine = engine.with_shards(k);
+    }
+    let handle = opts.check.then(|| {
+        nes_runtime::attach_online_checker(&mut engine, &c.nes)
+            .expect("a ≤63-step campaign fits the online checker's windows")
+    });
+    c.apply_actions(&mut engine);
+    let datagrams = c.load_traffic(&mut engine, opts.stream);
+    c.inject_campaign(&mut engine);
+    let result = engine.run_until(c.horizon);
+    ScenarioOutcome {
+        stats: result.stats,
+        datagrams,
+        fired: Some(result.dataplane.fired_sequence().len()),
+        verdict: handle.map(|h| h.verdict()),
+    }
+}
+
+/// Runs the uncoordinated-baseline leg, always with the online checker
+/// attached (its verdict is the differential oracle's other arm).
+pub fn run_uncoordinated(c: &CompiledScenario) -> ScenarioOutcome {
+    let mut engine = c.uncoordinated();
+    let handle = nes_runtime::attach_online_checker(&mut engine, &c.nes)
+        .expect("a ≤63-step campaign fits the online checker's windows");
+    c.apply_actions(&mut engine);
+    let datagrams = c.load_traffic(&mut engine, false);
+    c.inject_campaign(&mut engine);
+    let result = engine.run_until(c.horizon);
+    ScenarioOutcome { stats: result.stats, datagrams, fired: None, verdict: Some(handle.verdict()) }
+}
+
+/// Both arms of the differential oracle for one scenario.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DifferentialOutcome {
+    /// The coordinated runtime's verdict (Theorem 1: always `Ok`).
+    pub coordinated: Result<(), OnlineViolation>,
+    /// The uncoordinated baseline's verdict under the same scenario.
+    pub uncoordinated: Result<(), OnlineViolation>,
+    /// Steps the coordinated runtime fired.
+    pub fired: usize,
+}
+
+/// Compiles a spec and replays it through both planes with the online
+/// checker attached to each: the generalized Fig. 10 experiment.
+///
+/// # Errors
+///
+/// Propagates compilation errors; running itself cannot fail.
+pub fn differential(spec: &ScenarioSpec) -> Result<DifferentialOutcome, ScenarioError> {
+    let c = CompiledScenario::compile(spec)?;
+    let coordinated = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+    let uncoordinated = run_uncoordinated(&c);
+    Ok(DifferentialOutcome {
+        coordinated: coordinated.verdict.expect("checker attached"),
+        uncoordinated: uncoordinated.verdict.expect("checker attached"),
+        fired: coordinated.fired.expect("coordinated legs count firings"),
+    })
+}
+
+/// Header for the canonical scenario CSV (shard-count-free on purpose: the
+/// row must be byte-identical at every `EDN_SHARDS`).
+pub fn stats_csv_header() -> &'static str {
+    "datagrams,injected,events,delivered_packets,delivered_bytes,fired,verdict,\
+     drop_no_rule,drop_dead_end,drop_queue_full,drop_link_down"
+}
+
+/// One canonical CSV row for a leg's outcome.
+pub fn stats_csv_row(o: &ScenarioOutcome) -> String {
+    let s = &o.stats;
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{}",
+        o.datagrams,
+        s.injected,
+        s.events_processed,
+        s.delivered_packets,
+        s.delivered_bytes,
+        o.fired.map_or_else(|| "-".to_string(), |f| f.to_string()),
+        o.verdict_name(),
+        s.dropped[0],
+        s.dropped[1],
+        s.dropped[2],
+        s.dropped[3],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        ActionKind, ActionSpec, CampaignSpec, ScenarioSpec, TopologySpec, WorkloadSpec,
+    };
+    use netsim::SimTime;
+
+    fn flap_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "flap".to_string(),
+            seed: 5,
+            topology: TopologySpec::Ring(5),
+            horizon: SimTime::ZERO,
+            workload: WorkloadSpec { flows: 6, ..WorkloadSpec::default() },
+            campaign: CampaignSpec { updates: 2, ..CampaignSpec::default() },
+            actions: vec![
+                ActionSpec {
+                    at: SimTime::from_millis(120),
+                    kind: ActionKind::FailLink { a: 2, b: 3 },
+                },
+                ActionSpec {
+                    at: SimTime::from_millis(160),
+                    kind: ActionKind::RestoreLink { a: 2, b: 3 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn coordinated_is_correct_and_fires_every_step() {
+        let c = CompiledScenario::compile(&flap_spec()).unwrap();
+        let out = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+        assert_eq!(out.verdict, Some(Ok(())), "Theorem 1 under churn");
+        assert_eq!(out.fired, Some(2), "both steps fired");
+        assert!(out.stats.delivered_packets > 0, "traffic flowed");
+    }
+
+    #[test]
+    fn legs_agree_byte_for_byte() {
+        let c = CompiledScenario::compile(&flap_spec()).unwrap();
+        let solo = run_coordinated(&c, &RunOptions::default());
+        let sharded = run_coordinated(&c, &RunOptions { shards: Some(4), ..RunOptions::default() });
+        let streamed =
+            run_coordinated(&c, &RunOptions { check: true, stream: true, ..RunOptions::default() });
+        assert_eq!(solo.stats, sharded.stats, "shards must not change a byte");
+        assert_eq!(solo.stats, streamed.stats, "streaming + checking must not either");
+        assert_eq!(stats_csv_row(&sharded), stats_csv_row(&solo), "canonical CSV agrees");
+    }
+
+    #[test]
+    fn differential_oracle_separates_the_planes() {
+        let outcome = differential(&flap_spec()).unwrap();
+        assert_eq!(outcome.coordinated, Ok(()), "coordinated plane is always correct");
+        assert_eq!(outcome.fired, 2);
+        // The probes race the baseline's 200 ms pushes from a causally-after
+        // sender: the stale plane must get caught.
+        assert!(outcome.uncoordinated.is_err(), "the baseline violates Definition 6");
+    }
+
+    #[test]
+    fn verdict_names_are_csv_words() {
+        let c = CompiledScenario::compile(&flap_spec()).unwrap();
+        let unchecked = run_coordinated(&c, &RunOptions::default());
+        assert_eq!(unchecked.verdict_name(), "unchecked");
+        let checked = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+        assert_eq!(checked.verdict_name(), "correct");
+        let row = stats_csv_row(&checked);
+        assert_eq!(row.split(',').count(), stats_csv_header().split(',').count());
+    }
+}

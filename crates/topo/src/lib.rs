@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod generate;
+mod mobility;
 mod partition;
 mod route;
 mod stream;
@@ -41,10 +42,13 @@ pub use generate::{
     fat_tree, grid, linear, ring, torus, waxman, GenTopology, LinkProfile, TierProfile,
     WaxmanParams, HOST_BASE,
 };
+pub use mobility::{
+    free_port, mobile_twin, rehome, rehomed_rules, with_mobile_twin, MOBILE_TWIN_OFFSET,
+};
 pub use netsim::Partition;
 pub use partition::{partition, partition_sim};
 pub use route::{
-    all_hosts_connected, config_from_rules, shortest_path_config, shortest_path_rules,
+    all_hosts_connected, config_from_rules, rules_toward, shortest_path_config, shortest_path_rules,
 };
 pub use stream::{attach_stream, synthesize_arrivals, ArrivalModel};
 pub use workload::{schedule, synthesize, TrafficPattern, Workload};

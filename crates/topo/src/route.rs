@@ -43,6 +43,31 @@ pub fn shortest_path_rules(gen: &GenTopology) -> BTreeMap<u64, Vec<Rule>> {
     rules
 }
 
+/// Rules routing `ip_dst = ip` toward the attachment `at` from every switch
+/// that can reach it: the rule at `at.sw` outputs to `at.pt`, rules
+/// elsewhere follow the deterministic shortest path. The building block for
+/// mobility re-homing (route a host's address to its *new* attachment) and
+/// selective un/blocking in update campaigns.
+pub fn rules_toward(gen: &GenTopology, at: netkat::Loc, ip: u64) -> BTreeMap<u64, Rule> {
+    let topo = gen.sim();
+    let next = topo.next_hop_ports(at.sw);
+    topo.switches()
+        .iter()
+        .filter_map(|&sw| {
+            let out = if sw == at.sw { Some(at.pt) } else { next.get(&sw).copied() };
+            out.map(|out| {
+                (
+                    sw,
+                    Rule::new(
+                        Match::new().with(Field::IpDst, ip),
+                        ActionSet::single(Action::assign(Field::Port, out)),
+                    ),
+                )
+            })
+        })
+        .collect()
+}
+
 /// Builds a [`Config`] from per-switch rules plus the generated topology's
 /// links and hosts (so correctness checking sees the full network).
 pub fn config_from_rules(gen: &GenTopology, rules: BTreeMap<u64, Vec<Rule>>) -> Config {

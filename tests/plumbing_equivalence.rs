@@ -7,14 +7,18 @@
 //! byte-identical traces wherever a trace is recorded.
 //!
 //! Two pinned scenarios from the paper's evaluation (the Section 5.2 ring
-//! and a fat-tree(4) stateful firewall), plus differential proptests over
-//! seeded generated topologies and workloads (256 cases across the
-//! queue/packet knobs, 128 more across shard counts).
+//! and a fat-tree(4) stateful firewall), two pinned *churn* scenarios from
+//! the declarative scenario layer (a flapping ring and a fat-tree(4)
+//! update campaign with a crash, a latency spike, and a host move), plus
+//! differential proptests over seeded generated topologies and workloads
+//! (256 cases across the queue/packet knobs, 128 more across shard
+//! counts).
 
 use edn_apps::generated::firewall_nes;
 use edn_apps::ring::{host, Ring};
 use edn_core::{NetworkTrace, TraceMode};
 use edn_obs::Scope;
+use edn_scenario::CompiledScenario;
 use edn_topo::{fat_tree, ring, synthesize, LinkProfile, TierProfile, TrafficPattern, Workload};
 use nes_runtime::{nes_engine_with_path, verify_nes_run, NesDataPlane};
 use netkat::LookupPath;
@@ -170,6 +174,124 @@ fn fat_tree_firewall_run(knobs: Knobs) -> (NetworkTrace, Stats) {
     (result.trace, result.stats)
 }
 
+/// A ring(6) whose inter-switch links flap mid-campaign: two fail/restore
+/// pairs around a two-update rollout under uniform traffic — the engine's
+/// failure timelines crossing shard cuts and every knob combination.
+fn flapping_ring_scenario() -> CompiledScenario {
+    let spec = edn_scenario::parse(
+        "[scenario]\n\
+         name = \"flapping-ring\"\n\
+         seed = 13\n\
+         topology = \"ring\"\n\
+         size = 6\n\
+         [workload]\n\
+         flows = 8\n\
+         packets_per_flow = 3\n\
+         spread_ms = 300\n\
+         [campaign]\n\
+         updates = 2\n\
+         [[action]]\n\
+         kind = \"fail_link\"\n\
+         at_ms = 120\n\
+         a = 2\n\
+         b = 3\n\
+         [[action]]\n\
+         kind = \"restore_link\"\n\
+         at_ms = 170\n\
+         a = 2\n\
+         b = 3\n\
+         [[action]]\n\
+         kind = \"fail_link\"\n\
+         at_ms = 210\n\
+         a = 5\n\
+         b = 6\n\
+         [[action]]\n\
+         kind = \"restore_link\"\n\
+         at_ms = 260\n\
+         a = 5\n\
+         b = 6\n",
+    )
+    .expect("pinned spec parses");
+    CompiledScenario::compile(&spec).expect("pinned spec compiles")
+}
+
+/// A fat-tree(4) update campaign with the full churn menu: three updates
+/// plus a host move, an edge-agg link flap, a core-switch crash/recover,
+/// and a controller latency spike, under permutation traffic.
+fn fat_tree_campaign_scenario() -> CompiledScenario {
+    let spec = edn_scenario::parse(
+        "[scenario]\n\
+         name = \"fat-tree-campaign\"\n\
+         seed = 2016\n\
+         topology = \"fat_tree\"\n\
+         size = 4\n\
+         [workload]\n\
+         pattern = \"permutation\"\n\
+         packets_per_flow = 3\n\
+         spread_ms = 400\n\
+         [campaign]\n\
+         updates = 3\n\
+         [[action]]\n\
+         kind = \"fail_link\"\n\
+         at_ms = 150\n\
+         a = 11\n\
+         b = 9\n\
+         [[action]]\n\
+         kind = \"restore_link\"\n\
+         at_ms = 220\n\
+         a = 11\n\
+         b = 9\n\
+         [[action]]\n\
+         kind = \"crash_switch\"\n\
+         at_ms = 180\n\
+         switch = 2\n\
+         [[action]]\n\
+         kind = \"recover_switch\"\n\
+         at_ms = 240\n\
+         switch = 2\n\
+         [[action]]\n\
+         kind = \"latency_spike\"\n\
+         at_ms = 200\n\
+         latency_ms = 15\n\
+         until_ms = 280\n\
+         [[action]]\n\
+         kind = \"move_host\"\n\
+         at_ms = 350\n\
+         host = 5\n\
+         to_switch = 19\n",
+    )
+    .expect("pinned spec parses");
+    CompiledScenario::compile(&spec).expect("pinned spec compiles")
+}
+
+/// Replays a compiled churn scenario on explicit engine knobs.
+fn churn_run(c: &CompiledScenario, knobs: Knobs) -> (NetworkTrace, Stats) {
+    let engine = nes_engine_with_path(
+        c.nes.clone(),
+        c.run.sim().clone(),
+        SimParams::default(),
+        false,
+        Box::new(SinkHosts),
+        LookupPath::Indexed,
+    );
+    let mut engine = configure(engine, knobs);
+    c.apply_actions(&mut engine);
+    c.load_traffic(&mut engine, false);
+    c.inject_campaign(&mut engine);
+    engine.run(c.horizon);
+    assert_shards_engaged(&engine, knobs, c.run.switch_count() as u32);
+    let result = engine.finish();
+    if knobs.mode == TraceMode::Full {
+        assert_eq!(
+            result.dataplane.fired_sequence().len(),
+            c.steps.len(),
+            "every campaign step fires"
+        );
+        verify_nes_run(&result).expect("churn runs stay event-driven consistent");
+    }
+    (result.trace, result.stats)
+}
+
 /// A "sharded" run that silently fell back to one thread would turn the
 /// byte-identity matrix into solo-vs-solo; pin engagement (clamped to
 /// the switch count, the partitioner's bound).
@@ -202,6 +324,25 @@ fn ring_replays_identically_across_shard_counts() {
 #[test]
 fn fat_tree_firewall_replays_identically_across_shard_counts() {
     assert_plumbing_invariant("sharded fat-tree firewall", &[2, 4], fat_tree_firewall_run);
+}
+
+#[test]
+fn churn_scenarios_replay_identically_across_all_engine_knobs() {
+    let ring = flapping_ring_scenario();
+    assert_plumbing_invariant("flapping ring", &[1], |k| churn_run(&ring, k));
+    let campaign = fat_tree_campaign_scenario();
+    assert_plumbing_invariant("fat-tree campaign", &[1], |k| churn_run(&campaign, k));
+}
+
+/// The churn matrix again, sharded: link-failure timelines, switch
+/// crashes, latency spikes, and mobility steps must all replay
+/// byte-identically on the multi-core event loop.
+#[test]
+fn churn_scenarios_replay_identically_across_shard_counts() {
+    let ring = flapping_ring_scenario();
+    assert_plumbing_invariant("sharded flapping ring", &[2, 4], |k| churn_run(&ring, k));
+    let campaign = fat_tree_campaign_scenario();
+    assert_plumbing_invariant("sharded fat-tree campaign", &[2, 4], |k| churn_run(&campaign, k));
 }
 
 /// Telemetry must never perturb simulation results: the ring scenario

@@ -1,0 +1,117 @@
+//! The scenario seed corpus: the generalized Fig. 10 experiment, replayed.
+//!
+//! Thirty-two pinned `ScenarioGen` seeds — random topologies, update
+//! campaigns, link flaps, crashes, latency spikes, and host moves — each
+//! replayed through the coordinated NES runtime *and* the uncoordinated
+//! baseline with the online Definition 6 checker attached to both:
+//!
+//! * the coordinated plane's verdict is `correct` on **every** seed
+//!   (Theorem 1), and the runtime fires every campaign step;
+//! * the uncoordinated baseline is caught on every seed, and the violation
+//!   *kind* is pinned: the campaign's causal probes (sent by a host that
+//!   just received a post-firing packet, racing the slow push) always
+//!   surface as `too_late` — traffic causally after a firing served by a
+//!   configuration from before it.
+//!
+//! A fresh-random proptest then drives unpinned scenarios through the
+//! coordinated plane only: no seed anywhere may make the runtime violate.
+
+use edn_scenario::{
+    differential, parse, run_coordinated, CompiledScenario, RunOptions, ScenarioGen,
+};
+use proptest::prelude::*;
+
+/// `(seed, coordinated steps fired, uncoordinated violation name)` for the
+/// pinned corpus. Regenerate by printing `differential(&ScenarioGen::
+/// sample(seed))` for each seed — any drift here is a behavior change in
+/// the generator, the compiler, a plane, or the checker.
+const CORPUS: [(u64, usize, &str); 32] = [
+    (0, 1, "too_late"),
+    (1, 1, "too_late"),
+    (2, 1, "too_late"),
+    (3, 2, "too_late"),
+    (4, 3, "too_late"),
+    (5, 4, "too_late"),
+    (6, 3, "too_late"),
+    (7, 1, "too_late"),
+    (8, 1, "too_late"),
+    (9, 1, "too_late"),
+    (10, 1, "too_late"),
+    (11, 2, "too_late"),
+    (12, 1, "too_late"),
+    (13, 2, "too_late"),
+    (14, 4, "too_late"),
+    (15, 2, "too_late"),
+    (16, 1, "too_late"),
+    (17, 3, "too_late"),
+    (18, 4, "too_late"),
+    (19, 2, "too_late"),
+    (20, 3, "too_late"),
+    (21, 3, "too_late"),
+    (22, 2, "too_late"),
+    (23, 2, "too_late"),
+    (24, 2, "too_late"),
+    (25, 3, "too_late"),
+    (26, 2, "too_late"),
+    (27, 1, "too_late"),
+    (28, 1, "too_late"),
+    (29, 3, "too_late"),
+    (30, 2, "too_late"),
+    (31, 2, "too_late"),
+];
+
+#[test]
+fn pinned_corpus_verdicts_hold() {
+    for &(seed, fired, violation) in &CORPUS {
+        let spec = ScenarioGen::sample(seed);
+        let outcome = differential(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            outcome.coordinated,
+            Ok(()),
+            "seed {seed}: the coordinated plane must stay correct"
+        );
+        assert_eq!(outcome.fired, fired, "seed {seed}: campaign firing count drifted");
+        let caught =
+            outcome.uncoordinated.expect_err(&format!("seed {seed}: the baseline must get caught"));
+        assert_eq!(caught.name(), violation, "seed {seed}: violation kind drifted");
+    }
+}
+
+/// The corpus must include at least one uncoordinated counterexample by
+/// construction; in fact the causal probes catch the baseline everywhere.
+#[test]
+fn corpus_has_uncoordinated_counterexamples() {
+    assert!(CORPUS.iter().any(|&(_, _, v)| !v.is_empty()));
+    assert!(CORPUS.len() >= 32);
+}
+
+/// Replays are byte-stable: recompiling and rerunning a corpus scenario
+/// reproduces identical stats, and the text form round-trips the spec.
+#[test]
+fn corpus_scenarios_replay_byte_identically() {
+    for seed in [0u64, 5, 17, 29] {
+        let spec = ScenarioGen::sample(seed);
+        assert_eq!(parse(&spec.to_toml()).unwrap(), spec, "seed {seed} round-trips");
+        let c = CompiledScenario::compile(&spec).unwrap();
+        let a = run_coordinated(&c, &RunOptions::default());
+        let b = run_coordinated(&c, &RunOptions::default());
+        assert_eq!(a.stats, b.stats, "seed {seed}: replay diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fresh random scenarios never violate on the coordinated plane: the
+    /// online checker returns `correct` and every campaign step fires, for
+    /// any generator seed — Theorem 1 as a property test over churn.
+    #[test]
+    fn coordinated_plane_never_violates(seed in 0u64..u64::MAX) {
+        let spec = ScenarioGen::sample(seed);
+        let c = CompiledScenario::compile(&spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated specs compile: {e}"));
+        let out = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+        prop_assert_eq!(out.verdict, Some(Ok(())), "seed {}: verdict", seed);
+        prop_assert_eq!(out.fired, Some(c.steps.len()), "seed {}: firings", seed);
+    }
+}
