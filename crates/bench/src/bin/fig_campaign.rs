@@ -6,18 +6,24 @@
 //!
 //! The harness compiles a declarative scenario (see `crates/scenario`): a
 //! fat-tree(8) running a 20-update victim-unblock campaign with causal
-//! probes, under streamed permutation traffic with Pareto flow sizes. Two
-//! legs run in one process:
+//! probes, under streamed permutation traffic with Pareto flow sizes. Four
+//! legs run in one process — `{throughput, verified} × {scratch, delta}`:
 //!
 //! * **throughput** — unchecked, shard count from `EDN_SHARDS`: the raw
 //!   updates/sec the runtime sustains (trigger injection to final firing);
 //! * **verified** — the online Definition 6 checker attached (the engine
-//!   serializes under an observer): the same campaign, now with a verdict.
+//!   serializes under an observer): the same campaign, now with a verdict;
+//! * **scratch** vs **delta** — the table-construction path
+//!   (`CompilePath`), pinned per leg so the sweep is self-contained: the
+//!   scratch legs recompile every configuration into guarded tables, the
+//!   delta legs diff successive configurations and patch. The *sustained*
+//!   rate charges each leg its own compile time
+//!   (`fired / (compile + run)`), which is where delta compilation pays.
 //!
-//! Both legs must report byte-identical `Stats` — checking and sharding
-//! may cost wall time but never change a result. The CSV goes to stdout;
-//! a JSON summary (both legs' rates plus the verdict) goes to
-//! `CAMPAIGN_JSON`.
+//! All four legs must report byte-identical `Stats` — checking, sharding,
+//! and the compile path may cost wall time but never change a result. The
+//! CSV goes to stdout; a JSON summary (all legs' rates plus the verdict)
+//! goes to `CAMPAIGN_JSON`.
 //!
 //! Environment overrides (CI smoke uses small values):
 //! * `CAMPAIGN_FATTREE_K` — fat-tree arity (default `8`: 80 switches, 128
@@ -32,6 +38,7 @@ use edn_bench::env_u64;
 use edn_obs::Stopwatch;
 use edn_scenario::{CompiledScenario, ModelSpec, ScenarioSpec, TopologySpec, WorkloadSpec};
 use edn_topo::TrafficPattern;
+use nes_runtime::{CompilePath, DeployKnobs};
 use netsim::{DropReason, SimTime, Stats};
 use std::fmt::Write as _;
 
@@ -72,9 +79,28 @@ fn campaign_spec(k: u64, updates: u64, seed: u64) -> ScenarioSpec {
     }
 }
 
-/// One leg; returns `(stats, datagrams, fired, wall_us, verdict word)`.
-fn leg(c: &CompiledScenario, check: bool) -> (Stats, u64, usize, u64, &'static str) {
-    let mut engine = c.engine();
+/// One leg's measurements.
+struct Leg {
+    stats: Stats,
+    datagrams: u64,
+    fired: usize,
+    /// Deployment (table construction) time, µs.
+    compile_us: u64,
+    /// Run time, µs.
+    wall_us: u64,
+    /// Rule adds + removes the delta chain applied (delta legs only).
+    rule_mods: Option<u64>,
+    verdict: &'static str,
+}
+
+/// One leg; the compile path is pinned explicitly per leg (the sweep is
+/// self-contained — `EDN_COMPILE` does not affect it), the remaining knobs
+/// come from the environment.
+fn leg(c: &CompiledScenario, check: bool, compile: CompilePath) -> Leg {
+    let knobs = DeployKnobs { compile, ..DeployKnobs::from_env() };
+    let sw = Stopwatch::start();
+    let mut engine = c.engine_with(knobs);
+    let compile_us = sw.elapsed_us();
     let handle = check.then(|| {
         nes_runtime::attach_online_checker(&mut engine, &c.nes)
             .expect("a ≤63-step campaign fits the online checker's windows")
@@ -84,18 +110,19 @@ fn leg(c: &CompiledScenario, check: bool) -> (Stats, u64, usize, u64, &'static s
     c.inject_campaign(&mut engine);
     let sw = Stopwatch::start();
     let result = engine.run_until(c.horizon);
-    let wall = sw.elapsed_us();
+    let wall_us = sw.elapsed_us();
     let fired = result.dataplane.fired_sequence().len();
+    let rule_mods = result.dataplane.delta_rule_mods();
     let verdict = match handle.map(|h| h.verdict()) {
         None => "unchecked",
         Some(Ok(())) => "correct",
         Some(Err(v)) => v.name(),
     };
-    (result.stats, datagrams, fired, wall, verdict)
+    Leg { stats: result.stats, datagrams, fired, compile_us, wall_us, rule_mods, verdict }
 }
 
-fn updates_per_sec(fired: usize, wall_us: u64) -> f64 {
-    fired as f64 * 1_000_000.0 / wall_us.max(1) as f64
+fn updates_per_sec(fired: usize, us: u64) -> f64 {
+    fired as f64 * 1_000_000.0 / us.max(1) as f64
 }
 
 fn main() {
@@ -107,39 +134,60 @@ fn main() {
 
     let spec = campaign_spec(k, updates, seed);
     let c = CompiledScenario::compile(&spec).expect("the campaign spec compiles");
+    // Warm-up: one untimed engine build absorbs allocator growth and cold
+    // caches, so the four timed legs compare compile paths, not page faults.
+    drop(c.engine_with(DeployKnobs::from_env()));
     let drop_cols = DropReason::ALL.map(|r| format!("drops_{}", r.name())).join(",");
     println!(
-        "leg,updates,fired,datagrams,events,wall_us,updates_per_sec,vm_hwm_kb,verdict,{drop_cols}"
+        "leg,compile,updates,fired,datagrams,events,compile_us,wall_us,updates_per_sec,\
+         sustained_updates_per_sec,vm_hwm_kb,verdict,{drop_cols}"
     );
 
     let mut json = String::new();
     let mut baseline: Option<Stats> = None;
-    for (name, check) in [("throughput", false), ("verified", true)] {
-        let (stats, datagrams, fired, wall_us, verdict) = leg(&c, check);
-        assert_eq!(fired, c.steps.len(), "every campaign step fires");
-        if check {
-            assert_eq!(verdict, "correct", "the NES runtime must verify (Theorem 1)");
+    for compile in [CompilePath::Scratch, CompilePath::Delta] {
+        for (name, check) in [("throughput", false), ("verified", true)] {
+            let l = leg(&c, check, compile);
+            assert_eq!(l.fired, c.steps.len(), "every campaign step fires");
+            if check {
+                assert_eq!(l.verdict, "correct", "the NES runtime must verify (Theorem 1)");
+            }
+            if let Some(b) = &baseline {
+                assert_eq!(&l.stats, b, "the compile path must not change a byte of the stats");
+            }
+            let rate = updates_per_sec(l.fired, l.wall_us);
+            let sustained = updates_per_sec(l.fired, l.compile_us + l.wall_us);
+            let named = l.stats.dropped.map(|d| d.to_string()).join(",");
+            println!(
+                "{name},{},{updates},{},{},{},{},{},{rate:.2},{sustained:.2},{},{},{named}",
+                compile.label(),
+                l.fired,
+                l.datagrams,
+                l.stats.events_processed,
+                l.compile_us,
+                l.wall_us,
+                vm_hwm_kb(),
+                l.verdict,
+            );
+            if !json.is_empty() {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "  \"{name}_{}\": {{ \"fired\": {}, \"events\": {}, \"compile_us\": {}, \
+                 \"wall_us\": {}, \"updates_per_sec\": {rate:.2}, \
+                 \"sustained_updates_per_sec\": {sustained:.2}, \"rule_mods\": {}, \
+                 \"verdict\": \"{}\" }}",
+                compile.label(),
+                l.fired,
+                l.stats.events_processed,
+                l.compile_us,
+                l.wall_us,
+                l.rule_mods.map_or_else(|| "null".to_string(), |m| m.to_string()),
+                l.verdict,
+            );
+            baseline = Some(l.stats);
         }
-        if let Some(b) = &baseline {
-            assert_eq!(&stats, b, "checking must not change a byte of the stats");
-        }
-        let rate = updates_per_sec(fired, wall_us);
-        let named = stats.dropped.map(|d| d.to_string()).join(",");
-        println!(
-            "{name},{updates},{fired},{datagrams},{},{wall_us},{rate:.2},{},{verdict},{named}",
-            stats.events_processed,
-            vm_hwm_kb()
-        );
-        if !json.is_empty() {
-            json.push_str(",\n");
-        }
-        let _ = write!(
-            json,
-            "  \"{name}\": {{ \"fired\": {fired}, \"events\": {}, \"wall_us\": {wall_us}, \
-             \"updates_per_sec\": {rate:.2}, \"verdict\": \"{verdict}\" }}",
-            stats.events_processed
-        );
-        baseline = Some(stats);
     }
 
     if !json_path.is_empty() {

@@ -49,7 +49,7 @@ mod online;
 mod trace;
 mod update;
 
-pub use config::Config;
+pub use config::{Config, ConfigDelta};
 pub use correctness::{
     check_correct, sequence_allowed, sequence_to_update, CausalOccurrences, CorrectnessViolation,
 };

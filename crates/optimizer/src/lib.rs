@@ -44,14 +44,27 @@ pub fn random_configs(
     universe_size: usize,
     seed: u64,
 ) -> Vec<std::collections::BTreeSet<u32>> {
-    use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    random_configs_with(&mut rng, count, rules_per_config, universe_size)
+}
+
+/// Like [`random_configs`], but drawing from a caller-owned RNG so a sweep
+/// over many instances can thread *one* seeded stream through all of them
+/// instead of re-seeding per point (re-seeding correlates the points: every
+/// instance at the same seed starts from the same shuffle).
+pub fn random_configs_with<R: rand::Rng>(
+    rng: &mut R,
+    count: usize,
+    rules_per_config: usize,
+    universe_size: usize,
+) -> Vec<std::collections::BTreeSet<u32>> {
+    use rand::seq::SliceRandom;
     let universe: Vec<u32> = (0..universe_size as u32).collect();
     (0..count)
         .map(|_| {
             let mut pool = universe.clone();
-            pool.shuffle(&mut rng);
+            pool.shuffle(rng);
             pool.truncate(rules_per_config);
             pool.into_iter().collect()
         })

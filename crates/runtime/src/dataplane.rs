@@ -18,20 +18,23 @@ use netkat::{Field, FxBuildHasher, Loc, LocatedView, LookupPath, Packet, PacketA
 use netsim::{table_outputs, CtrlMsg, DataPlane, SimTime, StepResult, StepResultId};
 
 use crate::compile::CompiledNes;
-use crate::program::SwitchProgram;
+use crate::deploy::{CompilePath, DeployKnobs, Deployment, OptimizeMode};
 
 /// The deployed NES runtime (switch state + controller).
 #[derive(Clone, Debug)]
 pub struct NesDataPlane {
     compiled: CompiledNes,
-    /// Per-switch guarded programs (Section 4.1): the one prioritized
-    /// tag-guarded table each switch actually installs, materialized once
-    /// at deployment. The linear reference path scans the program's
-    /// [`FlowTable`](netkat::FlowTable); the indexed path dispatches
-    /// through its compiled index.
-    programs: BTreeMap<u64, SwitchProgram>,
-    /// Which lookup implementation forwarding dispatches through.
-    path: LookupPath,
+    /// The installed tables, in the layout the deployment knobs chose:
+    /// tag-guarded per-switch programs (Section 4.1, scratch compilation),
+    /// delta-patched per-`(switch, tag)` tables (`EDN_COMPILE=delta`), or
+    /// trie-compressed wildcard-guarded tables (`EDN_OPTIMIZE=on`,
+    /// Section 5.3). All layouts forward identically — the delta and
+    /// plumbing equivalence suites pin that byte for byte.
+    deployment: Deployment,
+    /// The resolved deployment knobs (lookup path, compile path,
+    /// optimizer), fixed at construction so runs never consult the
+    /// environment mid-flight.
+    knobs: DeployKnobs,
     /// Per-switch known events (`E` in Fig. 7), dense: `local[slot]` with
     /// slots assigned by `switch_slot`. The switch step reads and writes
     /// this two or three times per packet, so it must not walk a tree.
@@ -66,27 +69,46 @@ pub struct NesDataPlane {
 }
 
 impl NesDataPlane {
-    /// Deploys a compiled NES on the given switches, with the lookup path
-    /// taken from the environment (`EDN_LOOKUP`, default indexed).
+    /// Deploys a compiled NES on the given switches, with every deployment
+    /// knob taken from the environment (`EDN_LOOKUP`, `EDN_COMPILE`,
+    /// `EDN_OPTIMIZE`).
     pub fn new(compiled: CompiledNes, switches: Vec<u64>, broadcast: bool) -> NesDataPlane {
-        NesDataPlane::with_path(compiled, switches, broadcast, LookupPath::from_env())
+        NesDataPlane::with_knobs(compiled, switches, broadcast, DeployKnobs::from_env())
     }
 
-    /// Deploys a compiled NES on an explicit lookup path.
+    /// Deploys a compiled NES on an explicit lookup path, the remaining
+    /// knobs from the environment.
     pub fn with_path(
         compiled: CompiledNes,
         switches: Vec<u64>,
         broadcast: bool,
         path: LookupPath,
     ) -> NesDataPlane {
+        NesDataPlane::with_knobs(
+            compiled,
+            switches,
+            broadcast,
+            DeployKnobs::from_env().with_path(path),
+        )
+    }
+
+    /// Deploys a compiled NES with every knob pinned explicitly — the
+    /// constructor the differential suites use, so in-process test legs
+    /// never race on environment variables.
+    pub fn with_knobs(
+        compiled: CompiledNes,
+        switches: Vec<u64>,
+        broadcast: bool,
+        knobs: DeployKnobs,
+    ) -> NesDataPlane {
         let switch_slot =
             switches.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect::<HashMap<_, _, _>>();
         let local = vec![EventSet::empty(); switches.len()];
-        let programs = compiled.switch_programs().into_iter().map(|p| (p.switch, p)).collect();
+        let deployment = Deployment::deploy(&compiled, knobs);
         NesDataPlane {
             compiled,
-            programs,
-            path,
+            deployment,
+            knobs,
             local,
             switch_slot,
             controller: EventSet::empty(),
@@ -113,7 +135,31 @@ impl NesDataPlane {
 
     /// The lookup path this deployment dispatches through.
     pub fn lookup_path(&self) -> LookupPath {
-        self.path
+        self.knobs.path
+    }
+
+    /// The compile path this deployment was built with.
+    pub fn compile_path(&self) -> CompilePath {
+        self.knobs.compile
+    }
+
+    /// Whether the rule-sharing optimizer is on the hot path.
+    pub fn optimize_mode(&self) -> OptimizeMode {
+        self.knobs.optimize
+    }
+
+    /// Total rule adds + removes the delta compile path applied along the
+    /// tag chain (`None` unless this deployment was built with
+    /// [`CompilePath::Delta`]) — the OpenFlow mod count a real controller
+    /// would have pushed instead of whole-table swaps.
+    pub fn delta_rule_mods(&self) -> Option<u64> {
+        self.deployment.delta_rule_mods()
+    }
+
+    /// The optimizer's `(installed, original)` rule counts (`None` unless
+    /// this deployment was built with [`OptimizeMode::On`]).
+    pub fn optimized_rule_counts(&self) -> Option<(usize, usize)> {
+        self.deployment.optimized_rule_counts()
     }
 
     /// The compiled NES.
@@ -224,12 +270,7 @@ impl DataPlane for NesDataPlane {
         lookup.set_loc(Loc::new(sw, pt));
         lookup.set(Field::Tag, tag);
         let mut out = Vec::new();
-        if let Some(program) = self.programs.get(&sw) {
-            match self.path {
-                LookupPath::Linear => program.table.apply_into(&lookup, &mut out),
-                LookupPath::Indexed => program.compiled.apply_into(&lookup, &mut out),
-            }
-        }
+        self.deployment.apply_into(self.knobs.path, sw, tag, &lookup, &mut out);
         let mut outputs = table_outputs(pt, out);
         for (_, out) in &mut outputs {
             // SWITCH step 4: the outgoing digest carries everything this
@@ -314,13 +355,10 @@ impl DataPlane for NesDataPlane {
         };
         let loc = Loc::new(sw, pt);
         let out_digest = digest.union(known).bits();
-        if let Some(program) = self.programs.get(&sw) {
+        {
             let base = arena.get(stamped);
             let view = LocatedView { base, loc, tag: Some(tag) };
-            let rule = match self.path {
-                LookupPath::Linear => program.table.lookup_on(&view),
-                LookupPath::Indexed => program.compiled.lookup_on(&view),
-            };
+            let rule = self.deployment.lookup_on(self.knobs.path, sw, tag, &view);
             if let Some(rule) = rule {
                 if rule.actions.len() == 1 {
                     let action = rule.actions.iter().next().expect("len 1");
@@ -436,14 +474,10 @@ impl DataPlane for NesDataPlane {
     }
 
     /// Reports the compiled lookup index's fingerprint probe outcomes,
-    /// summed over all switch programs this plane instance drove.
+    /// summed over every distinct table this plane instance drove (the
+    /// optimized layout has no fingerprint index and reports zero).
     fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
-        let (mut hits, mut fallbacks) = (0u64, 0u64);
-        for program in self.programs.values() {
-            let (h, f) = program.compiled.lookup_stats();
-            hits += h;
-            fallbacks += f;
-        }
+        let (hits, fallbacks) = self.deployment.lookup_stats();
         reg.counter_add(edn_obs::Scope::Shard, "flowindex.fp_hits", hits);
         reg.counter_add(edn_obs::Scope::Shard, "flowindex.fp_fallbacks", fallbacks);
     }
@@ -582,6 +616,56 @@ mod tests {
             let b = indexed.process(1, pt, pk, from_host, SimTime::ZERO);
             assert_eq!(a, b, "paths diverged at pt {pt}, dst {dst}");
             assert_eq!(linear.local_events(1), indexed.local_events(1));
+        }
+    }
+
+    #[test]
+    fn deployments_agree_step_by_step() {
+        // Drive the same packet sequence through every (compile, optimize)
+        // knob combination; each step must produce identical outputs,
+        // notifications, and switch state. (EDN_OPTIMIZE=on overrides the
+        // compile path, but both combinations must still work.)
+        let knob_matrix = [
+            (CompilePath::Scratch, OptimizeMode::Off),
+            (CompilePath::Delta, OptimizeMode::Off),
+            (CompilePath::Scratch, OptimizeMode::On),
+            (CompilePath::Delta, OptimizeMode::On),
+        ];
+        let mk = |compile, optimize| {
+            NesDataPlane::with_knobs(
+                CompiledNes::compile(firewall_nes()),
+                vec![1],
+                false,
+                crate::deploy::DeployKnobs { compile, optimize, ..Default::default() },
+            )
+        };
+        let mut reference = mk(CompilePath::Scratch, OptimizeMode::Off);
+        let mut legs: Vec<NesDataPlane> = knob_matrix[1..].iter().map(|&(c, o)| mk(c, o)).collect();
+        assert_eq!(legs[0].compile_path(), CompilePath::Delta);
+        assert!(legs[0].delta_rule_mods().is_some());
+        assert!(legs[1].optimize_mode().is_on());
+        assert!(legs[1].optimized_rule_counts().is_some());
+        let steps = [
+            (2u64, 999u64, true),
+            (3, 200, true), // blocked pre-event
+            (2, 300, true), // fires e0
+            (3, 200, true), // allowed post-event
+            (9, 300, false),
+        ];
+        for (pt, dst, from_host) in steps {
+            let pk = Packet::new().with(Field::IpDst, dst);
+            let want = reference.process(1, pt, pk.clone(), from_host, SimTime::ZERO);
+            for (leg, &(c, o)) in legs.iter_mut().zip(&knob_matrix[1..]) {
+                let got = leg.process(1, pt, pk.clone(), from_host, SimTime::ZERO);
+                assert_eq!(
+                    got,
+                    want,
+                    "compile {}/optimize {} diverged at pt {pt}, dst {dst}",
+                    c.label(),
+                    o.label()
+                );
+                assert_eq!(leg.local_events(1), reference.local_events(1));
+            }
         }
     }
 

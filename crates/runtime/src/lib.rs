@@ -26,6 +26,7 @@
 mod campaign;
 mod compile;
 mod dataplane;
+mod deploy;
 mod program;
 mod static_plane;
 mod uncoordinated;
@@ -36,10 +37,11 @@ pub use campaign::{
 };
 pub use compile::{CompiledNes, RuleBreakdown};
 pub use dataplane::NesDataPlane;
+pub use deploy::{CompilePath, DeployKnobs, OptimizeMode};
 pub use program::{tagged_lookup, SwitchProgram};
 pub use static_plane::StaticDataPlane;
 pub use uncoordinated::UncoordDataPlane;
 pub use verify::{
-    attach_online_checker, nes_engine, nes_engine_with_path, uncoordinated_engine, verify_nes_run,
-    verify_uncoordinated_run,
+    attach_online_checker, nes_engine, nes_engine_with, nes_engine_with_path, uncoordinated_engine,
+    verify_nes_run, verify_uncoordinated_run,
 };

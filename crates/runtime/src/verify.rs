@@ -9,6 +9,7 @@ use netsim::{DataPlane, Engine, RunResult, SimParams, SimTopology};
 
 use crate::compile::CompiledNes;
 use crate::dataplane::NesDataPlane;
+use crate::deploy::DeployKnobs;
 use crate::uncoordinated::UncoordDataPlane;
 
 /// Builds an engine running `nes` with the paper's runtime.
@@ -27,10 +28,11 @@ pub fn nes_engine(
     broadcast: bool,
     hosts: netsim::BoxedHosts,
 ) -> Engine<NesDataPlane> {
-    nes_engine_with_path(nes, topo, params, broadcast, hosts, netkat::LookupPath::from_env())
+    nes_engine_with(nes, topo, params, broadcast, hosts, DeployKnobs::from_env())
 }
 
-/// [`nes_engine`] with an explicit flow-table lookup path.
+/// [`nes_engine`] with an explicit flow-table lookup path (the remaining
+/// deployment knobs come from the environment).
 pub fn nes_engine_with_path(
     nes: NetworkEventStructure,
     topo: SimTopology,
@@ -39,8 +41,24 @@ pub fn nes_engine_with_path(
     hosts: netsim::BoxedHosts,
     path: netkat::LookupPath,
 ) -> Engine<NesDataPlane> {
+    nes_engine_with(nes, topo, params, broadcast, hosts, DeployKnobs::from_env().with_path(path))
+}
+
+/// [`nes_engine`] with every deployment knob pinned explicitly — the
+/// constructor the differential suites use, so in-process legs never race
+/// on environment variables. The shard count still comes from the
+/// environment; override with
+/// [`Engine::with_shards`](netsim::Engine::with_shards).
+pub fn nes_engine_with(
+    nes: NetworkEventStructure,
+    topo: SimTopology,
+    params: SimParams,
+    broadcast: bool,
+    hosts: netsim::BoxedHosts,
+    knobs: DeployKnobs,
+) -> Engine<NesDataPlane> {
     let switches = topo.switches().to_vec();
-    let dataplane = NesDataPlane::with_path(CompiledNes::compile(nes), switches, broadcast, path);
+    let dataplane = NesDataPlane::with_knobs(CompiledNes::compile(nes), switches, broadcast, knobs);
     Engine::new(topo, params, dataplane, hosts).with_shards(netsim::shard_count_from_env())
 }
 

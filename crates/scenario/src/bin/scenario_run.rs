@@ -68,8 +68,10 @@ fn main() -> ExitCode {
         eprintln!("scenario_run: replay diverged — determinism regression");
         return ExitCode::FAILURE;
     }
-    let checked =
-        run_coordinated(&compiled, &RunOptions { check: true, stream: true, shards: None });
+    let checked = run_coordinated(
+        &compiled,
+        &RunOptions { check: true, stream: true, ..RunOptions::default() },
+    );
     if batch.stats != checked.stats {
         eprintln!("scenario_run: streamed+checked leg diverged from batch leg");
         return ExitCode::FAILURE;

@@ -411,15 +411,26 @@ impl CompiledScenario {
     }
 
     /// Builds the coordinated (NES runtime) engine for this scenario:
-    /// lookup path and shard count from the environment (`EDN_LOOKUP`,
-    /// `EDN_SHARDS`), no controller broadcast, sink hosts.
+    /// deployment knobs and shard count from the environment (`EDN_LOOKUP`,
+    /// `EDN_COMPILE`, `EDN_OPTIMIZE`, `EDN_SHARDS`), no controller
+    /// broadcast, sink hosts.
     pub fn engine(&self) -> Engine<nes_runtime::NesDataPlane> {
-        nes_runtime::nes_engine(
+        self.engine_with(nes_runtime::DeployKnobs::from_env())
+    }
+
+    /// [`engine`](CompiledScenario::engine) with the deployment knobs
+    /// pinned explicitly (shard count still from the environment).
+    pub fn engine_with(
+        &self,
+        knobs: nes_runtime::DeployKnobs,
+    ) -> Engine<nes_runtime::NesDataPlane> {
+        nes_runtime::nes_engine_with(
             self.nes.clone(),
             self.run.sim().clone(),
             SimParams::default(),
             false,
             Box::new(netsim::SinkHosts),
+            knobs,
         )
     }
 

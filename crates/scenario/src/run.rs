@@ -30,6 +30,10 @@ pub struct RunOptions {
     /// Feed traffic through a live [`WorkloadSource`](netsim::WorkloadSource)
     /// instead of batch pre-scheduling (byte-identical results).
     pub stream: bool,
+    /// Table-construction override (`None` leaves `EDN_COMPILE` in charge).
+    pub compile: Option<nes_runtime::CompilePath>,
+    /// Optimizer override (`None` leaves `EDN_OPTIMIZE` in charge).
+    pub optimize: Option<nes_runtime::OptimizeMode>,
 }
 
 /// The result of one scenario leg.
@@ -65,7 +69,14 @@ impl ScenarioOutcome {
 /// checker's windows (compilation already bounds steps at 63, so this
 /// means a checker regression).
 pub fn run_coordinated(c: &CompiledScenario, opts: &RunOptions) -> ScenarioOutcome {
-    let mut engine = c.engine();
+    let mut knobs = nes_runtime::DeployKnobs::from_env();
+    if let Some(compile) = opts.compile {
+        knobs.compile = compile;
+    }
+    if let Some(optimize) = opts.optimize {
+        knobs.optimize = optimize;
+    }
+    let mut engine = c.engine_with(knobs);
     if let Some(k) = opts.shards {
         engine = engine.with_shards(k);
     }
@@ -200,6 +211,32 @@ mod tests {
         assert_eq!(solo.stats, sharded.stats, "shards must not change a byte");
         assert_eq!(solo.stats, streamed.stats, "streaming + checking must not either");
         assert_eq!(stats_csv_row(&sharded), stats_csv_row(&solo), "canonical CSV agrees");
+    }
+
+    #[test]
+    fn compile_and_optimizer_legs_agree_byte_for_byte() {
+        let c = CompiledScenario::compile(&flap_spec()).unwrap();
+        let scratch = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+        let delta = run_coordinated(
+            &c,
+            &RunOptions {
+                check: true,
+                compile: Some(nes_runtime::CompilePath::Delta),
+                ..RunOptions::default()
+            },
+        );
+        let optimized = run_coordinated(
+            &c,
+            &RunOptions {
+                check: true,
+                optimize: Some(nes_runtime::OptimizeMode::On),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(stats_csv_row(&delta), stats_csv_row(&scratch), "delta compile is invisible");
+        assert_eq!(stats_csv_row(&optimized), stats_csv_row(&scratch), "optimizer is invisible");
+        assert_eq!(delta.verdict, Some(Ok(())));
+        assert_eq!(optimized.verdict, Some(Ok(())));
     }
 
     #[test]

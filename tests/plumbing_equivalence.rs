@@ -20,7 +20,9 @@ use edn_core::{NetworkTrace, TraceMode};
 use edn_obs::Scope;
 use edn_scenario::CompiledScenario;
 use edn_topo::{fat_tree, ring, synthesize, LinkProfile, TierProfile, TrafficPattern, Workload};
-use nes_runtime::{nes_engine_with_path, verify_nes_run, NesDataPlane};
+use nes_runtime::{
+    nes_engine_with, verify_nes_run, CompilePath, DeployKnobs, NesDataPlane, OptimizeMode,
+};
 use netkat::LookupPath;
 use netsim::traffic::udp_packet;
 use netsim::{Engine, MetricsLevel, PacketPath, QueueKind, SimParams, SimTime, SinkHosts, Stats};
@@ -34,7 +36,16 @@ struct Knobs {
     path: PacketPath,
     shards: u32,
     metrics: MetricsLevel,
+    deploy: DeployKnobs,
 }
+
+/// The reference deployment: indexed lookups over scratch-compiled guarded
+/// tables, optimizer off.
+const REFERENCE_DEPLOY: DeployKnobs = DeployKnobs {
+    path: LookupPath::Indexed,
+    compile: CompilePath::Scratch,
+    optimize: OptimizeMode::Off,
+};
 
 /// The reference corner: one thread, binary heap, full trace, owned
 /// packets, no telemetry — the pre-rework engine, kept runnable exactly
@@ -45,6 +56,7 @@ const REFERENCE: Knobs = Knobs {
     path: PacketPath::Owned,
     shards: 1,
     metrics: MetricsLevel::Off,
+    deploy: REFERENCE_DEPLOY,
 };
 
 /// Widens a requested shard count by the `EDN_SHARDS` environment knob,
@@ -64,6 +76,7 @@ fn knobs_with_shards(shards: u32) -> impl Iterator<Item = Knobs> {
                 path,
                 shards,
                 metrics: MetricsLevel::Off,
+                deploy: REFERENCE_DEPLOY,
             })
         })
     })
@@ -113,13 +126,13 @@ fn ring_run(knobs: Knobs) -> (NetworkTrace, Stats) {
     let ring = Ring::new(4);
     let n = ring.switch_count();
     let topo = ring.sim_topology(SimTime::from_micros(50), None);
-    let engine = nes_engine_with_path(
+    let engine = nes_engine_with(
         ring.nes(),
         topo,
         SimParams::default(),
         false,
         Box::new(SinkHosts),
-        LookupPath::Indexed,
+        knobs.deploy,
     );
     let mut engine = configure(engine, knobs);
     for i in 1..=n {
@@ -157,13 +170,13 @@ fn fat_tree_firewall_run(knobs: Knobs) -> (NetworkTrace, Stats) {
         flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
     let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
     let nes = firewall_nes(&gen, inside, outside);
-    let engine = nes_engine_with_path(
+    let engine = nes_engine_with(
         nes,
         gen.sim().clone(),
         SimParams::default(),
         false,
         Box::new(SinkHosts),
-        LookupPath::Indexed,
+        knobs.deploy,
     );
     let mut engine = configure(engine, knobs);
     edn_topo::schedule(&mut engine, &flows);
@@ -266,13 +279,13 @@ fn fat_tree_campaign_scenario() -> CompiledScenario {
 
 /// Replays a compiled churn scenario on explicit engine knobs.
 fn churn_run(c: &CompiledScenario, knobs: Knobs) -> (NetworkTrace, Stats) {
-    let engine = nes_engine_with_path(
+    let engine = nes_engine_with(
         c.nes.clone(),
         c.run.sim().clone(),
         SimParams::default(),
         false,
         Box::new(SinkHosts),
-        LookupPath::Indexed,
+        knobs.deploy,
     );
     let mut engine = configure(engine, knobs);
     c.apply_actions(&mut engine);
@@ -345,6 +358,44 @@ fn churn_scenarios_replay_identically_across_shard_counts() {
     assert_plumbing_invariant("sharded fat-tree campaign", &[2, 4], |k| churn_run(&campaign, k));
 }
 
+/// Every non-reference deployment shape — delta-patched per-tag tables,
+/// the trie-compressed optimizer (over both compile paths), and the
+/// linear-scan lookup under each — replays the §5.2 ring and the fat-tree
+/// churn campaign byte-identically to the scratch/guarded reference, solo
+/// and sharded. The table *construction* and *layout* may change; the
+/// observable run may not.
+#[test]
+fn deployment_layouts_do_not_perturb_results() {
+    fn assert_deploy_invariant(scenario: &str, run: impl Fn(Knobs) -> (NetworkTrace, Stats)) {
+        let deploys = [
+            (CompilePath::Delta, OptimizeMode::Off),
+            (CompilePath::Scratch, OptimizeMode::On),
+            (CompilePath::Delta, OptimizeMode::On),
+        ];
+        let (reference_trace, reference_stats) = run(REFERENCE);
+        for (compile, optimize) in deploys {
+            for lookup in [LookupPath::Indexed, LookupPath::Linear] {
+                for shards in [1, 4] {
+                    let knobs = Knobs {
+                        queue: QueueKind::Calendar,
+                        mode: TraceMode::Full,
+                        path: PacketPath::Arena,
+                        shards: effective_shards(shards),
+                        metrics: MetricsLevel::Off,
+                        deploy: DeployKnobs { path: lookup, compile, optimize },
+                    };
+                    let (trace, stats) = run(knobs);
+                    assert_eq!(stats, reference_stats, "{scenario}: stats diverged on {knobs:?}");
+                    assert_eq!(trace, reference_trace, "{scenario}: trace diverged on {knobs:?}");
+                }
+            }
+        }
+    }
+    assert_deploy_invariant("ring", ring_run);
+    let campaign = fat_tree_campaign_scenario();
+    assert_deploy_invariant("fat-tree campaign", |k| churn_run(&campaign, k));
+}
+
 /// Telemetry must never perturb simulation results: the ring scenario
 /// replayed at `counters` and `full` (solo and sharded) stays
 /// byte-identical to the metrics-off reference — `Stats`, traces, and the
@@ -360,6 +411,7 @@ fn metrics_levels_do_not_perturb_results() {
                 path: PacketPath::Arena,
                 shards: effective_shards(shards),
                 metrics,
+                deploy: REFERENCE_DEPLOY,
             };
             let (trace, stats) = ring_run(knobs);
             assert_eq!(stats, reference_stats, "stats diverged on {knobs:?}");
@@ -387,13 +439,13 @@ fn sim_scoped_metrics_are_byte_identical_across_shard_counts() {
             flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
         let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
         let nes = firewall_nes(&gen, inside, outside);
-        let mut engine = nes_engine_with_path(
+        let mut engine = nes_engine_with(
             nes,
             gen.sim().clone(),
             SimParams::default(),
             false,
             Box::new(SinkHosts),
-            LookupPath::Indexed,
+            REFERENCE_DEPLOY,
         )
         .with_metrics(MetricsLevel::Counters)
         .with_shards(shards);
@@ -420,13 +472,13 @@ fn seeded_run(n: u64, workload: &Workload, knobs: Knobs) -> (NetworkTrace, Stats
         flows.iter().map(|f| f.end).max().unwrap_or(SimTime::ZERO) + SimTime::from_secs(10);
     let (inside, outside) = (gen.hosts()[0], *gen.hosts().last().expect("hosts"));
     let nes = firewall_nes(&gen, inside, outside);
-    let engine = nes_engine_with_path(
+    let engine = nes_engine_with(
         nes,
         gen.sim().clone(),
         SimParams::default(),
         false,
         Box::new(SinkHosts),
-        LookupPath::Indexed,
+        knobs.deploy,
     );
     let mut engine = configure(engine, knobs);
     edn_topo::schedule(&mut engine, &flows);
@@ -477,6 +529,7 @@ proptest! {
             path: PacketPath::Arena,
             shards: effective_shards(1),
             metrics: MetricsLevel::Off,
+            deploy: REFERENCE_DEPLOY,
         };
         let (trace, stats) = seeded_run(n, &workload, calendar_arena);
         prop_assert_eq!(&stats, &reference_stats, "calendar+arena stats diverged");
@@ -510,6 +563,7 @@ proptest! {
             path: PacketPath::Arena,
             shards,
             metrics: MetricsLevel::Off,
+            deploy: REFERENCE_DEPLOY,
         };
         let (trace, stats) = seeded_run(n, &workload, sharded);
         prop_assert_eq!(&stats, &reference_stats, "{} shards: stats diverged", shards);
