@@ -41,7 +41,8 @@ use edn_core::{NetworkTrace, TraceBuilder, TraceMode};
 use edn_obs::{FlightEvent, FlightRecorder, MetricsLevel, Registry, Stopwatch};
 use netkat::{Loc, Packet, PacketId};
 
-use crate::logic::{BoxedHosts, CtrlMsg, DataPlane, PacketPath, StepResultId};
+use crate::channel::{ChannelDir, ChannelFate, ChannelModel};
+use crate::logic::{BoxedHosts, CtrlMsg, DataPlane, PacketPath, StepResultId, CONTROLLER_NODE};
 use crate::metrics::{self, EngineMetrics, FLIGHT_CAPACITY};
 use crate::queue::{EventQueue, QueueKind};
 use crate::shard::{self, Partition, Remote};
@@ -57,6 +58,11 @@ pub const DEFAULT_PACKET_SIZE: u32 = 1_500;
 pub(crate) const ENV_ENTITY: u32 = 0;
 /// The dense entity id of the controller.
 pub(crate) const CTRL_ENTITY: u32 = 1;
+/// Sentinel cause for control messages that are plumbing, not semantics
+/// (acks, retransmissions): they carry no happens-before obligation, so
+/// the causality bookkeeping skips them. Dropping an HB edge can only
+/// weaken the checker's obligations, never invent a violation.
+pub(crate) const NO_CAUSE: (u32, u32) = (u32::MAX, u32::MAX);
 /// Bits of the packed sequence key reserved for the per-entity counter.
 const SEQ_SHIFT: u32 = 40;
 
@@ -174,6 +180,11 @@ enum EventKind {
     Notify { msg: CtrlMsg, cause: (u32, u32) },
     /// A controller command arrives at a switch.
     Deliver { sw: u64, msg: CtrlMsg },
+    /// A data-plane-requested timer fires at a switch (or, with
+    /// `node == CONTROLLER_NODE`, at the controller). Always shard-local:
+    /// timers are requested only by interactions that already ran on the
+    /// node's owning shard.
+    Timer { node: u64 },
 }
 
 /// The metric slot of an event kind (`EngineMetrics::dispatched`).
@@ -183,6 +194,7 @@ fn kind_index(kind: &EventKind) -> usize {
         EventKind::Arrive { .. } => 1,
         EventKind::Notify { .. } => 2,
         EventKind::Deliver { .. } => 3,
+        EventKind::Timer { .. } => 4,
     }
 }
 
@@ -193,6 +205,7 @@ fn flight_info(kind: &EventKind) -> (&'static str, u64) {
         EventKind::Arrive { loc, .. } => ("arrive", loc.sw),
         EventKind::Notify { .. } => ("notify", 0),
         EventKind::Deliver { sw, .. } => ("deliver", *sw),
+        EventKind::Timer { node } => ("timer", *node),
     }
 }
 
@@ -279,6 +292,12 @@ pub(crate) struct Core<D: DataPlane> {
     /// Per-entity creation counters; only entities owned by this shard
     /// ever advance.
     counters: Vec<u64>,
+    /// The control-channel fault model (ideal short-circuits every site).
+    channel: ChannelModel,
+    /// Per-entity control-message send counters feeding the fault stream;
+    /// like `counters`, only entities owned by this shard ever advance,
+    /// which is what keeps lossy runs shard-invariant.
+    chan_counts: Vec<u64>,
     /// Reused per-hop step buffer (see
     /// [`DataPlane::process_arena_into`]).
     step_buf: StepResultId,
@@ -342,6 +361,7 @@ impl<D: DataPlane> Core<D> {
         shards: u32,
         owners: Option<Partition>,
         metrics: EngineMetrics,
+        channel: ChannelModel,
     ) -> Core<D> {
         let entities = EntityMap::build(&topo);
         let mut egress = EgressMap::default();
@@ -376,6 +396,8 @@ impl<D: DataPlane> Core<D> {
             ctrl_latency: Vec::new(),
             entities,
             counters: vec![0; n_entities],
+            channel,
+            chan_counts: vec![0; n_entities],
             step_buf: StepResultId::default(),
             ctrl_causes: Vec::new(),
             ctrl_delivered: HashMap::new(),
@@ -459,6 +481,122 @@ impl<D: DataPlane> Core<D> {
         match &self.owners {
             Some(p) => p.owner_of(node).unwrap_or(0),
             None => 0,
+        }
+    }
+
+    /// Draws the next control-channel fault-stream counter for `entity`.
+    /// Advances only on the owning shard, in global dispatch order, so
+    /// the fault pattern is identical at every shard count.
+    fn chan_count(&mut self, entity: u32) -> u64 {
+        let c = &mut self.chan_counts[entity as usize];
+        let v = *c;
+        *c += 1;
+        v
+    }
+
+    /// Records one channel fate into the metrics (and, on a drop, the
+    /// flight recorder, so a degraded dump shows the message-level cause).
+    fn note_channel(&mut self, fate: &ChannelFate, node: u64) {
+        if !self.metrics.on {
+            return;
+        }
+        match fate.copies {
+            0 => self.metrics.chan_dropped += 1,
+            2 => self.metrics.chan_duplicated += 1,
+            _ => {}
+        }
+        if fate.reordered {
+            self.metrics.chan_reordered += 1;
+        }
+        if fate.copies == 0 {
+            if let Some(fr) = &self.metrics.flight {
+                fr.record(FlightEvent {
+                    t_us: self.now.as_micros(),
+                    seq: 0,
+                    kind: "drop",
+                    node,
+                    depth: self.queue.len() as u64,
+                });
+            }
+        }
+    }
+
+    /// Schedules one switch→controller message (`Notify`) through the
+    /// channel model: the fate is a pure function of the sending entity's
+    /// fault-stream counter, and each surviving copy gets its own
+    /// sequence key from the sender. The ideal model takes the exact
+    /// pre-fault-model path (one copy, zero extra delay, no counters).
+    fn send_notify(&mut self, node: u64, sender: u32, msg: CtrlMsg, cause: (u32, u32)) {
+        let base = self.now + self.controller_latency();
+        let fate = if self.channel.is_ideal() {
+            ChannelFate::CLEAN
+        } else {
+            let counter = self.chan_count(sender);
+            let f = self.channel.fate(ChannelDir::ToCtrl, node, counter);
+            self.note_channel(&f, node);
+            f
+        };
+        for i in 0..fate.copies as usize {
+            let t = base + SimTime::from_micros(fate.delay_us[i]);
+            let seq = self.next_seq(sender);
+            if self.me == 0 {
+                self.schedule_local(t, seq, EventKind::Notify { msg, cause });
+            } else {
+                self.observe_remote(t);
+                self.outbox[0].push(Remote::Notify { time: t, seq, msg, cause });
+            }
+        }
+    }
+
+    /// Schedules one controller→switch command (`Deliver`) through the
+    /// channel model; `delay` is the data plane's own scheduling offset
+    /// (e.g. update-wave spacing), applied on top of the controller
+    /// latency before any channel jitter.
+    fn send_deliver(&mut self, sw: u64, msg: CtrlMsg, delay: SimTime) {
+        let base = self.now + self.controller_latency() + delay;
+        let fate = if self.channel.is_ideal() {
+            ChannelFate::CLEAN
+        } else {
+            let counter = self.chan_count(CTRL_ENTITY);
+            let f = self.channel.fate(ChannelDir::ToSwitch, sw, counter);
+            self.note_channel(&f, sw);
+            f
+        };
+        for i in 0..fate.copies as usize {
+            let t = base + SimTime::from_micros(fate.delay_us[i]);
+            let seq = self.next_seq(CTRL_ENTITY);
+            let target = self.owner_of(sw);
+            if target == self.me {
+                self.schedule_local(t, seq, EventKind::Deliver { sw, msg });
+            } else {
+                self.observe_remote(t);
+                self.outbox[target as usize].push(Remote::Deliver { time: t, seq, sw, msg });
+            }
+        }
+    }
+
+    /// Post-interaction drain: forwards the data plane's channel telemetry
+    /// to the flight recorder and schedules its timer requests. Called
+    /// after every plane interaction (packet step, notify, deliver,
+    /// timer), always on the node's owning shard, so timer events are
+    /// shard-local by construction.
+    fn drain_plane(&mut self) {
+        for (kind, node) in self.dataplane.drain_channel_events() {
+            if let Some(fr) = &self.metrics.flight {
+                fr.record(FlightEvent {
+                    t_us: self.now.as_micros(),
+                    seq: 0,
+                    kind,
+                    node,
+                    depth: self.queue.len() as u64,
+                });
+            }
+        }
+        for (t, node) in self.dataplane.drain_timers() {
+            let entity =
+                if node == CONTROLLER_NODE { CTRL_ENTITY } else { self.entities.dense(node) };
+            let seq = self.next_seq(entity);
+            self.schedule_local(t.max(self.now), seq, EventKind::Timer { node });
         }
     }
 
@@ -779,42 +917,62 @@ impl<D: DataPlane> Core<D> {
                 // Controller knowledge is cumulative: record the cause
                 // before computing deliveries. Sharded runs log the
                 // dispatch for the merge-time causality replay instead.
-                if self.multi {
-                    if self.record_full {
-                        self.notify_log.push((key, cause));
+                // Plumbing messages (acks, retransmissions) carry the
+                // NO_CAUSE sentinel and stay out of the causality record.
+                if cause != NO_CAUSE {
+                    if self.multi {
+                        if self.record_full {
+                            self.notify_log.push((key, cause));
+                        }
+                    } else {
+                        self.ctrl_causes.push(cause.1 as usize);
                     }
-                } else {
-                    self.ctrl_causes.push(cause.1 as usize);
                 }
                 for (delay, sw, out) in self.dataplane.on_notify(msg, self.now) {
-                    let t = self.now + self.controller_latency() + delay;
-                    let seq = self.next_seq(CTRL_ENTITY);
-                    let target = self.owner_of(sw);
-                    if target == self.me {
-                        self.schedule_local(t, seq, EventKind::Deliver { sw, msg: out });
-                    } else {
-                        self.observe_remote(t);
-                        self.outbox[target as usize].push(Remote::Deliver {
-                            time: t,
-                            seq,
-                            sw,
-                            msg: out,
-                        });
-                    }
+                    self.send_deliver(sw, out, delay);
                 }
+                self.drain_plane();
             }
             EventKind::Deliver { sw, msg } => {
                 // Everything the controller has heard up to now becomes a
                 // causal ancestor of this switch's subsequent processing.
-                if self.multi {
-                    if self.record_full {
-                        self.deliver_log.push((key, sw));
-                        self.pending_deliver.insert(sw);
+                // Pure acks are plumbing: they change no switch state, so
+                // they must not strengthen the causal frontier.
+                if !matches!(msg, CtrlMsg::Ack { .. }) {
+                    if self.multi {
+                        if self.record_full {
+                            self.deliver_log.push((key, sw));
+                            self.pending_deliver.insert(sw);
+                        }
+                    } else {
+                        self.ctrl_delivered.insert(sw, self.ctrl_causes.len());
                     }
-                } else {
-                    self.ctrl_delivered.insert(sw, self.ctrl_causes.len());
                 }
-                self.dataplane.deliver(sw, msg, self.now);
+                let replies = self.dataplane.deliver_and_reply(sw, msg, self.now);
+                if !replies.is_empty() {
+                    let sender = self.entities.dense(sw);
+                    for reply in replies {
+                        self.send_notify(sw, sender, reply, NO_CAUSE);
+                    }
+                }
+                self.drain_plane();
+            }
+            EventKind::Timer { node } => {
+                let step = self.dataplane.on_timer(node, self.now);
+                if !step.notifications.is_empty() {
+                    let sender = if node == CONTROLLER_NODE {
+                        CTRL_ENTITY
+                    } else {
+                        self.entities.dense(node)
+                    };
+                    for msg in step.notifications {
+                        self.send_notify(node, sender, msg, NO_CAUSE);
+                    }
+                }
+                for (delay, sw, out) in step.deliveries {
+                    self.send_deliver(sw, out, delay);
+                }
+                self.drain_plane();
             }
         }
     }
@@ -893,17 +1051,14 @@ impl<D: DataPlane> Core<D> {
                 o.cause(ingress_idx);
             }
         }
+        let stepped_plane = !out.notifications.is_empty();
         for msg in out.notifications.drain(..) {
-            let t = self.now + self.controller_latency();
-            let seq = self.next_seq(sender);
+            // The controller lives on shard 0 (send_notify routes there).
             let cause = (self.me, ingress_idx as u32);
-            // The controller lives on shard 0.
-            if self.me == 0 {
-                self.schedule_local(t, seq, EventKind::Notify { msg, cause });
-            } else {
-                self.observe_remote(t);
-                self.outbox[0].push(Remote::Notify { time: t, seq, msg, cause });
-            }
+            self.send_notify(loc.sw, sender, msg, cause);
+        }
+        if stepped_plane {
+            self.drain_plane();
         }
         if out.outputs.is_empty() {
             self.trace.mark_terminated(ingress_idx);
@@ -1105,6 +1260,7 @@ impl<D: DataPlane> Engine<D> {
             1,
             None,
             EngineMetrics::new(level, flight),
+            ChannelModel::from_env(),
         );
         Engine {
             cores: vec![core],
@@ -1182,6 +1338,27 @@ impl<D: DataPlane> Engine<D> {
             core.metrics = EngineMetrics::new(level, flight.clone());
         }
         self
+    }
+
+    /// Sets the control-channel fault model, overriding the `EDN_CHANNEL`
+    /// environment default (tests pin the model through this to stay
+    /// immune to environment races).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has already been scheduled (the channel
+    /// governs a whole run).
+    pub fn with_channel(mut self, model: ChannelModel) -> Engine<D> {
+        assert!(self.env_seq == 0, "set the channel model before scheduling events");
+        for core in &mut self.cores {
+            core.channel = model;
+        }
+        self
+    }
+
+    /// The control-channel fault model this engine runs under.
+    pub fn channel(&self) -> ChannelModel {
+        self.cores[0].channel
     }
 
     /// The telemetry level this engine runs at.
@@ -1521,6 +1698,7 @@ impl<D: DataPlane> Engine<D> {
                 k,
                 Some(part.clone()),
                 EngineMetrics::new(level, flight.clone()),
+                self.cores[0].channel,
             );
             core.link_state.clone_from(&link_state);
             core.ctrl_latency.clone_from(&ctrl_latency);
@@ -2286,5 +2464,220 @@ mod metrics_tests {
         assert!(flight.dump_json().contains("\"kind\""));
         // The first dispatch of a run is always sampled (index 0 & mask).
         assert!(r.metrics.histogram("phase.dispatch_ns").is_some());
+    }
+}
+
+#[cfg(test)]
+mod timeline_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The reference semantics: replay the writes in order into a map
+    /// keyed by time (later writes at the same time win), then take the
+    /// greatest key at or before `t`.
+    fn reference_at(writes: &[(u64, u32)], t: u64, default: u32) -> u32 {
+        let mut map = std::collections::BTreeMap::new();
+        for &(at, v) in writes {
+            map.insert(at, v);
+        }
+        map.range(..=t).next_back().map(|(_, &v)| v).unwrap_or(default)
+    }
+
+    fn arb_writes() -> impl Strategy<Value = Vec<(u64, u32)>> {
+        // A tiny time domain forces plenty of same-timestamp collisions.
+        proptest::collection::vec((0u64..16, 0u32..1000), 0..40)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// `timeline_set` + `timeline_at` ≡ last-write-wins map semantics,
+        /// including same-timestamp overwrites, the empty timeline, and
+        /// queries strictly before the first entry.
+        #[test]
+        fn timeline_matches_last_write_wins_reference(
+            writes in arb_writes(),
+            query in 0u64..20,
+            default in 0u32..1000,
+        ) {
+            let mut tl: Timeline<u32> = Vec::new();
+            for &(at, v) in &writes {
+                timeline_set(&mut tl, SimTime::from_micros(at), v);
+            }
+            // The timeline stays strictly sorted: overwrites never add entries.
+            prop_assert!(tl.windows(2).all(|w| w[0].0 < w[1].0));
+            let got = timeline_at(&tl, SimTime::from_micros(query), default);
+            prop_assert_eq!(got, reference_at(&writes, query, default));
+        }
+
+        /// Rewriting the same instant any number of times keeps exactly
+        /// one entry, holding the final value.
+        #[test]
+        fn same_instant_overwrites_in_place(values in proptest::collection::vec(0u32..1000, 1..20)) {
+            let mut tl: Timeline<u32> = Vec::new();
+            let t = SimTime::from_micros(7);
+            for &v in &values {
+                timeline_set(&mut tl, t, v);
+            }
+            prop_assert_eq!(tl.len(), 1);
+            prop_assert_eq!(timeline_at(&tl, t, 9999), *values.last().unwrap());
+            // Strictly before the entry, the default rules.
+            prop_assert_eq!(timeline_at(&tl, SimTime::from_micros(6), 9999), 9999);
+        }
+    }
+
+    #[test]
+    fn empty_timeline_always_defaults() {
+        let tl: Timeline<u32> = Vec::new();
+        assert_eq!(timeline_at(&tl, SimTime::ZERO, 42), 42);
+        assert_eq!(timeline_at(&tl, SimTime::from_secs(1), 42), 42);
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::*;
+    use crate::logic::{SinkHosts, StepResult, TimerStep};
+    use netkat::Field;
+
+    /// A plane that notifies the controller on every hop at switch 1 and
+    /// counts what the controller hears — loss shows up as missing ids.
+    #[derive(Clone, Default)]
+    struct Chatty {
+        heard: u64,
+        sent: u64,
+    }
+
+    impl DataPlane for Chatty {
+        fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            let mut r = StepResult::forward(if sw == 1 { 1 } else { 2 }, packet);
+            if sw == 1 {
+                r.notifications.push(CtrlMsg::Events(self.sent));
+                self.sent += 1;
+            }
+            r
+        }
+        fn on_notify(&mut self, msg: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+            if let CtrlMsg::Events(_) = msg {
+                self.heard += 1;
+            }
+            Vec::new()
+        }
+        fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+    }
+
+    fn topo() -> SimTopology {
+        SimTopology::new([1, 2]).host(100, Loc::new(1, 2)).host(200, Loc::new(2, 2)).bilink(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            SimTime::from_micros(50),
+            None,
+        )
+    }
+
+    fn run_chatty(model: ChannelModel, n: u64) -> (RunResult<Chatty>, Stats) {
+        let mut e =
+            Engine::new(topo(), SimParams::default(), Chatty::default(), Box::new(SinkHosts))
+                .with_channel(model)
+                .with_metrics(MetricsLevel::Counters);
+        for i in 0..n {
+            e.inject_at(SimTime::from_micros(10 * i), 100, Packet::new().with(Field::Vlan, i));
+        }
+        e.run(SimTime::from_secs(1));
+        let r = e.finish();
+        let stats = r.stats.clone();
+        (r, stats)
+    }
+
+    #[test]
+    fn explicit_ideal_channel_is_byte_identical_to_default() {
+        let (a, sa) = run_chatty(ChannelModel::ideal(), 40);
+        let mut e =
+            Engine::new(topo(), SimParams::default(), Chatty::default(), Box::new(SinkHosts))
+                .with_metrics(MetricsLevel::Counters);
+        assert!(e.channel().is_ideal());
+        for i in 0..40 {
+            e.inject_at(SimTime::from_micros(10 * i), 100, Packet::new().with(Field::Vlan, i));
+        }
+        e.run(SimTime::from_secs(1));
+        let b = e.finish();
+        assert_eq!(sa, b.stats);
+        assert_eq!(a.dataplane.heard, 40, "ideal channel loses nothing");
+        assert_eq!(a.metrics.counter("channel.dropped"), Some(0));
+    }
+
+    #[test]
+    fn lossy_channel_is_deterministic_and_actually_drops() {
+        let model = ChannelModel::lossy(7).with_seed(7);
+        let (a, sa) = run_chatty(model, 200);
+        let (b, sb) = run_chatty(model, 200);
+        assert_eq!(sa, sb, "same model, same run, byte for byte");
+        assert_eq!(a.dataplane.heard, b.dataplane.heard);
+        let dropped = a.metrics.counter("channel.dropped").unwrap_or(0);
+        let dups = a.metrics.counter("channel.duplicated").unwrap_or(0);
+        assert!(dropped > 0, "200 notifies through a 6% channel must lose some");
+        assert_eq!(a.dataplane.heard, 200 - dropped + dups, "every surviving copy is heard");
+        // The data plane itself is untouched by control-channel faults.
+        assert_eq!(sa.delivered_packets, 200);
+    }
+
+    /// A plane that requests a timer from `deliver_and_reply` and replies
+    /// with an ack — exercising the Timer event kind, the reply path, and
+    /// `drain_timers` end to end.
+    #[derive(Clone, Default)]
+    struct TimerPlane {
+        fired: Vec<(u64, u64)>,
+        armed: bool,
+        acks_heard: u64,
+    }
+
+    impl DataPlane for TimerPlane {
+        fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            let mut r = StepResult::forward(if sw == 1 { 1 } else { 2 }, packet);
+            if sw == 1 {
+                r.notifications.push(CtrlMsg::Events(1));
+            }
+            r
+        }
+        fn on_notify(&mut self, msg: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+            match msg {
+                CtrlMsg::Events(_) => vec![(SimTime::ZERO, 1, CtrlMsg::SetConfig(5))],
+                CtrlMsg::Ack { .. } => {
+                    self.acks_heard += 1;
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            }
+        }
+        fn deliver(&mut self, _: u64, _: CtrlMsg, _: SimTime) {}
+        fn deliver_and_reply(&mut self, sw: u64, _: CtrlMsg, _: SimTime) -> Vec<CtrlMsg> {
+            self.armed = true;
+            vec![CtrlMsg::Ack { sw, ack: 1 }]
+        }
+        fn drain_timers(&mut self) -> Vec<(SimTime, u64)> {
+            if self.armed {
+                self.armed = false;
+                vec![(SimTime::from_millis(50), 1)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_timer(&mut self, node: u64, now: SimTime) -> TimerStep {
+            self.fired.push((node, now.as_micros()));
+            TimerStep::default()
+        }
+    }
+
+    #[test]
+    fn timer_requests_fire_and_replies_reach_the_controller() {
+        let mut e =
+            Engine::new(topo(), SimParams::default(), TimerPlane::default(), Box::new(SinkHosts))
+                .with_metrics(MetricsLevel::Counters);
+        e.inject_at(SimTime::from_millis(1), 100, Packet::new());
+        e.run(SimTime::from_secs(1));
+        let r = e.finish();
+        assert_eq!(r.dataplane.fired, vec![(1, 50_000)], "timer fires at its requested time");
+        assert_eq!(r.dataplane.acks_heard, 1, "the deliver reply travels back as a notify");
+        assert_eq!(r.metrics.counter("engine.dispatch.timer"), Some(1));
     }
 }

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+mod channel;
 mod engine;
 mod logic;
 mod metrics;
@@ -50,12 +51,13 @@ mod time;
 mod topology;
 pub mod traffic;
 
+pub use channel::{ChannelDir, ChannelFate, ChannelModel, DirModel};
 pub use edn_core::{LeafKind, TraceMode, TraceObserver};
 pub use edn_obs::{FlightRecorder, MetricsLevel};
 pub use engine::{Engine, RunResult, DEFAULT_PACKET_SIZE};
 pub use logic::{
     table_outputs, BoxedHosts, CtrlMsg, DataPlane, HostLogic, PacketPath, SinkHosts, StepResult,
-    StepResultId,
+    StepResultId, TimerStep, CONTROLLER_NODE,
 };
 pub use netkat::{PacketArena, PacketId};
 pub use queue::QueueKind;

@@ -46,6 +46,10 @@ impl PacketPath {
     }
 }
 
+/// The timer `node` naming the controller endpoint (switch endpoints use
+/// their switch id). See [`DataPlane::drain_timers`].
+pub const CONTROLLER_NODE: u64 = u64::MAX;
+
 /// A message between a switch and the controller.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CtrlMsg {
@@ -54,6 +58,48 @@ pub enum CtrlMsg {
     Events(u64),
     /// "Switch to configuration `n`" — used by the uncoordinated baseline.
     SetConfig(u64),
+    /// A sequence-numbered reliability envelope (see `nes-runtime`'s
+    /// `Reliable` wrapper): an inner message plus the header that lets a
+    /// lossy channel be survived. `sw` is the switch endpoint of the
+    /// stream (the sender for switch→controller, the target for
+    /// controller→switch), `seq` the 1-based stream sequence number, `ack`
+    /// the cumulative ack of the reverse stream, and `kind`/`bits` the
+    /// flattened inner payload (`0` = [`Events`](CtrlMsg::Events), `1` =
+    /// [`SetConfig`](CtrlMsg::SetConfig)) — flattened so the message stays
+    /// `Copy`.
+    Reliable {
+        /// Switch endpoint of the stream.
+        sw: u64,
+        /// 1-based sequence number on the `(direction, sw)` stream.
+        seq: u32,
+        /// Cumulative ack of the reverse stream.
+        ack: u32,
+        /// Inner message discriminant (`0` = `Events`, `1` = `SetConfig`).
+        kind: u8,
+        /// Inner message payload bits.
+        bits: u64,
+    },
+    /// A pure cumulative acknowledgement for stream `sw` (never itself
+    /// acknowledged, so acks cannot regress into an ack storm).
+    Ack {
+        /// Switch endpoint of the acknowledged stream.
+        sw: u64,
+        /// Every message with `seq <= ack` has been received in order.
+        ack: u32,
+    },
+}
+
+/// What a [`DataPlane::on_timer`] callback wants (re)sent: the timer-fired
+/// sibling of a switch step's notifications and `on_notify`'s deliveries,
+/// scheduled by the engine through the same (possibly lossy) channel.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TimerStep {
+    /// Messages the switch endpoint (the timer's node) re-sends to the
+    /// controller.
+    pub notifications: Vec<CtrlMsg>,
+    /// Messages the controller endpoint re-sends: `(extra delay, switch,
+    /// message)`.
+    pub deliveries: Vec<(SimTime, u64, CtrlMsg)>,
 }
 
 /// What one switch processing step produced.
@@ -194,6 +240,44 @@ pub trait DataPlane {
 
     /// A controller command arrives at a switch.
     fn deliver(&mut self, sw: u64, msg: CtrlMsg, now: SimTime);
+
+    /// [`deliver`](DataPlane::deliver), returning messages the switch
+    /// sends straight back to the controller (acknowledgements, in the
+    /// reliability layer). The engine schedules each reply as a
+    /// switch→controller message through the channel model. The default
+    /// delegates to [`deliver`](DataPlane::deliver) and replies nothing,
+    /// so existing planes are unchanged.
+    fn deliver_and_reply(&mut self, sw: u64, msg: CtrlMsg, now: SimTime) -> Vec<CtrlMsg> {
+        self.deliver(sw, msg, now);
+        Vec::new()
+    }
+
+    /// Timer requests accumulated since the last drain: `(fire time,
+    /// node)`, where `node` is a switch id or [`CONTROLLER_NODE`]. The
+    /// engine drains this after every plane interaction and schedules a
+    /// deterministic timer event per request on the node's owning shard
+    /// (requests only ever arise from interactions that already run
+    /// there). A fired timer calls [`on_timer`](DataPlane::on_timer);
+    /// stale fires must be plane-level no-ops. The default has no timers.
+    fn drain_timers(&mut self) -> Vec<(SimTime, u64)> {
+        Vec::new()
+    }
+
+    /// A timer requested via [`drain_timers`](DataPlane::drain_timers)
+    /// fired at `node`. Returns what to (re)send; the default does
+    /// nothing.
+    fn on_timer(&mut self, node: u64, now: SimTime) -> TimerStep {
+        let _ = (node, now);
+        TimerStep::default()
+    }
+
+    /// Control-channel telemetry events accumulated since the last drain:
+    /// `(kind, node)` pairs (`"dup_suppressed"`, `"retry_exhausted"`,
+    /// …) that the engine forwards to the flight recorder so a degraded
+    /// dump shows the message-level cause. The default reports none.
+    fn drain_channel_events(&mut self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 
     /// Folds the state of another instance of this plane back into `self`
     /// after a sharded run: `other` processed exactly the switches in

@@ -44,8 +44,14 @@ pub(crate) struct EngineMetrics {
     pub(crate) sampling: bool,
 
     // Sim scope.
-    /// Dispatched events by kind (inject, arrive, notify, deliver).
-    pub(crate) dispatched: [u64; 4],
+    /// Dispatched events by kind (inject, arrive, notify, deliver, timer).
+    pub(crate) dispatched: [u64; 5],
+    /// Control-channel messages the fault model dropped.
+    pub(crate) chan_dropped: u64,
+    /// Control-channel messages the fault model duplicated.
+    pub(crate) chan_duplicated: u64,
+    /// Control-channel copies given the reorder (bad-delay) treatment.
+    pub(crate) chan_reordered: u64,
     /// Sim-time delay from an event's creation to its fire time, in µs,
     /// observed once at the unique creation site.
     pub(crate) latency_us: Hist,
@@ -80,7 +86,10 @@ impl EngineMetrics {
             full: level.is_full(),
             flight,
             sampling: false,
-            dispatched: [0; 4],
+            dispatched: [0; 5],
+            chan_dropped: 0,
+            chan_duplicated: 0,
+            chan_reordered: 0,
             latency_us: Hist::new(),
             link_busy: 0,
             queue_depth_hw: 0,
@@ -122,9 +131,13 @@ impl EngineMetrics {
 
     /// Folds these accumulators into `reg`.
     pub(crate) fn contribute(&self, reg: &mut Registry) {
-        for (name, count) in ["inject", "arrive", "notify", "deliver"].iter().zip(self.dispatched) {
+        let kinds = ["inject", "arrive", "notify", "deliver", "timer"];
+        for (name, count) in kinds.iter().zip(self.dispatched) {
             reg.counter_add(Scope::Sim, &format!("engine.dispatch.{name}"), count);
         }
+        reg.counter_add(Scope::Sim, "channel.dropped", self.chan_dropped);
+        reg.counter_add(Scope::Sim, "channel.duplicated", self.chan_duplicated);
+        reg.counter_add(Scope::Sim, "channel.reordered", self.chan_reordered);
         reg.hist_merge(Scope::Sim, "engine.event_latency_us", &self.latency_us);
         reg.counter_add(Scope::Sim, "engine.link_busy", self.link_busy);
         reg.gauge_max(Scope::Shard, "engine.queue_depth_hw", self.queue_depth_hw);

@@ -28,6 +28,7 @@ mod compile;
 mod dataplane;
 mod deploy;
 mod program;
+mod reliable;
 mod static_plane;
 mod uncoordinated;
 mod verify;
@@ -39,9 +40,11 @@ pub use compile::{CompiledNes, RuleBreakdown};
 pub use dataplane::NesDataPlane;
 pub use deploy::{CompilePath, DeployKnobs, OptimizeMode};
 pub use program::{tagged_lookup, SwitchProgram};
+pub use reliable::{retry_budget_from_env, Reliable};
 pub use static_plane::StaticDataPlane;
 pub use uncoordinated::UncoordDataPlane;
 pub use verify::{
-    attach_online_checker, nes_engine, nes_engine_with, nes_engine_with_path, uncoordinated_engine,
-    verify_nes_run, verify_uncoordinated_run,
+    attach_online_checker, nes_engine, nes_engine_with, nes_engine_with_path,
+    nes_reliable_engine_with, uncoordinated_engine, verify_nes_run, verify_reliable_nes_run,
+    verify_uncoordinated_run,
 };

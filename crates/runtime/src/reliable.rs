@@ -1,0 +1,695 @@
+//! The control-channel reliability layer: sequence-numbered envelopes,
+//! cumulative acks, duplicate suppression, and retransmission with
+//! exponential backoff — TCP's survival kit, shrunk to the southbound
+//! channel.
+//!
+//! [`Reliable`] wraps any [`DataPlane`] and restores the exactly-once,
+//! in-order message semantics the paper's runtime (Defs. 5–6) assumes,
+//! on top of a channel that drops, duplicates, and reorders
+//! (`netsim::ChannelModel`). The argument that consistency is preserved
+//! is a simulation: every stream's receiver releases messages to the
+//! inner plane exactly once, in sequence order — so the inner plane
+//! observes precisely the message sequence an ideal channel would have
+//! delivered, merely later. Events, tags, and digests are computed from
+//! that sequence, so every consistency property of the ideal-channel run
+//! carries over unchanged.
+//!
+//! The one escape hatch is the retry budget: a message retransmitted
+//! past the budget is abandoned, the plane is marked **degraded**, and a
+//! `retry_exhausted` event lands in the flight recorder — an explicit
+//! loud failure instead of a silent wrong answer. The budget comes from
+//! `EDN_RETRY_BUDGET` (default 8) or [`Reliable::with_budget`].
+//!
+//! Two independent streams exist per switch: switch→controller
+//! (notifications) and controller→switch (commands). Acks ride
+//! piggybacked on data envelopes and as dedicated [`CtrlMsg::Ack`]
+//! messages; pure acks are never themselves acknowledged, so there is no
+//! ack storm. Retransmit timers use the engine's deterministic timer
+//! events, keyed per entity — lossy runs stay byte-identical across
+//! shard counts.
+
+use std::collections::BTreeMap;
+
+use edn_obs::Hist;
+use netsim::{
+    CtrlMsg, DataPlane, PacketArena, PacketId, SimTime, StepResult, StepResultId, TimerStep,
+    CONTROLLER_NODE,
+};
+
+/// Reads the retransmit budget from `EDN_RETRY_BUDGET` (maximum
+/// retransmissions per message; unset means 8).
+///
+/// # Panics
+///
+/// Panics if the variable is set but not a number.
+pub fn retry_budget_from_env() -> u32 {
+    match std::env::var("EDN_RETRY_BUDGET") {
+        Ok(v) => {
+            v.parse().unwrap_or_else(|_| panic!("EDN_RETRY_BUDGET must be a number, got {v:?}"))
+        }
+        Err(_) => 8,
+    }
+}
+
+/// Initial retransmission timeout; doubles on every retry. Comfortably
+/// above one control-channel round trip at the default latency.
+fn base_rto() -> SimTime {
+    SimTime::from_millis(20)
+}
+
+/// Flattens a data message into the envelope's `(kind, bits)` payload.
+fn pack(msg: CtrlMsg) -> (u8, u64) {
+    match msg {
+        CtrlMsg::Events(bits) => (0, bits),
+        CtrlMsg::SetConfig(tag) => (1, tag),
+        CtrlMsg::Reliable { .. } | CtrlMsg::Ack { .. } => {
+            unreachable!("reliability plumbing is never wrapped")
+        }
+    }
+}
+
+/// Inverse of [`pack`].
+fn unpack(kind: u8, bits: u64) -> CtrlMsg {
+    match kind {
+        0 => CtrlMsg::Events(bits),
+        1 => CtrlMsg::SetConfig(bits),
+        other => unreachable!("unknown envelope kind {other}"),
+    }
+}
+
+/// One unacknowledged sent message.
+#[derive(Clone, Copy, Debug)]
+struct Unacked {
+    kind: u8,
+    bits: u64,
+    /// First-transmission time (RTT samples use it, Karn-style: only
+    /// never-retransmitted messages contribute).
+    sent: SimTime,
+    retries: u32,
+    /// Current timeout (doubles per retry).
+    rto: SimTime,
+    /// When the next retransmission is due.
+    deadline: SimTime,
+}
+
+/// Sender half of one stream.
+#[derive(Clone, Debug, Default)]
+struct TxState {
+    /// Last assigned sequence number (1-based; 0 = nothing sent).
+    next: u32,
+    unacked: BTreeMap<u32, Unacked>,
+}
+
+/// Receiver half of one stream.
+#[derive(Clone, Debug, Default)]
+struct RxState {
+    /// Highest sequence received in order; everything ≤ this was
+    /// released to the inner plane exactly once.
+    cum: u32,
+    /// Out-of-order arrivals held for reassembly.
+    hold: BTreeMap<u32, (u8, u64)>,
+}
+
+/// One endpoint's state for one switch's stream pair.
+#[derive(Clone, Debug, Default)]
+struct EndState {
+    tx: TxState,
+    rx: RxState,
+}
+
+/// Removes and returns every entry acknowledged by cumulative `ack`.
+fn take_acked(tx: &mut TxState, ack: u32) -> Vec<Unacked> {
+    let seqs: Vec<u32> = tx.unacked.range(..=ack).map(|(&s, _)| s).collect();
+    seqs.into_iter().map(|s| tx.unacked.remove(&s).expect("just enumerated")).collect()
+}
+
+/// Retransmits every due entry of one stream (or abandons it when the
+/// budget is spent), writing fresh envelopes into `out`. Free function so
+/// callers can split borrows across the plane's fields.
+#[allow(clippy::too_many_arguments)]
+fn retransmit_due(
+    st: &mut EndState,
+    sw: u64,
+    node: u64,
+    now: SimTime,
+    budget: u32,
+    timers: &mut Vec<(SimTime, u64)>,
+    events: &mut Vec<(&'static str, u64)>,
+    degraded: &mut bool,
+    retransmits: &mut u64,
+    out: &mut Vec<CtrlMsg>,
+) {
+    let due: Vec<u32> =
+        st.tx.unacked.iter().filter(|(_, u)| u.deadline <= now).map(|(&s, _)| s).collect();
+    for seq in due {
+        let u = st.tx.unacked.get_mut(&seq).expect("just enumerated");
+        if u.retries >= budget {
+            st.tx.unacked.remove(&seq);
+            *degraded = true;
+            events.push(("retry_exhausted", node));
+            continue;
+        }
+        u.retries += 1;
+        u.rto = SimTime::from_micros(u.rto.as_micros().saturating_mul(2));
+        u.deadline = now + u.rto;
+        *retransmits += 1;
+        timers.push((u.deadline, node));
+        out.push(CtrlMsg::Reliable { sw, seq, ack: st.rx.cum, kind: u.kind, bits: u.bits });
+    }
+}
+
+/// A [`DataPlane`] adapter adding ack/retry/backoff reliability to the
+/// switch↔controller channel (see the module docs for the protocol and
+/// the consistency-preservation argument).
+#[derive(Clone, Debug)]
+pub struct Reliable<D> {
+    inner: D,
+    /// Maximum retransmissions per message before giving up degraded.
+    budget: u32,
+    /// Per-switch state held at the switch endpoint.
+    sw_state: BTreeMap<u64, EndState>,
+    /// Per-switch state held at the controller endpoint.
+    ctrl_state: BTreeMap<u64, EndState>,
+    /// Pending timer requests for the engine ([`DataPlane::drain_timers`]).
+    timers: Vec<(SimTime, u64)>,
+    /// Pending flight-recorder events
+    /// ([`DataPlane::drain_channel_events`]).
+    events: Vec<(&'static str, u64)>,
+    degraded: bool,
+    retransmits: u64,
+    dup_suppressed: u64,
+    acked: u64,
+    ack_rtt_us: Hist,
+}
+
+impl<D> Reliable<D> {
+    /// Wraps `inner`, reading the retry budget from `EDN_RETRY_BUDGET`.
+    pub fn new(inner: D) -> Reliable<D> {
+        Reliable::with_budget(inner, retry_budget_from_env())
+    }
+
+    /// Wraps `inner` with an explicit retry budget (maximum
+    /// retransmissions per message).
+    pub fn with_budget(inner: D, budget: u32) -> Reliable<D> {
+        Reliable {
+            inner,
+            budget,
+            sw_state: BTreeMap::new(),
+            ctrl_state: BTreeMap::new(),
+            timers: Vec::new(),
+            events: Vec::new(),
+            degraded: false,
+            retransmits: 0,
+            dup_suppressed: 0,
+            acked: 0,
+            ack_rtt_us: Hist::new(),
+        }
+    }
+
+    /// The wrapped plane.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped plane.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Did any message exhaust its retry budget? A `true` here means the
+    /// inner plane may have missed messages: the run must be reported as
+    /// `degraded`, never silently trusted.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Total retransmissions performed so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total duplicate receptions suppressed so far.
+    pub fn dup_suppressed(&self) -> u64 {
+        self.dup_suppressed
+    }
+
+    /// Wraps one outgoing switch→controller message into an envelope,
+    /// registering it for retransmission.
+    fn sw_send(&mut self, sw: u64, msg: CtrlMsg, now: SimTime) -> CtrlMsg {
+        let (kind, bits) = pack(msg);
+        let st = self.sw_state.entry(sw).or_default();
+        st.tx.next += 1;
+        let seq = st.tx.next;
+        let deadline = now + base_rto();
+        st.tx
+            .unacked
+            .insert(seq, Unacked { kind, bits, sent: now, retries: 0, rto: base_rto(), deadline });
+        self.timers.push((deadline, sw));
+        CtrlMsg::Reliable { sw, seq, ack: st.rx.cum, kind, bits }
+    }
+
+    /// Wraps one outgoing controller→switch command into an envelope,
+    /// registering it for retransmission.
+    fn ctrl_send(&mut self, sw: u64, msg: CtrlMsg, now: SimTime) -> CtrlMsg {
+        let (kind, bits) = pack(msg);
+        let st = self.ctrl_state.entry(sw).or_default();
+        st.tx.next += 1;
+        let seq = st.tx.next;
+        let deadline = now + base_rto();
+        st.tx
+            .unacked
+            .insert(seq, Unacked { kind, bits, sent: now, retries: 0, rto: base_rto(), deadline });
+        self.timers.push((deadline, CONTROLLER_NODE));
+        CtrlMsg::Reliable { sw, seq, ack: st.rx.cum, kind, bits }
+    }
+
+    /// Applies a cumulative ack to one sender, folding RTT samples and
+    /// the acked count into the metrics.
+    fn apply_ack(&mut self, end: Endpoint, sw: u64, ack: u32, now: SimTime) {
+        let st = match end {
+            Endpoint::Switch => self.sw_state.entry(sw).or_default(),
+            Endpoint::Controller => self.ctrl_state.entry(sw).or_default(),
+        };
+        for u in take_acked(&mut st.tx, ack) {
+            self.acked += 1;
+            if u.retries == 0 {
+                self.ack_rtt_us.observe(now.as_micros().saturating_sub(u.sent.as_micros()));
+            }
+        }
+    }
+
+    /// Runs one received envelope through receiver-side sequencing:
+    /// returns the inner messages released *in order* (possibly several,
+    /// when a gap closes), having suppressed duplicates and parked
+    /// out-of-order arrivals. `node` labels telemetry events.
+    fn receive(
+        &mut self,
+        end: Endpoint,
+        sw: u64,
+        node: u64,
+        seq: u32,
+        kind: u8,
+        bits: u64,
+    ) -> Vec<CtrlMsg> {
+        let st = match end {
+            Endpoint::Switch => self.sw_state.entry(sw).or_default(),
+            Endpoint::Controller => self.ctrl_state.entry(sw).or_default(),
+        };
+        let mut released = Vec::new();
+        if seq <= st.rx.cum {
+            self.dup_suppressed += 1;
+            self.events.push(("dup_suppressed", node));
+        } else if seq == st.rx.cum + 1 {
+            st.rx.cum = seq;
+            released.push(unpack(kind, bits));
+            while let Some((k, b)) = st.rx.hold.remove(&(st.rx.cum + 1)) {
+                st.rx.cum += 1;
+                released.push(unpack(k, b));
+            }
+        } else {
+            st.rx.hold.insert(seq, (kind, bits));
+        }
+        released
+    }
+
+    /// The receiver's current cumulative ack for the stream ending at
+    /// this endpoint.
+    fn rx_cum(&mut self, end: Endpoint, sw: u64) -> u32 {
+        match end {
+            Endpoint::Switch => self.sw_state.entry(sw).or_default().rx.cum,
+            Endpoint::Controller => self.ctrl_state.entry(sw).or_default().rx.cum,
+        }
+    }
+}
+
+/// Which end of a switch's stream pair an operation touches.
+#[derive(Clone, Copy)]
+enum Endpoint {
+    Switch,
+    Controller,
+}
+
+impl<D: DataPlane> DataPlane for Reliable<D> {
+    fn process(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: netkat::Packet,
+        from_host: bool,
+        now: SimTime,
+    ) -> StepResult {
+        let mut r = self.inner.process(sw, pt, packet, from_host, now);
+        for msg in r.notifications.iter_mut() {
+            *msg = self.sw_send(sw, *msg, now);
+        }
+        r
+    }
+
+    fn process_arena(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+    ) -> StepResultId {
+        let mut out = StepResultId::default();
+        self.process_arena_into(sw, pt, packet, from_host, now, arena, &mut out);
+        out
+    }
+
+    fn process_arena_into(
+        &mut self,
+        sw: u64,
+        pt: u64,
+        packet: PacketId,
+        from_host: bool,
+        now: SimTime,
+        arena: &mut PacketArena,
+        out: &mut StepResultId,
+    ) {
+        self.inner.process_arena_into(sw, pt, packet, from_host, now, arena, out);
+        for msg in out.notifications.iter_mut() {
+            *msg = self.sw_send(sw, *msg, now);
+        }
+    }
+
+    fn on_notify(&mut self, msg: CtrlMsg, now: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+        match msg {
+            CtrlMsg::Reliable { sw, seq, ack, kind, bits } => {
+                // The piggybacked ack confirms our controller→switch sends.
+                self.apply_ack(Endpoint::Controller, sw, ack, now);
+                let released =
+                    self.receive(Endpoint::Controller, sw, CONTROLLER_NODE, seq, kind, bits);
+                let mut out = Vec::new();
+                for inner_msg in released {
+                    for (delay, sw2, cmd) in self.inner.on_notify(inner_msg, now) {
+                        let wrapped = self.ctrl_send(sw2, cmd, now);
+                        out.push((delay, sw2, wrapped));
+                    }
+                }
+                // Always (re)confirm what we have — the dedicated ack also
+                // covers the duplicate and out-of-order cases.
+                let cum = self.rx_cum(Endpoint::Controller, sw);
+                out.push((SimTime::ZERO, sw, CtrlMsg::Ack { sw, ack: cum }));
+                out
+            }
+            // A dedicated ack from a switch confirms controller→switch sends.
+            CtrlMsg::Ack { sw, ack } => {
+                self.apply_ack(Endpoint::Controller, sw, ack, now);
+                Vec::new()
+            }
+            // Unwrapped messages pass straight through (an unwrapped peer).
+            other => self
+                .inner
+                .on_notify(other, now)
+                .into_iter()
+                .map(|(delay, sw, cmd)| {
+                    let wrapped = self.ctrl_send(sw, cmd, now);
+                    (delay, sw, wrapped)
+                })
+                .collect(),
+        }
+    }
+
+    fn deliver(&mut self, sw: u64, msg: CtrlMsg, now: SimTime) {
+        let _ = self.deliver_and_reply(sw, msg, now);
+    }
+
+    fn deliver_and_reply(&mut self, sw: u64, msg: CtrlMsg, now: SimTime) -> Vec<CtrlMsg> {
+        match msg {
+            CtrlMsg::Reliable { seq, ack, kind, bits, .. } => {
+                // The piggybacked ack confirms our switch→controller sends.
+                self.apply_ack(Endpoint::Switch, sw, ack, now);
+                let released = self.receive(Endpoint::Switch, sw, sw, seq, kind, bits);
+                for inner_msg in released {
+                    self.inner.deliver(sw, inner_msg, now);
+                }
+                let cum = self.rx_cum(Endpoint::Switch, sw);
+                vec![CtrlMsg::Ack { sw, ack: cum }]
+            }
+            // A dedicated ack from the controller confirms our sends.
+            CtrlMsg::Ack { ack, .. } => {
+                self.apply_ack(Endpoint::Switch, sw, ack, now);
+                Vec::new()
+            }
+            other => {
+                self.inner.deliver(sw, other, now);
+                Vec::new()
+            }
+        }
+    }
+
+    fn drain_timers(&mut self) -> Vec<(SimTime, u64)> {
+        std::mem::take(&mut self.timers)
+    }
+
+    fn on_timer(&mut self, node: u64, now: SimTime) -> TimerStep {
+        let mut step = TimerStep::default();
+        if node == CONTROLLER_NODE {
+            for (&sw, st) in self.ctrl_state.iter_mut() {
+                let mut envelopes = Vec::new();
+                retransmit_due(
+                    st,
+                    sw,
+                    CONTROLLER_NODE,
+                    now,
+                    self.budget,
+                    &mut self.timers,
+                    &mut self.events,
+                    &mut self.degraded,
+                    &mut self.retransmits,
+                    &mut envelopes,
+                );
+                step.deliveries.extend(envelopes.into_iter().map(|env| (SimTime::ZERO, sw, env)));
+            }
+        } else if let Some(st) = self.sw_state.get_mut(&node) {
+            retransmit_due(
+                st,
+                node,
+                node,
+                now,
+                self.budget,
+                &mut self.timers,
+                &mut self.events,
+                &mut self.degraded,
+                &mut self.retransmits,
+                &mut step.notifications,
+            );
+        }
+        step
+    }
+
+    fn drain_channel_events(&mut self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn absorb_shard(&mut self, other: Self, owned: &[u64]) {
+        let Reliable {
+            inner,
+            sw_state,
+            degraded,
+            retransmits,
+            dup_suppressed,
+            acked,
+            ack_rtt_us,
+            ..
+        } = other;
+        // Each switch endpoint lives on exactly one shard; the controller
+        // endpoint lives on shard 0 (self).
+        for &sw in owned {
+            if let Some(st) = sw_state.get(&sw) {
+                self.sw_state.insert(sw, st.clone());
+            }
+        }
+        self.degraded |= degraded;
+        self.retransmits += retransmits;
+        self.dup_suppressed += dup_suppressed;
+        self.acked += acked;
+        self.ack_rtt_us.merge(&ack_rtt_us);
+        self.inner.absorb_shard(inner, owned);
+    }
+
+    fn contribute_metrics(&self, reg: &mut edn_obs::Registry) {
+        // Every count is incremented at a unique dispatch site on the
+        // owning shard, so the merged values are shard-invariant.
+        reg.counter_add(edn_obs::Scope::Sim, "reliable.retransmits", self.retransmits);
+        reg.counter_add(edn_obs::Scope::Sim, "reliable.dup_suppressed", self.dup_suppressed);
+        reg.counter_add(edn_obs::Scope::Sim, "reliable.acked", self.acked);
+        reg.hist_merge(edn_obs::Scope::Sim, "reliable.ack_rtt_us", &self.ack_rtt_us);
+        self.inner.contribute_metrics(reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkat::{Loc, Packet};
+    use netsim::{ChannelModel, DirModel, Engine, MetricsLevel, SimParams, SimTopology, SinkHosts};
+
+    /// A minimal inner plane that counts what the controller hears and
+    /// what each switch is told — the reliability layer's contract is
+    /// that these counts match an ideal channel's exactly.
+    #[derive(Clone, Debug, Default)]
+    struct Probe {
+        sent: u64,
+        heard: Vec<u64>,
+        delivered: Vec<(u64, u64)>,
+    }
+
+    impl DataPlane for Probe {
+        fn process(&mut self, sw: u64, _: u64, packet: Packet, _: bool, _: SimTime) -> StepResult {
+            let mut r = StepResult::forward(if sw == 1 { 1 } else { 2 }, packet);
+            if sw == 1 {
+                r.notifications.push(CtrlMsg::Events(self.sent));
+                self.sent += 1;
+            }
+            r
+        }
+        fn on_notify(&mut self, msg: CtrlMsg, _: SimTime) -> Vec<(SimTime, u64, CtrlMsg)> {
+            let CtrlMsg::Events(bits) = msg else { return Vec::new() };
+            self.heard.push(bits);
+            // Push a config named after the heard payload to switch 1.
+            vec![(SimTime::ZERO, 1, CtrlMsg::SetConfig(bits))]
+        }
+        fn deliver(&mut self, sw: u64, msg: CtrlMsg, _: SimTime) {
+            if let CtrlMsg::SetConfig(tag) = msg {
+                self.delivered.push((sw, tag));
+            }
+        }
+    }
+
+    fn topo() -> SimTopology {
+        SimTopology::new([1, 2]).host(100, Loc::new(1, 2)).host(200, Loc::new(2, 2)).bilink(
+            Loc::new(1, 1),
+            Loc::new(2, 1),
+            SimTime::from_micros(50),
+            None,
+        )
+    }
+
+    fn run_probe(
+        model: ChannelModel,
+        budget: u32,
+        n: u64,
+    ) -> (netsim::RunResult<Reliable<Probe>>, netsim::FlightRecorder) {
+        let mut e = Engine::new(
+            topo(),
+            SimParams::default(),
+            Reliable::with_budget(Probe::default(), budget),
+            Box::new(SinkHosts),
+        )
+        .with_channel(model)
+        .with_metrics(MetricsLevel::Full);
+        let flight = e.flight_recorder().expect("full metrics attaches the recorder");
+        for i in 0..n {
+            e.inject_at(SimTime::from_millis(1 + i), 100, Packet::new());
+        }
+        e.run(SimTime::from_secs(30));
+        (e.finish(), flight)
+    }
+
+    #[test]
+    fn ideal_channel_passes_every_message_exactly_once() {
+        let (r, _) = run_probe(ChannelModel::ideal(), 8, 20);
+        assert!(!r.dataplane.degraded());
+        assert_eq!(r.dataplane.inner().heard, (0..20).collect::<Vec<_>>());
+        assert_eq!(r.dataplane.inner().delivered.len(), 20);
+        assert_eq!(r.dataplane.retransmits(), 0);
+        assert_eq!(r.dataplane.dup_suppressed(), 0);
+    }
+
+    #[test]
+    fn lossy_channel_still_delivers_everything_in_order() {
+        let (r, _) = run_probe(ChannelModel::lossy(1234), 8, 50);
+        assert!(!r.dataplane.degraded(), "a generous budget never exhausts at 6% loss");
+        // The inner plane saw the ideal message sequence: every
+        // notification exactly once, in order, and every command.
+        assert_eq!(r.dataplane.inner().heard, (0..50).collect::<Vec<_>>());
+        assert_eq!(r.dataplane.inner().delivered, (0..50).map(|i| (1, i)).collect::<Vec<_>>());
+        assert!(
+            r.dataplane.retransmits() > 0,
+            "a 6% drop rate over 100+ messages needs retransmissions"
+        );
+        assert_eq!(r.metrics.counter("reliable.retransmits"), Some(r.dataplane.retransmits()));
+        let rtt = r.metrics.histogram("reliable.ack_rtt_us").expect("rtt histogram");
+        assert!(rtt.count() > 0);
+    }
+
+    /// Satellite pin: the flight recorder shows the message-level cause
+    /// of channel trouble — `drop` (engine), `dup_suppressed` (receiver),
+    /// and `retry_exhausted` (sender giving up) all land in the dump.
+    #[test]
+    fn flight_recorder_pins_channel_event_kinds() {
+        // Every switch→controller message duplicated: dup suppression on
+        // the controller end, no drops.
+        let dup_all = ChannelModel {
+            to_ctrl: DirModel { drop_pm: 0, dup_pm: 1000, reorder_pm: 0, jitter_us: 0 },
+            to_switch: DirModel::default(),
+            seed: 5,
+        };
+        let (r, flight) = run_probe(dup_all, 8, 5);
+        assert!(!r.dataplane.degraded());
+        assert_eq!(r.dataplane.dup_suppressed(), 5, "each envelope's second copy suppressed");
+        assert_eq!(r.dataplane.inner().heard, vec![0, 1, 2, 3, 4], "payloads released once");
+        let dump = flight.dump_json();
+        assert!(dump.contains("\"dup_suppressed\""), "dump: {dump}");
+
+        // Every switch→controller message dropped, budget 1: the sender
+        // retries once, then gives up degraded.
+        let drop_all = ChannelModel {
+            to_ctrl: DirModel { drop_pm: 1000, dup_pm: 0, reorder_pm: 0, jitter_us: 0 },
+            to_switch: DirModel::default(),
+            seed: 5,
+        };
+        let (r, flight) = run_probe(drop_all, 1, 1);
+        assert!(r.dataplane.degraded(), "budget exhaustion must mark the run degraded");
+        assert!(r.dataplane.inner().heard.is_empty(), "nothing ever got through");
+        let dump = flight.dump_json();
+        assert!(dump.contains("\"drop\""), "dump: {dump}");
+        assert!(dump.contains("\"retry_exhausted\""), "dump: {dump}");
+        assert_eq!(r.metrics.counter("channel.dropped"), Some(2), "original + one retry");
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_reassembled() {
+        // Protocol-level check, no engine: deliver ctrl→switch envelopes
+        // out of order and watch the receiver release them in sequence.
+        let mut p = Reliable::with_budget(Probe::default(), 8);
+        let env = |seq: u32, tag: u64| CtrlMsg::Reliable { sw: 7, seq, ack: 0, kind: 1, bits: tag };
+        let replies = p.deliver_and_reply(7, env(2, 20), SimTime::ZERO);
+        assert_eq!(replies, vec![CtrlMsg::Ack { sw: 7, ack: 0 }], "gap: ack stays at 0");
+        assert!(p.inner().delivered.is_empty(), "held, not released");
+        let replies = p.deliver_and_reply(7, env(1, 10), SimTime::ZERO);
+        assert_eq!(replies, vec![CtrlMsg::Ack { sw: 7, ack: 2 }], "gap closed: cumulative ack");
+        assert_eq!(p.inner().delivered, vec![(7, 10), (7, 20)], "released in order");
+        // A late duplicate of either is suppressed and re-acked.
+        let replies = p.deliver_and_reply(7, env(1, 10), SimTime::ZERO);
+        assert_eq!(replies, vec![CtrlMsg::Ack { sw: 7, ack: 2 }]);
+        assert_eq!(p.dup_suppressed(), 1);
+        assert_eq!(p.inner().delivered.len(), 2, "no double delivery");
+    }
+
+    #[test]
+    fn retransmission_backs_off_exponentially_and_respects_acks() {
+        let mut p = Reliable::with_budget(Probe::default(), 8);
+        // One switch→controller send at t=0.
+        let r = p.process(1, 2, Packet::new(), true, SimTime::ZERO);
+        let CtrlMsg::Reliable { sw: 1, seq: 1, .. } = r.notifications[0] else {
+            panic!("expected an envelope, got {:?}", r.notifications[0]);
+        };
+        assert_eq!(p.drain_timers(), vec![(base_rto(), 1)]);
+        // First deadline: one retransmission, next timer doubled out.
+        let step = p.on_timer(1, base_rto());
+        assert_eq!(step.notifications.len(), 1);
+        assert_eq!(p.retransmits(), 1);
+        let next = p.drain_timers();
+        assert_eq!(next, vec![(SimTime::from_micros(3 * base_rto().as_micros()), 1)]);
+        // An ack clears the entry: the later timer fire is a no-op.
+        assert!(p.deliver_and_reply(1, CtrlMsg::Ack { sw: 1, ack: 1 }, base_rto()).is_empty());
+        let step = p.on_timer(1, next[0].0);
+        assert_eq!(step, TimerStep::default(), "stale timer fires are no-ops");
+        assert!(!p.degraded());
+    }
+}

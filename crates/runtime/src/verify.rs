@@ -62,7 +62,32 @@ pub fn nes_engine_with(
     Engine::new(topo, params, dataplane, hosts).with_shards(netsim::shard_count_from_env())
 }
 
-/// Builds an engine running `nes` with the uncoordinated baseline.
+/// [`nes_engine_with`] with the paper's runtime wrapped in the
+/// [`Reliable`](crate::Reliable) ack/retry layer — the deployment for
+/// lossy control channels (`EDN_CHANNEL=lossy`, or
+/// [`Engine::with_channel`](netsim::Engine::with_channel)). `budget` is
+/// the maximum retransmissions per message; after the run, check
+/// [`Reliable::degraded`](crate::Reliable::degraded) on the returned
+/// data plane.
+pub fn nes_reliable_engine_with(
+    nes: NetworkEventStructure,
+    topo: SimTopology,
+    params: SimParams,
+    broadcast: bool,
+    hosts: netsim::BoxedHosts,
+    knobs: DeployKnobs,
+    budget: u32,
+) -> Engine<crate::Reliable<NesDataPlane>> {
+    let switches = topo.switches().to_vec();
+    let inner = NesDataPlane::with_knobs(CompiledNes::compile(nes), switches, broadcast, knobs);
+    let dataplane = crate::Reliable::with_budget(inner, budget);
+    Engine::new(topo, params, dataplane, hosts).with_shards(netsim::shard_count_from_env())
+}
+
+/// Builds an engine running `nes` with the uncoordinated baseline. Like
+/// [`nes_engine`], the shard count comes from the environment
+/// (`EDN_SHARDS`) — the baseline's per-switch state merges losslessly,
+/// so results are byte-identical at any shard count.
 pub fn uncoordinated_engine(
     nes: NetworkEventStructure,
     topo: SimTopology,
@@ -73,7 +98,7 @@ pub fn uncoordinated_engine(
 ) -> Engine<UncoordDataPlane> {
     let switches = topo.switches().to_vec();
     let dataplane = UncoordDataPlane::new(CompiledNes::compile(nes), switches, update_delay, seed);
-    Engine::new(topo, params, dataplane, hosts)
+    Engine::new(topo, params, dataplane, hosts).with_shards(netsim::shard_count_from_env())
 }
 
 /// Attaches an online Definition 6 checker to an engine *before* the run:
@@ -110,6 +135,23 @@ pub fn attach_online_checker<D: DataPlane>(
 pub fn verify_nes_run(result: &RunResult<NesDataPlane>) -> Result<(), CorrectnessViolation> {
     let hint = result.dataplane.fired_sequence();
     check_correct(&result.trace, result.dataplane.compiled().nes(), Some(&hint))
+}
+
+/// [`verify_nes_run`] for a run wrapped in the reliability layer: the
+/// wrapper restores exactly-once in-order message delivery, so the inner
+/// runtime's fire log is the candidate sequence exactly as in the ideal
+/// case. Callers must additionally consult
+/// [`Reliable::degraded`](crate::Reliable::degraded) — a degraded run
+/// may have missed messages and gets no Theorem 1 guarantee.
+///
+/// # Errors
+///
+/// Returns the checker's violation (see [`verify_nes_run`]).
+pub fn verify_reliable_nes_run(
+    result: &RunResult<crate::Reliable<NesDataPlane>>,
+) -> Result<(), CorrectnessViolation> {
+    let hint = result.dataplane.inner().fired_sequence();
+    check_correct(&result.trace, result.dataplane.inner().compiled().nes(), Some(&hint))
 }
 
 /// Checks a finished uncoordinated-baseline run against Definition 6.
@@ -285,6 +327,34 @@ mod tests {
         assert!(!outcomes[1].request_delivered, "baseline drops the packet");
         let verdict = verify_uncoordinated_run(&result, &nes);
         assert!(verdict.is_err(), "the checker flags the uncoordinated run");
+    }
+
+    /// The tentpole proof obligation in miniature: over a lossy channel
+    /// the reliability-wrapped runtime still satisfies Definition 6 —
+    /// the wrapper restores the ideal message sequence, so Theorem 1's
+    /// guarantee carries over.
+    #[test]
+    fn reliable_runtime_survives_a_lossy_channel() {
+        let (nes, topo) = nes_and_topo();
+        let mut engine = nes_reliable_engine_with(
+            nes,
+            topo,
+            SimParams::default(),
+            false,
+            Box::new(ScenarioHosts::new()),
+            DeployKnobs::from_env(),
+            8,
+        )
+        .with_channel(netsim::ChannelModel::lossy(99));
+        let pings = vec![
+            Ping { time: SimTime::from_millis(1), src: 300, dst: 200, id: 1 },
+            Ping { time: SimTime::from_millis(100), src: 200, dst: 300, id: 2 },
+            Ping { time: SimTime::from_millis(400), src: 300, dst: 200, id: 3 },
+        ];
+        schedule_pings(&mut engine, &pings);
+        let result = engine.run_until(SimTime::from_secs(2));
+        assert!(!result.dataplane.degraded(), "a generous budget survives 6% loss");
+        verify_reliable_nes_run(&result).expect("Theorem 1 holds over a lossy channel");
     }
 
     #[test]

@@ -87,6 +87,20 @@ fn main() -> ExitCode {
     );
     println!("{}", stats_csv_header());
     println!("{}", stats_csv_row(&checked));
+    if checked.degraded {
+        // Budget exhaustion is an explicit outcome, not a silent failure:
+        // the verdict column reads `degraded` and the message-level
+        // post-mortem lands where `EDN_FLIGHT_OUT` points.
+        let path = netsim::FlightRecorder::dump_path_from_env("edn_flight.json");
+        if let Some(dump) = &checked.flight_dump {
+            if let Err(e) = std::fs::write(&path, dump) {
+                eprintln!("scenario_run: could not write flight dump {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("scenario_run: retry budget exhausted — degraded; flight dump at {path}");
+        return ExitCode::SUCCESS;
+    }
     if checked.verdict != Some(Ok(())) {
         eprintln!("scenario_run: coordinated verdict was not `correct`");
         return ExitCode::FAILURE;

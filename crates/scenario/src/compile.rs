@@ -434,6 +434,26 @@ impl CompiledScenario {
         )
     }
 
+    /// [`engine_with`](CompiledScenario::engine_with) wrapped in the
+    /// [`Reliable`](nes_runtime::Reliable) ack/retry layer — the
+    /// deployment for lossy-channel runs. `budget` bounds retransmissions
+    /// per message before the run degrades.
+    pub fn reliable_engine_with(
+        &self,
+        knobs: nes_runtime::DeployKnobs,
+        budget: u32,
+    ) -> Engine<nes_runtime::Reliable<nes_runtime::NesDataPlane>> {
+        nes_runtime::nes_reliable_engine_with(
+            self.nes.clone(),
+            self.run.sim().clone(),
+            SimParams::default(),
+            false,
+            Box::new(netsim::SinkHosts),
+            knobs,
+            budget,
+        )
+    }
+
     /// Builds the uncoordinated-baseline engine: the spec's `update_delay`
     /// and seed drive the controller's push timing and order.
     pub fn uncoordinated(&self) -> Engine<nes_runtime::UncoordDataPlane> {
@@ -494,6 +514,7 @@ mod tests {
             horizon: SimTime::ZERO,
             workload: WorkloadSpec::default(),
             campaign: CampaignSpec { updates: 2, ..CampaignSpec::default() },
+            channel: crate::spec::ChannelSpec::default(),
             actions: vec![
                 ActionSpec {
                     at: SimTime::from_millis(130),

@@ -16,7 +16,8 @@ use rand::{Rng, RngCore, SeedableRng};
 
 use crate::compile::build_topology;
 use crate::spec::{
-    ActionKind, ActionSpec, CampaignSpec, ModelSpec, ScenarioSpec, TopologySpec, WorkloadSpec,
+    ActionKind, ActionSpec, CampaignSpec, ChannelSpec, ModelSpec, ScenarioSpec, TopologySpec,
+    WorkloadSpec,
 };
 use edn_topo::TrafficPattern;
 
@@ -36,6 +37,25 @@ impl ScenarioGen {
     /// function of `seed`.
     pub fn sample(seed: u64) -> ScenarioSpec {
         ScenarioGen::new(seed).next_spec()
+    }
+
+    /// [`sample`](ScenarioGen::sample)'s fault-injection twin: the same
+    /// scenario — identical topology, workload, campaign, and churn — but
+    /// carrying a seeded lossy `[channel]` section, so every corpus seed
+    /// doubles as a control-channel chaos case. A pure function of `seed`;
+    /// the base sample stream is untouched.
+    pub fn sample_lossy(seed: u64) -> ScenarioSpec {
+        let mut spec = ScenarioGen::sample(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4544_4e5f_4c4f_5353); // "EDN_LOSS"
+        spec.channel = ChannelSpec {
+            drop_pm: rng.gen_range(20u32..=80),
+            dup_pm: rng.gen_range(0u32..=40),
+            reorder_pm: rng.gen_range(0u32..=40),
+            jitter_us: rng.gen_range(0u64..=60),
+            retry_budget: 8,
+        };
+        spec.name = format!("{}-lossy", spec.name);
+        spec
     }
 
     /// Draws the next random scenario. Every draw compiles: sizes, link
@@ -156,6 +176,7 @@ impl ScenarioGen {
             horizon: SimTime::ZERO,
             workload,
             campaign,
+            channel: ChannelSpec::default(),
             actions,
         };
         self.count += 1;
@@ -187,6 +208,22 @@ mod tests {
             let c = CompiledScenario::compile(&spec).expect("samples compile");
             assert_eq!(c.steps.len(), c.triggers.len());
             assert!(!c.flows.is_empty());
+        }
+    }
+
+    #[test]
+    fn lossy_twin_only_adds_a_channel_section() {
+        for seed in [0u64, 7, 31] {
+            let base = ScenarioGen::sample(seed);
+            let lossy = ScenarioGen::sample_lossy(seed);
+            assert_eq!(lossy, ScenarioGen::sample_lossy(seed), "pure function of the seed");
+            assert!(!lossy.channel.is_ideal(), "the twin is actually lossy");
+            assert!(lossy.channel.drop_pm <= 1000);
+            let mut stripped = lossy.clone();
+            stripped.channel = base.channel;
+            stripped.name.clone_from(&base.name);
+            assert_eq!(stripped, base, "everything but the channel is the base sample");
+            assert_eq!(parse(&lossy.to_toml()).expect("twin serializes"), lossy);
         }
     }
 

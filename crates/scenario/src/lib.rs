@@ -57,10 +57,10 @@ pub use compile::{
 };
 pub use gen::ScenarioGen;
 pub use run::{
-    differential, run_coordinated, run_uncoordinated, stats_csv_header, stats_csv_row,
-    DifferentialOutcome, RunOptions, ScenarioOutcome,
+    differential, effective_channel, run_coordinated, run_uncoordinated, stats_csv_header,
+    stats_csv_row, DifferentialOutcome, RunOptions, ScenarioOutcome,
 };
 pub use spec::{
-    parse, validate, ActionKind, ActionSpec, CampaignSpec, ModelSpec, ScenarioError, ScenarioSpec,
-    TopologySpec, WorkloadSpec,
+    parse, validate, ActionKind, ActionSpec, CampaignSpec, ChannelSpec, ModelSpec, ScenarioError,
+    ScenarioSpec, TopologySpec, WorkloadSpec,
 };

@@ -15,7 +15,7 @@
 //! is allowed — and under probing usually observed — to be a violation.
 
 use edn_core::OnlineViolation;
-use netsim::Stats;
+use netsim::{ChannelModel, Stats};
 
 use crate::compile::CompiledScenario;
 use crate::spec::{ScenarioError, ScenarioSpec};
@@ -34,6 +34,9 @@ pub struct RunOptions {
     pub compile: Option<nes_runtime::CompilePath>,
     /// Optimizer override (`None` leaves `EDN_OPTIMIZE` in charge).
     pub optimize: Option<nes_runtime::OptimizeMode>,
+    /// Control-channel override (`None` defers to the spec's `[channel]`
+    /// section, falling back to the `EDN_CHANNEL` environment default).
+    pub channel: Option<ChannelModel>,
 }
 
 /// The result of one scenario leg.
@@ -47,12 +50,22 @@ pub struct ScenarioOutcome {
     pub fired: Option<usize>,
     /// The online checker's verdict, when one was attached.
     pub verdict: Option<Result<(), OnlineViolation>>,
+    /// The reliability layer exhausted a retransmit budget: the run kept
+    /// going but gave up on at least one control message (lossy legs only).
+    pub degraded: bool,
+    /// Flight-recorder dump captured when the run degraded — the
+    /// message-level post-mortem (`drop`, `retry_exhausted`, …).
+    pub flight_dump: Option<String>,
 }
 
 impl ScenarioOutcome {
-    /// The verdict as a CSV-friendly word: `correct`, a violation name, or
-    /// `unchecked`.
+    /// The verdict as a CSV-friendly word: `correct`, a violation name,
+    /// `degraded` (budget exhaustion trumps the checker: a degraded run's
+    /// violations are explained, not mysterious), or `unchecked`.
     pub fn verdict_name(&self) -> &'static str {
+        if self.degraded {
+            return "degraded";
+        }
         match &self.verdict {
             None => "unchecked",
             Some(Ok(())) => "correct",
@@ -61,7 +74,29 @@ impl ScenarioOutcome {
     }
 }
 
+/// The channel model a coordinated leg runs under: an explicit
+/// [`RunOptions::channel`] override, else the spec's `[channel]` section,
+/// else the `EDN_CHANNEL` environment default — in every spec-derived case
+/// reseeded per scenario, so different seeds see different fault patterns.
+pub fn effective_channel(spec: &ScenarioSpec, opts: &RunOptions) -> ChannelModel {
+    if let Some(model) = opts.channel {
+        return model;
+    }
+    let seed = spec.seed ^ 0x4348_414e_5f45_444e; // "CHAN_EDN"
+    if spec.channel.is_ideal() {
+        ChannelModel::from_env().with_seed(seed)
+    } else {
+        spec.channel.model(seed)
+    }
+}
+
 /// Runs the coordinated (NES runtime) leg of a scenario.
+///
+/// The effective channel model (see [`effective_channel`]) picks the
+/// deployment: an ideal channel runs the bare runtime — byte-identical to
+/// a build without the fault model — while a lossy channel wraps it in the
+/// [`Reliable`](nes_runtime::Reliable) ack/retry layer and forces full
+/// telemetry so a degraded run carries its flight-recorder post-mortem.
 ///
 /// # Panics
 ///
@@ -76,28 +111,66 @@ pub fn run_coordinated(c: &CompiledScenario, opts: &RunOptions) -> ScenarioOutco
     if let Some(optimize) = opts.optimize {
         knobs.optimize = optimize;
     }
-    let mut engine = c.engine_with(knobs);
-    if let Some(k) = opts.shards {
-        engine = engine.with_shards(k);
-    }
-    let handle = opts.check.then(|| {
-        nes_runtime::attach_online_checker(&mut engine, &c.nes)
-            .expect("a ≤63-step campaign fits the online checker's windows")
-    });
-    c.apply_actions(&mut engine);
-    let datagrams = c.load_traffic(&mut engine, opts.stream);
-    c.inject_campaign(&mut engine);
-    let result = engine.run_until(c.horizon);
-    ScenarioOutcome {
-        stats: result.stats,
-        datagrams,
-        fired: Some(result.dataplane.fired_sequence().len()),
-        verdict: handle.map(|h| h.verdict()),
+    let model = effective_channel(&c.spec, opts);
+    if model.is_ideal() {
+        let mut engine = c.engine_with(knobs).with_channel(model);
+        if let Some(k) = opts.shards {
+            engine = engine.with_shards(k);
+        }
+        let handle = opts.check.then(|| {
+            nes_runtime::attach_online_checker(&mut engine, &c.nes)
+                .expect("a ≤63-step campaign fits the online checker's windows")
+        });
+        c.apply_actions(&mut engine);
+        let datagrams = c.load_traffic(&mut engine, opts.stream);
+        c.inject_campaign(&mut engine);
+        let result = engine.run_until(c.horizon);
+        ScenarioOutcome {
+            stats: result.stats,
+            datagrams,
+            fired: Some(result.dataplane.fired_sequence().len()),
+            verdict: handle.map(|h| h.verdict()),
+            degraded: false,
+            flight_dump: None,
+        }
+    } else {
+        let budget = if c.spec.channel.is_ideal() {
+            nes_runtime::retry_budget_from_env()
+        } else {
+            c.spec.channel.retry_budget
+        };
+        let mut engine = c
+            .reliable_engine_with(knobs, budget)
+            .with_channel(model)
+            .with_metrics(netsim::MetricsLevel::Full);
+        if let Some(k) = opts.shards {
+            engine = engine.with_shards(k);
+        }
+        let flight = engine.flight_recorder();
+        let handle = opts.check.then(|| {
+            nes_runtime::attach_online_checker(&mut engine, &c.nes)
+                .expect("a ≤63-step campaign fits the online checker's windows")
+        });
+        c.apply_actions(&mut engine);
+        let datagrams = c.load_traffic(&mut engine, opts.stream);
+        c.inject_campaign(&mut engine);
+        let result = engine.run_until(c.horizon);
+        let degraded = result.dataplane.degraded();
+        ScenarioOutcome {
+            stats: result.stats,
+            datagrams,
+            fired: Some(result.dataplane.inner().fired_sequence().len()),
+            verdict: handle.map(|h| h.verdict()),
+            degraded,
+            flight_dump: degraded.then(|| flight.map(|f| f.dump_json()).unwrap_or_default()),
+        }
     }
 }
 
 /// Runs the uncoordinated-baseline leg, always with the online checker
-/// attached (its verdict is the differential oracle's other arm).
+/// attached (its verdict is the differential oracle's other arm). The
+/// baseline has no reliability layer: under a lossy `EDN_CHANNEL` its
+/// dropped pushes surface as checker violations — caught, not masked.
 pub fn run_uncoordinated(c: &CompiledScenario) -> ScenarioOutcome {
     let mut engine = c.uncoordinated();
     let handle = nes_runtime::attach_online_checker(&mut engine, &c.nes)
@@ -106,7 +179,14 @@ pub fn run_uncoordinated(c: &CompiledScenario) -> ScenarioOutcome {
     let datagrams = c.load_traffic(&mut engine, false);
     c.inject_campaign(&mut engine);
     let result = engine.run_until(c.horizon);
-    ScenarioOutcome { stats: result.stats, datagrams, fired: None, verdict: Some(handle.verdict()) }
+    ScenarioOutcome {
+        stats: result.stats,
+        datagrams,
+        fired: None,
+        verdict: Some(handle.verdict()),
+        degraded: false,
+        flight_dump: None,
+    }
 }
 
 /// Both arms of the differential oracle for one scenario.
@@ -167,7 +247,7 @@ pub fn stats_csv_row(o: &ScenarioOutcome) -> String {
 mod tests {
     use super::*;
     use crate::spec::{
-        ActionKind, ActionSpec, CampaignSpec, ScenarioSpec, TopologySpec, WorkloadSpec,
+        ActionKind, ActionSpec, CampaignSpec, ChannelSpec, ScenarioSpec, TopologySpec, WorkloadSpec,
     };
     use netsim::SimTime;
 
@@ -179,6 +259,7 @@ mod tests {
             horizon: SimTime::ZERO,
             workload: WorkloadSpec { flows: 6, ..WorkloadSpec::default() },
             campaign: CampaignSpec { updates: 2, ..CampaignSpec::default() },
+            channel: ChannelSpec::default(),
             actions: vec![
                 ActionSpec {
                     at: SimTime::from_millis(120),
@@ -247,6 +328,62 @@ mod tests {
         // The probes race the baseline's 200 ms pushes from a causally-after
         // sender: the stale plane must get caught.
         assert!(outcome.uncoordinated.is_err(), "the baseline violates Definition 6");
+    }
+
+    /// A spec-level lossy channel routes the coordinated leg through the
+    /// reliability wrapper: the verdict stays `correct` (Theorem 1 carries
+    /// over the lossy channel), every step fires, and the canonical CSV is
+    /// byte-identical across shard counts.
+    #[test]
+    fn lossy_channel_stays_correct_and_shard_invariant() {
+        let mut spec = flap_spec();
+        spec.channel =
+            ChannelSpec { drop_pm: 60, dup_pm: 30, reorder_pm: 30, jitter_us: 40, retry_budget: 8 };
+        let c = CompiledScenario::compile(&spec).unwrap();
+        let checked = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+        assert_eq!(checked.verdict, Some(Ok(())), "reliability preserves Definition 6 under loss");
+        assert_eq!(checked.fired, Some(2), "both steps still fire");
+        assert!(!checked.degraded, "a generous budget never exhausts");
+        let solo = run_coordinated(&c, &RunOptions::default());
+        assert_eq!(solo.stats, checked.stats, "the checker must not change a byte");
+        for shards in [2u32, 4] {
+            let sharded =
+                run_coordinated(&c, &RunOptions { shards: Some(shards), ..RunOptions::default() });
+            assert_eq!(sharded.stats, solo.stats, "{shards} shards: lossy stats diverged");
+            assert_eq!(stats_csv_row(&sharded), stats_csv_row(&solo));
+        }
+    }
+
+    /// An ideal `[channel]` spec (or none) must leave the bare runtime in
+    /// place: explicitly overriding the channel to ideal reproduces the
+    /// default leg byte for byte.
+    #[test]
+    fn ideal_override_is_byte_identical_to_default() {
+        let c = CompiledScenario::compile(&flap_spec()).unwrap();
+        let default = run_coordinated(&c, &RunOptions::default());
+        let ideal = run_coordinated(
+            &c,
+            &RunOptions { channel: Some(ChannelModel::ideal()), ..RunOptions::default() },
+        );
+        assert_eq!(ideal.stats, default.stats);
+        assert_eq!(stats_csv_row(&ideal), stats_csv_row(&default));
+    }
+
+    /// A starved retransmit budget under heavy loss degrades *explicitly*:
+    /// the verdict word flips to `degraded` and the outcome carries the
+    /// flight-recorder dump naming the exhausted messages.
+    #[test]
+    fn starved_budget_degrades_explicitly_with_a_flight_dump() {
+        let mut spec = flap_spec();
+        spec.channel =
+            ChannelSpec { drop_pm: 900, dup_pm: 0, reorder_pm: 0, jitter_us: 0, retry_budget: 0 };
+        let c = CompiledScenario::compile(&spec).unwrap();
+        let out = run_coordinated(&c, &RunOptions::default());
+        assert!(out.degraded, "a zero budget under 90% loss must exhaust");
+        assert_eq!(out.verdict_name(), "degraded");
+        let dump = out.flight_dump.as_deref().expect("degraded runs carry the post-mortem");
+        assert!(dump.contains("\"retry_exhausted\""), "dump names the cause: {dump}");
+        assert!(dump.contains("\"drop\""), "dump shows the drops: {dump}");
     }
 
     #[test]

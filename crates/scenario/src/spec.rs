@@ -37,6 +37,13 @@
 //! probe = true           # causal probes after each step (see compile)
 //! update_delay_ms = 200  # uncoordinated baseline's push latency
 //!
+//! [channel]
+//! drop_pm = 60           # control-channel loss, per mille (0..=1000)
+//! dup_pm = 30            # duplication, per mille
+//! reorder_pm = 30        # reordering, per mille
+//! jitter_us = 40         # extra per-message delay bound, µs
+//! retry_budget = 8       # retransmissions before the runtime degrades
+//!
 //! [[action]]
 //! kind = "fail_link"     # fail_link|restore_link|crash_switch|
 //! at_ms = 150            #   recover_switch|latency_spike|move_host
@@ -194,6 +201,49 @@ impl Default for CampaignSpec {
     }
 }
 
+/// The scenario's control-channel fault model: per-mille fault
+/// probabilities applied to every controller↔switch message, plus the
+/// reliability layer's retransmission budget. The default is the ideal
+/// (faultless) channel, which leaves the runtime unwrapped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChannelSpec {
+    /// Per-mille probability a control message is dropped (both directions).
+    pub drop_pm: u32,
+    /// Per-mille probability a control message is duplicated.
+    pub dup_pm: u32,
+    /// Per-mille probability a control message is reordered (extra delay).
+    pub reorder_pm: u32,
+    /// Uniform extra per-message delay bound, in microseconds.
+    pub jitter_us: u64,
+    /// Retransmissions per message before the reliability layer gives up
+    /// and the run degrades.
+    pub retry_budget: u32,
+}
+
+impl Default for ChannelSpec {
+    fn default() -> ChannelSpec {
+        ChannelSpec { drop_pm: 0, dup_pm: 0, reorder_pm: 0, jitter_us: 0, retry_budget: 8 }
+    }
+}
+
+impl ChannelSpec {
+    /// True when the spec describes a faultless channel (budget aside).
+    pub fn is_ideal(&self) -> bool {
+        self.drop_pm == 0 && self.dup_pm == 0 && self.reorder_pm == 0 && self.jitter_us == 0
+    }
+
+    /// The spec as a symmetric [`netsim::ChannelModel`] seeded by `seed`.
+    pub fn model(&self, seed: u64) -> netsim::ChannelModel {
+        let dir = netsim::DirModel {
+            drop_pm: self.drop_pm,
+            dup_pm: self.dup_pm,
+            reorder_pm: self.reorder_pm,
+            jitter_us: self.jitter_us,
+        };
+        netsim::ChannelModel { to_ctrl: dir, to_switch: dir, seed }
+    }
+}
+
 /// One scripted environment action.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ActionSpec {
@@ -280,6 +330,8 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// The update campaign.
     pub campaign: CampaignSpec,
+    /// The control-channel fault model (default: ideal).
+    pub channel: ChannelSpec,
     /// Scripted environment actions, in spec order.
     pub actions: Vec<ActionSpec>,
 }
@@ -328,6 +380,15 @@ impl ScenarioSpec {
         let _ = writeln!(s, "spacing_ms = {}", c.spacing.as_micros() / 1000);
         let _ = writeln!(s, "probe = {}", c.probe);
         let _ = writeln!(s, "update_delay_ms = {}", c.update_delay.as_micros() / 1000);
+        if self.channel != ChannelSpec::default() {
+            let ch = &self.channel;
+            let _ = writeln!(s, "\n[channel]");
+            let _ = writeln!(s, "drop_pm = {}", ch.drop_pm);
+            let _ = writeln!(s, "dup_pm = {}", ch.dup_pm);
+            let _ = writeln!(s, "reorder_pm = {}", ch.reorder_pm);
+            let _ = writeln!(s, "jitter_us = {}", ch.jitter_us);
+            let _ = writeln!(s, "retry_budget = {}", ch.retry_budget);
+        }
         for a in &self.actions {
             let _ = writeln!(s, "\n[[action]]");
             let _ = writeln!(s, "kind = \"{}\"", a.kind.keyword());
@@ -488,11 +549,13 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         Scenario,
         Workload,
         Campaign,
+        Channel,
         Action(usize),
     }
     let mut scenario = None::<Table>;
     let mut workload = None::<Table>;
     let mut campaign = None::<Table>;
+    let mut channel = None::<Table>;
     let mut actions: Vec<Table> = Vec::new();
     let mut current = Section::None;
     for (idx, raw_line) in text.lines().enumerate() {
@@ -517,6 +580,7 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
                 "scenario" => &mut scenario,
                 "workload" => &mut workload,
                 "campaign" => &mut campaign,
+                "channel" => &mut channel,
                 _ => {
                     return Err(ScenarioError::Parse {
                         line,
@@ -534,7 +598,8 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
             current = match header {
                 "scenario" => Section::Scenario,
                 "workload" => Section::Workload,
-                _ => Section::Campaign,
+                "campaign" => Section::Campaign,
+                _ => Section::Channel,
             };
             continue;
         }
@@ -561,6 +626,7 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
             Section::Scenario => scenario.as_mut().unwrap(),
             Section::Workload => workload.as_mut().unwrap(),
             Section::Campaign => campaign.as_mut().unwrap(),
+            Section::Channel => channel.as_mut().unwrap(),
             Section::Action(i) => &mut actions[i],
         };
         if table.map.insert(key.to_string(), (line, value)).is_some() {
@@ -667,6 +733,26 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         c.finish("campaign")?;
     }
 
+    let mut channel_spec = ChannelSpec::default();
+    if let Some(mut ch) = channel {
+        if let Some(n) = ch.int("drop_pm")? {
+            channel_spec.drop_pm = n as u32;
+        }
+        if let Some(n) = ch.int("dup_pm")? {
+            channel_spec.dup_pm = n as u32;
+        }
+        if let Some(n) = ch.int("reorder_pm")? {
+            channel_spec.reorder_pm = n as u32;
+        }
+        if let Some(n) = ch.int("jitter_us")? {
+            channel_spec.jitter_us = n;
+        }
+        if let Some(n) = ch.int("retry_budget")? {
+            channel_spec.retry_budget = n as u32;
+        }
+        ch.finish("channel")?;
+    }
+
     let mut action_specs = Vec::with_capacity(actions.len());
     for mut a in actions {
         let header_line = a.header_line;
@@ -717,6 +803,7 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         horizon,
         workload: workload_spec,
         campaign: campaign_spec,
+        channel: channel_spec,
         actions: action_specs,
     };
     validate(&spec)?;
@@ -747,6 +834,15 @@ pub fn validate(spec: &ScenarioSpec) -> Result<(), ScenarioError> {
             "campaigns are limited to 63 steps, got {} updates + {moves} moves",
             spec.campaign.updates
         )));
+    }
+    let ch = &spec.channel;
+    for (key, pm) in [("drop_pm", ch.drop_pm), ("dup_pm", ch.dup_pm), ("reorder_pm", ch.reorder_pm)]
+    {
+        if pm > 1000 {
+            return Err(ScenarioError::Invalid(format!(
+                "channel {key} is a per-mille probability, got {pm} > 1000"
+            )));
+        }
     }
     for a in &spec.actions {
         if let ActionKind::LatencySpike { until, .. } = a.kind {
@@ -787,6 +883,13 @@ mod tests {
                 spacing: SimTime::from_millis(110),
                 probe: true,
                 update_delay: SimTime::from_millis(250),
+            },
+            channel: ChannelSpec {
+                drop_pm: 50,
+                dup_pm: 20,
+                reorder_pm: 10,
+                jitter_us: 30,
+                retry_budget: 6,
             },
             actions: vec![
                 ActionSpec {
@@ -833,6 +936,8 @@ mod tests {
         assert_eq!(spec.name, "scenario");
         assert_eq!(spec.workload, WorkloadSpec::default());
         assert_eq!(spec.campaign, CampaignSpec::default());
+        assert_eq!(spec.channel, ChannelSpec::default());
+        assert!(spec.channel.is_ideal());
         assert!(spec.actions.is_empty());
         assert_eq!(spec.horizon, SimTime::ZERO);
     }
@@ -876,6 +981,10 @@ mod tests {
             (
                 "[scenario]\ntopology = \"ring\"\nsize = 4\n[[action]]\nkind = \"latency_spike\"\nat_ms = 10\nlatency_ms = 5\nuntil_ms = 10\n",
                 "must end after",
+            ),
+            (
+                "[scenario]\ntopology = \"ring\"\nsize = 4\n[channel]\ndrop_pm = 1001\n",
+                "per-mille",
             ),
         ] {
             let err = parse(text).expect_err(text).to_string();

@@ -25,7 +25,9 @@ use nes_runtime::{
 };
 use netkat::LookupPath;
 use netsim::traffic::udp_packet;
-use netsim::{Engine, MetricsLevel, PacketPath, QueueKind, SimParams, SimTime, SinkHosts, Stats};
+use netsim::{
+    ChannelModel, Engine, MetricsLevel, PacketPath, QueueKind, SimParams, SimTime, SinkHosts, Stats,
+};
 use proptest::prelude::*;
 
 /// One engine-knob combination under test.
@@ -356,6 +358,93 @@ fn churn_scenarios_replay_identically_across_shard_counts() {
     assert_plumbing_invariant("sharded flapping ring", &[2, 4], |k| churn_run(&ring, k));
     let campaign = fat_tree_campaign_scenario();
     assert_plumbing_invariant("sharded fat-tree campaign", &[2, 4], |k| churn_run(&campaign, k));
+}
+
+/// The *uncoordinated* baseline plane replays byte-identically across the
+/// engine knob matrix and shard counts too: its slow controller pushes are
+/// scheduled control messages like any other, so sharding the event loop
+/// under it must not change a byte of the stats or the trace. (The
+/// baseline being deterministic is what makes its checker violations in
+/// `scenario_corpus.rs` reproducible counterexamples rather than flakes.)
+#[test]
+fn uncoordinated_baseline_replays_identically_across_shard_counts() {
+    let scenarios = [
+        ("flapping ring", flapping_ring_scenario()),
+        ("fat-tree campaign", fat_tree_campaign_scenario()),
+    ];
+    for (name, c) in &scenarios {
+        let run = |queue: QueueKind, path: PacketPath, shards: u32| {
+            let mut engine = c
+                .uncoordinated()
+                .with_queue(queue)
+                .with_trace_mode(TraceMode::Full)
+                .with_packet_path(path)
+                .with_shards(shards);
+            c.apply_actions(&mut engine);
+            c.load_traffic(&mut engine, false);
+            c.inject_campaign(&mut engine);
+            engine.run(c.horizon);
+            let expected = shards.min(c.run.switch_count() as u32).max(1);
+            assert_eq!(engine.shards(), expected, "{name}: sharding did not engage");
+            let result = engine.finish();
+            (result.trace, result.stats)
+        };
+        let (reference_trace, reference_stats) = run(QueueKind::Heap, PacketPath::Owned, 1);
+        assert!(!reference_stats.deliveries.is_empty(), "{name}: baseline must deliver");
+        for queue in [QueueKind::Heap, QueueKind::Calendar] {
+            for path in [PacketPath::Owned, PacketPath::Arena] {
+                for shards in [1u32, 2, 4] {
+                    let (trace, stats) = run(queue, path, effective_shards(shards));
+                    assert_eq!(
+                        stats, reference_stats,
+                        "{name}: uncoordinated stats diverged on {queue:?}/{path:?}/{shards}"
+                    );
+                    assert_eq!(
+                        trace, reference_trace,
+                        "{name}: uncoordinated trace diverged on {queue:?}/{path:?}/{shards}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The ack/retry reliability layer over a *lossy* control channel keeps
+/// the sharded event loop byte-identical: channel fates advance on the
+/// shard that owns the endpoint, never on the worker schedule, so drops,
+/// duplicates, reordering, retransmissions — and therefore the full trace
+/// — replay exactly across 1, 2, and 4 shards.
+#[test]
+fn reliable_lossy_runs_replay_identically_across_shard_counts() {
+    let c = flapping_ring_scenario();
+    let run = |shards: u32| {
+        let mut engine = c
+            .reliable_engine_with(REFERENCE_DEPLOY, 8)
+            .with_channel(ChannelModel::lossy(13))
+            .with_trace_mode(TraceMode::Full)
+            .with_shards(shards);
+        c.apply_actions(&mut engine);
+        c.load_traffic(&mut engine, false);
+        c.inject_campaign(&mut engine);
+        engine.run(c.horizon);
+        let expected = shards.min(c.run.switch_count() as u32).max(1);
+        assert_eq!(engine.shards(), expected, "sharding did not engage");
+        let result = engine.finish();
+        assert!(!result.dataplane.degraded(), "a generous budget never exhausts");
+        assert_eq!(
+            result.dataplane.inner().fired_sequence().len(),
+            c.steps.len(),
+            "every campaign step fires under loss"
+        );
+        (result.trace, result.stats)
+    };
+    let (reference_trace, reference_stats) = run(1);
+    assert!(!reference_stats.deliveries.is_empty(), "lossy reference must deliver");
+    for shards in [2u32, 4] {
+        let (trace, stats) = run(effective_shards(shards));
+        assert_eq!(stats, reference_stats, "{shards} shards: lossy stats diverged");
+        assert_eq!(trace, reference_trace, "{shards} shards: lossy trace diverged");
+    }
 }
 
 /// Every non-reference deployment shape — delta-patched per-tag tables,

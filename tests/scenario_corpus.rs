@@ -20,6 +20,7 @@ use edn_scenario::{
     differential, parse, run_coordinated, stats_csv_row, CompiledScenario, RunOptions, ScenarioGen,
 };
 use nes_runtime::{CompilePath, OptimizeMode};
+use netsim::ChannelModel;
 use proptest::prelude::*;
 
 /// `(seed, coordinated steps fired, uncoordinated violation name)` for the
@@ -129,6 +130,85 @@ fn pinned_corpus_is_compile_path_invariant() {
         );
         assert_eq!(delta.verdict, Some(Ok(())), "seed {seed}: delta verdict");
         assert_eq!(optimized.verdict, Some(Ok(())), "seed {seed}: optimized verdict");
+    }
+}
+
+/// The corpus replayed over lossy control channels: every pinned seed's
+/// lossy twin ([`ScenarioGen::sample_lossy`] — the same scenario plus a
+/// seeded `[channel]` fault model) runs through the ack/retry reliability
+/// layer and must land exactly where the ideal run did. The verdict stays
+/// `correct` (Theorem 1 carries over drops, duplicates, and reordering),
+/// every campaign step fires, the default retry budget never exhausts, and
+/// the canonical CSV is byte-identical at 1, 2, and 4 shards — the fault
+/// stream is pinned to the owning shard, not the worker schedule.
+#[test]
+fn lossy_corpus_stays_correct_and_shard_invariant() {
+    for &(seed, fired, _) in &CORPUS {
+        let spec = ScenarioGen::sample_lossy(seed);
+        let c = CompiledScenario::compile(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let checked = run_coordinated(&c, &RunOptions { check: true, ..RunOptions::default() });
+        assert_eq!(
+            checked.verdict,
+            Some(Ok(())),
+            "seed {seed}: the reliability layer must preserve Definition 6 under loss"
+        );
+        assert_eq!(checked.fired, Some(fired), "seed {seed}: firing count drifted under loss");
+        assert!(!checked.degraded, "seed {seed}: the default budget must not exhaust");
+        let solo = run_coordinated(&c, &RunOptions { shards: Some(1), ..RunOptions::default() });
+        assert_eq!(
+            solo.stats, checked.stats,
+            "seed {seed}: the checker must not change a byte under loss"
+        );
+        for shards in [2u32, 4] {
+            let sharded =
+                run_coordinated(&c, &RunOptions { shards: Some(shards), ..RunOptions::default() });
+            assert_eq!(
+                stats_csv_row(&sharded),
+                stats_csv_row(&solo),
+                "seed {seed}: {shards} shards diverged under loss"
+            );
+        }
+    }
+}
+
+/// The lossy twins leave the ideal corpus untouched: stripping the
+/// `[channel]` section recovers the pinned spec byte for byte, so the
+/// pinned firing counts and canonical CSVs above keep meaning what they
+/// always meant.
+#[test]
+fn lossy_twins_share_the_pinned_base_scenarios() {
+    for &(seed, _, _) in &CORPUS {
+        let base = ScenarioGen::sample(seed);
+        let mut twin = ScenarioGen::sample_lossy(seed);
+        assert_eq!(twin.name, format!("{}-lossy", base.name), "seed {seed}: twin naming");
+        assert!(!twin.channel.is_ideal(), "seed {seed}: the twin must actually be lossy");
+        twin.channel = Default::default();
+        twin.name = base.name.clone();
+        assert_eq!(twin, base, "seed {seed}: the twin drifted from its base scenario");
+    }
+}
+
+/// Reliability *disabled* under loss is caught, not masked: the
+/// uncoordinated baseline has no ack/retry layer, so a lossy channel's
+/// dropped pushes and the stale-plane race both surface as online checker
+/// violations. Loss must never launder the baseline into a `correct`
+/// verdict.
+#[test]
+fn bare_baseline_under_loss_is_caught_not_masked() {
+    for seed in [0u64, 5, 17, 29] {
+        let spec = ScenarioGen::sample(seed);
+        let c = CompiledScenario::compile(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut engine = c.uncoordinated().with_channel(ChannelModel::lossy(seed));
+        let handle = nes_runtime::attach_online_checker(&mut engine, &c.nes)
+            .expect("a ≤63-step campaign fits the online checker's windows");
+        c.apply_actions(&mut engine);
+        c.load_traffic(&mut engine, false);
+        c.inject_campaign(&mut engine);
+        engine.run_until(c.horizon);
+        assert!(
+            handle.verdict().is_err(),
+            "seed {seed}: the unreliable baseline must be caught under loss"
+        );
     }
 }
 
